@@ -1,0 +1,166 @@
+//! DoReFa-Net weight quantization (Zhou et al. 2016).
+//!
+//! The latent weight is squashed with `tanh`, normalized by the layer's
+//! maximum, mapped to `[0, 1]`, rounded on a `2^k − 1` grid and mapped
+//! back to `[-1, 1]`:
+//!
+//! ```text
+//! t = tanh(w) / max|tanh(w)|
+//! W = 2 · round_k((t + 1) / 2) − 1
+//! ```
+//!
+//! The backward pass applies STE through the rounding but keeps the exact
+//! derivative of the smooth tanh-normalization (as in the original
+//! implementation). PACT uses this weight path together with the
+//! learnable-clip activation quantizer [`csq_nn::activation::Pact`].
+
+use csq_nn::{ParamMut, WeightSource};
+use csq_tensor::Tensor;
+
+/// DoReFa weight parameterization.
+#[derive(Debug)]
+pub struct DorefaWeight {
+    latent: Tensor,
+    grad: Tensor,
+    bits: usize,
+    /// Cached per-element tanh values and the max for the backward pass.
+    cache: Option<(Vec<f32>, f32)>,
+}
+
+impl DorefaWeight {
+    /// Wraps an initialized float weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16`.
+    pub fn from_float(w: &Tensor, bits: usize) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        DorefaWeight {
+            grad: Tensor::zeros(w.dims()),
+            latent: w.clone(),
+            bits,
+            cache: None,
+        }
+    }
+}
+
+impl WeightSource for DorefaWeight {
+    fn materialize(&mut self) -> Tensor {
+        let tanhs: Vec<f32> = self.latent.iter().map(|&v| v.tanh()).collect();
+        let max_t = tanhs.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-8);
+        let levels = ((1u32 << self.bits) - 1) as f32;
+        let data: Vec<f32> = tanhs
+            .iter()
+            .map(|&t| {
+                let unit = (t / max_t + 1.0) / 2.0; // [0, 1]
+                let q = (unit * levels).round() / levels;
+                2.0 * q - 1.0
+            })
+            .collect();
+        self.cache = Some((tanhs, max_t));
+        Tensor::from_vec(data, self.latent.dims())
+    }
+
+    fn backward(&mut self, grad_weight: &Tensor) {
+        let (tanhs, max_t) = self
+            .cache
+            .as_ref()
+            .expect("DorefaWeight::backward called before materialize");
+        // STE through round; exact through t ↦ 2·((tanh/max + 1)/2) − 1 =
+        // tanh(w)/max. dW/dw ≈ (1 − tanh²(w)) / max (treating the max as
+        // a constant, as the reference implementation does).
+        for ((g, &dy), &t) in self
+            .grad
+            .data_mut()
+            .iter_mut()
+            .zip(grad_weight.data().iter())
+            .zip(tanhs.iter())
+        {
+            *g += dy * (1.0 - t * t) / max_t;
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut {
+            value: &mut self.latent,
+            grad: &mut self.grad,
+            decay: true,
+        });
+    }
+
+    fn precision(&self) -> Option<f32> {
+        Some(self.bits as f32)
+    }
+
+    fn numel(&self) -> usize {
+        self.latent.numel()
+    }
+
+    fn quant_step(&self) -> Option<f32> {
+        Some(2.0 / ((1u32 << self.bits) - 1) as f32)
+    }
+
+    fn bit_mask(&self) -> Option<Vec<bool>> {
+        Some(vec![true; self.bits])
+    }
+}
+
+/// Factory producing [`DorefaWeight`] sources for the model builders.
+pub fn dorefa_factory(bits: usize) -> impl FnMut(Tensor) -> Box<dyn WeightSource> {
+    move |w: Tensor| Box::new(DorefaWeight::from_float(&w, bits)) as _
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn output_bounded_and_on_grid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = init::normal(&[64], 0.0, 1.0, &mut rng);
+        let mut q = DorefaWeight::from_float(&w, 3);
+        let m = q.materialize();
+        let step = q.quant_step().unwrap();
+        for &v in m.iter() {
+            assert!(v.abs() <= 1.0 + 1e-6);
+            let k = (v + 1.0) / step;
+            assert!((k - k.round()).abs() < 1e-4, "{v} off grid");
+        }
+    }
+
+    #[test]
+    fn preserves_sign_structure() {
+        let w = Tensor::from_vec(vec![2.0, -2.0, 0.4, -0.4], &[4]);
+        let mut q = DorefaWeight::from_float(&w, 4);
+        let m = q.materialize();
+        assert!(m.data()[0] > 0.0 && m.data()[1] < 0.0);
+        assert!(m.data()[0] > m.data()[2]);
+        assert!((m.data()[0] + m.data()[1]).abs() < 1e-6, "odd symmetry");
+    }
+
+    #[test]
+    fn gradient_scales_with_tanh_slope() {
+        // Large |w| → saturated tanh → tiny gradient; small |w| → larger.
+        let w = Tensor::from_vec(vec![0.1, 3.0], &[2]);
+        let mut q = DorefaWeight::from_float(&w, 4);
+        q.materialize();
+        q.backward(&Tensor::ones(&[2]));
+        let mut grads = Vec::new();
+        q.visit_params(&mut |p| grads.extend_from_slice(p.grad.data()));
+        assert!(grads[0] > grads[1] * 5.0, "{grads:?}");
+    }
+
+    #[test]
+    fn one_bit_gives_binary_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = init::uniform(&[32], -1.0, 1.0, &mut rng);
+        let mut q = DorefaWeight::from_float(&w, 1);
+        let m = q.materialize();
+        for &v in m.iter() {
+            assert!((v.abs() - 1.0).abs() < 1e-6, "1-bit value {v}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline quantization-aware training methods the CSQ paper compares
+//! against, reimplemented on the shared [`csq_nn::WeightSource`]
+//! abstraction so every method trains the identical architecture from the
+//! identical initialization:
+//!
+//! * [`ste_uniform`] — the conventional QAT of Polino et al. (\[27\] in the
+//!   paper): a latent float weight is linearly quantized in the forward
+//!   pass and updated with a straight-through gradient (the `STE-Uniform`
+//!   ablation rows of Table IV).
+//! * [`dorefa`] — DoReFa-Net weight quantization (tanh-normalized latent
+//!   weights, uniform grid, STE).
+//! * PACT — DoReFa weights plus the learnable-clip activation quantizer
+//!   [`csq_nn::activation::Pact`]; see [`dorefa`] for the weight path.
+//! * [`lq`] — an LQ-Nets-style learned quantizer: a per-layer basis is
+//!   refit by quantization-error minimization every step, giving a
+//!   non-uniform grid (STE through the assignment).
+//! * [`bsq`] — BSQ (Yang et al. 2021): bit-level training with STE,
+//!   bit-plane L1 sparsity regularization and periodic pruning of
+//!   all-zero planes — the closest prior method and the main baseline.
+
+#![deny(missing_docs)]
+
+pub mod bsq;
+pub mod dorefa;
+pub mod lq;
+pub mod ste_uniform;
+
+pub use bsq::{bsq_factory, BsqWeight};
+pub use dorefa::{dorefa_factory, DorefaWeight};
+pub use lq::{lq_factory, LqWeight};
+pub use ste_uniform::{ste_uniform_factory, SteUniformWeight};

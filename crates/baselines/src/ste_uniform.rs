@@ -1,0 +1,161 @@
+//! STE-Uniform: conventional quantization-aware training with a
+//! straight-through estimator (Polino et al., \[27\] in the paper).
+//!
+//! A latent full-precision weight is kept; the forward pass materializes
+//! its linear symmetric `bits`-bit quantization, and the backward pass
+//! copies `dL/dW` straight onto the latent weight (the STE
+//! approximation). This is exactly the scheme CSQ's Table IV ablation
+//! compares continuous sparsification against.
+
+use csq_nn::{ParamMut, WeightSource};
+use csq_tensor::Tensor;
+
+/// Latent-float weight with linear symmetric fake quantization and an
+/// STE backward.
+#[derive(Debug)]
+pub struct SteUniformWeight {
+    latent: Tensor,
+    grad: Tensor,
+    bits: usize,
+    /// Scale of the most recent materialization (max |latent|).
+    last_scale: f32,
+}
+
+impl SteUniformWeight {
+    /// Wraps an initialized float weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16`.
+    pub fn from_float(w: &Tensor, bits: usize) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        SteUniformWeight {
+            grad: Tensor::zeros(w.dims()),
+            latent: w.clone(),
+            bits,
+            last_scale: 1.0,
+        }
+    }
+
+    /// The latent full-precision weight (inspection).
+    pub fn latent(&self) -> &Tensor {
+        &self.latent
+    }
+
+    /// Quantizes `v` to a symmetric `bits`-bit grid with scale `s`.
+    fn quantize(v: f32, s: f32, bits: usize) -> f32 {
+        // Signed symmetric grid with 2^(bits-1) - 1 positive levels (the
+        // standard linear scheme; 1-bit degenerates to sign * s).
+        let levels = ((1u32 << (bits - 1)) as i64 - 1).max(1) as f32;
+        let step = s / levels;
+        (v.clamp(-s, s) / step).round() * step
+    }
+}
+
+impl WeightSource for SteUniformWeight {
+    fn materialize(&mut self) -> Tensor {
+        let s = self.latent.max_abs().max(1e-8);
+        self.last_scale = s;
+        let bits = self.bits;
+        self.latent.map(|v| Self::quantize(v, s, bits))
+    }
+
+    fn backward(&mut self, grad_weight: &Tensor) {
+        // Straight-through: pass dL/dW to the latent weight unchanged.
+        self.grad.add_assign_t(grad_weight);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut {
+            value: &mut self.latent,
+            grad: &mut self.grad,
+            decay: true,
+        });
+    }
+
+    fn precision(&self) -> Option<f32> {
+        Some(self.bits as f32)
+    }
+
+    fn numel(&self) -> usize {
+        self.latent.numel()
+    }
+
+    fn quant_step(&self) -> Option<f32> {
+        let levels = ((1u32 << (self.bits - 1)) as i64 - 1).max(1) as f32;
+        Some(self.last_scale / levels)
+    }
+
+    fn bit_mask(&self) -> Option<Vec<bool>> {
+        Some(vec![true; self.bits])
+    }
+}
+
+/// Factory producing [`SteUniformWeight`] sources for the model builders.
+pub fn ste_uniform_factory(bits: usize) -> impl FnMut(Tensor) -> Box<dyn WeightSource> {
+    move |w: Tensor| Box::new(SteUniformWeight::from_float(&w, bits)) as _
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn materialized_weight_is_on_grid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = init::uniform(&[32], -1.0, 1.0, &mut rng);
+        let mut q = SteUniformWeight::from_float(&w, 4);
+        let m = q.materialize();
+        let step = q.quant_step().unwrap();
+        for &v in m.iter() {
+            let k = v / step;
+            assert!((k - k.round()).abs() < 1e-4, "{v} off grid {step}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = init::uniform(&[256], -1.0, 1.0, &mut rng);
+        let errs: Vec<f32> = [2usize, 4, 8]
+            .iter()
+            .map(|&b| {
+                let mut q = SteUniformWeight::from_float(&w, b);
+                q.materialize().sub(&w).norm()
+            })
+            .collect();
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "{errs:?}");
+    }
+
+    #[test]
+    fn ste_passes_gradient_through() {
+        let w = Tensor::from_vec(vec![0.3, -0.7], &[2]);
+        let mut q = SteUniformWeight::from_float(&w, 3);
+        q.materialize();
+        q.backward(&Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        let mut grads = Vec::new();
+        q.visit_params(&mut |p| grads.extend_from_slice(p.grad.data()));
+        assert_eq!(grads, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn one_bit_is_sign_times_scale() {
+        let w = Tensor::from_vec(vec![0.9, -0.1, 0.0], &[3]);
+        let mut q = SteUniformWeight::from_float(&w, 1);
+        let m = q.materialize();
+        assert_eq!(m.data()[0], 0.9);
+        // Small values round toward zero on the coarse grid.
+        assert!(m.data()[1].abs() < 0.9 + 1e-6);
+    }
+
+    #[test]
+    fn reports_fixed_precision() {
+        let q = SteUniformWeight::from_float(&Tensor::ones(&[4]), 5);
+        assert_eq!(q.precision(), Some(5.0));
+        assert_eq!(q.numel(), 4);
+        assert_eq!(q.bit_mask(), Some(vec![true; 5]));
+    }
+}

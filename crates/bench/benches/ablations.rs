@@ -1,0 +1,66 @@
+//! Criterion benchmarks of quantizer-cost ablations: how the
+//! bit-plane materialization cost scales with the configured bit width,
+//! and the cost of each lifecycle state (soft, mask-frozen, hard) —
+//! the overhead dimensions a deployment of CSQ would care about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csq_core::prelude::*;
+use csq_nn::WeightSource;
+use csq_tensor::init;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_bits_scaling(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let w = init::kaiming_normal(&[16, 16, 3, 3], &mut rng);
+    let mut group = c.benchmark_group("materialize_vs_bits");
+    for bits in [2usize, 4, 8] {
+        let mut q = BitQuantizer::from_float(&w, bits, QuantMode::Csq);
+        q.set_beta(14.0);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| black_box(q.materialize()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifecycle_states(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let w = init::kaiming_normal(&[16, 16, 3, 3], &mut rng);
+    let gy = init::uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("quantizer_lifecycle");
+
+    let mut soft = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+    soft.set_beta(14.0);
+    group.bench_function("soft_fwd_bwd", |b| {
+        b.iter(|| {
+            let out = soft.materialize();
+            soft.backward(&gy);
+            black_box(out)
+        })
+    });
+
+    let mut frozen = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+    frozen.set_beta(14.0);
+    frozen.freeze_mask();
+    group.bench_function("mask_frozen_fwd_bwd", |b| {
+        b.iter(|| {
+            let out = frozen.materialize();
+            frozen.backward(&gy);
+            black_box(out)
+        })
+    });
+
+    let mut hard = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+    hard.finalize();
+    group.bench_function("hard_fwd", |b| b.iter(|| black_box(hard.materialize())));
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bits_scaling, bench_lifecycle_states
+}
+criterion_main!(ablations);

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the numerical kernels underlying CSQ:
+//! the temperature-sigmoid gate, bit-plane materialization and its
+//! backward, and the conv2d forward/backward that dominates training
+//! time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csq_core::prelude::*;
+use csq_core::temp_sigmoid;
+use csq_nn::WeightSource;
+use csq_tensor::conv::{conv2d, conv2d_backward, ConvSpec};
+use csq_tensor::init;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_gate(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32) * 0.001 - 2.0).collect();
+    c.bench_function("gate/temp_sigmoid_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &xs {
+                acc += temp_sigmoid(black_box(x), 14.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_bitrep(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    // A 16-channel 3x3 conv weight, the common case in the benchmarks.
+    let w = init::kaiming_normal(&[16, 16, 3, 3], &mut rng);
+    let gy = init::uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+
+    let mut q = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+    q.set_beta(14.0);
+    c.bench_function("bitrep/materialize_csq_2304x8", |b| {
+        b.iter(|| black_box(q.materialize()))
+    });
+    c.bench_function("bitrep/backward_csq_2304x8", |b| {
+        q.materialize();
+        b.iter(|| q.backward(black_box(&gy)))
+    });
+
+    let mut qu = BitQuantizer::from_float(&w, 8, QuantMode::Uniform);
+    qu.set_beta(14.0);
+    c.bench_function("bitrep/materialize_uniform_2304x8", |b| {
+        b.iter(|| black_box(qu.materialize()))
+    });
+
+    let mut qh = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+    qh.finalize();
+    c.bench_function("bitrep/materialize_hard_2304x8", |b| {
+        b.iter(|| black_box(qh.materialize()))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let x = init::uniform(&[8, 16, 16, 16], -1.0, 1.0, &mut rng);
+    let w = init::kaiming_normal(&[16, 16, 3, 3], &mut rng);
+    let spec = ConvSpec::new(3, 1, 1);
+    let y = conv2d(&x, &w, spec);
+    let gy = init::uniform(y.dims(), -1.0, 1.0, &mut rng);
+
+    c.bench_function("conv/forward_8x16x16x16_k3", |b| {
+        b.iter(|| black_box(conv2d(black_box(&x), &w, spec)))
+    });
+    c.bench_function("conv/backward_8x16x16x16_k3", |b| {
+        b.iter(|| black_box(conv2d_backward(black_box(&x), &w, &gy, spec)))
+    });
+}
+
+fn bench_integer_inference(c: &mut Criterion) {
+    use csq_core::pack::PackedModel;
+    use csq_core::qinfer::{conv2d_integer, QuantizedActivations};
+    use csq_nn::{Conv2d, Layer};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let x = init::uniform(&[1, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let spec = ConvSpec::new(3, 1, 1);
+    let w0 = init::kaiming_normal(&[16, 16, 3, 3], &mut rng);
+    let mut q = BitQuantizer::from_float(&w0, 8, QuantMode::Csq);
+    q.finalize();
+    let w = q.materialize();
+    let mut layer = Conv2d::new(Box::new(q), 16, 16, spec, false);
+    let packed = PackedModel::pack(&mut layer).unwrap();
+    let pw = packed.layers[0].clone();
+    let xq = QuantizedActivations::quantize(&x);
+
+    c.bench_function("qinfer/conv_integer_16x16x16_k3", |b| {
+        b.iter(|| black_box(conv2d_integer(black_box(&xq), &pw, spec)))
+    });
+    c.bench_function("qinfer/conv_float_16x16x16_k3", |b| {
+        b.iter(|| black_box(conv2d(black_box(&x), &w, spec)))
+    });
+    c.bench_function("qinfer/activation_quantize", |b| {
+        b.iter(|| black_box(QuantizedActivations::quantize(black_box(&x))))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
+    let bm = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul/128x256x128", |b| {
+        b.iter(|| black_box(black_box(&a).matmul(&bm)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gate, bench_bitrep, bench_conv, bench_matmul, bench_integer_inference
+}
+criterion_main!(kernels);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of one full training step (forward + backward +
+//! optimizer) per method, supporting the paper's claim that CSQ finds its
+//! mixed-precision scheme *within a single round of training* at a cost
+//! comparable to ordinary QAT — no reinforcement-learning search, no
+//! Hessian pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csq_baselines::{bsq_factory, dorefa_factory, ste_uniform_factory};
+use csq_core::prelude::*;
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_nn::weight::float_factory;
+use csq_nn::{softmax_cross_entropy, Adam, Layer, Sequential, WeightSource};
+use csq_tensor::{init, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn batch() -> (Tensor, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let x = init::uniform(&[8, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let labels = (0..8).map(|i| i % 10).collect();
+    (x, labels)
+}
+
+fn step(model: &mut Sequential, opt: &mut Adam, x: &Tensor, labels: &[usize]) -> f32 {
+    model.zero_grads();
+    let logits = model.forward(x, true);
+    let (loss, grad) = softmax_cross_entropy(&logits, labels);
+    model.backward(&grad);
+    opt.step(model);
+    loss
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let (x, labels) = batch();
+    let cfg = ModelConfig::cifar_like(8, Some(3), 0);
+
+    let mut group = c.benchmark_group("train_step_resnet8");
+    let factories: Vec<(
+        &str,
+        Box<dyn FnMut(Tensor) -> Box<dyn WeightSource>>,
+    )> = vec![
+        ("fp", Box::new(float_factory())),
+        ("ste_uniform_3b", Box::new(ste_uniform_factory(3))),
+        ("dorefa_3b", Box::new(dorefa_factory(3))),
+        ("bsq_8b", Box::new(bsq_factory(8, 5e-4, 4))),
+        ("csq_8b", Box::new(csq_factory(8))),
+    ];
+    for (name, mut factory) in factories {
+        let mut model = resnet_cifar(cfg, &mut factory, 1);
+        model.visit_weight_sources(&mut |s| s.set_beta(14.0));
+        let mut opt = Adam::new(1e-2, 5e-4);
+        let budget = BudgetRegularizer::new(0.3, 3.0);
+        let is_csq = name == "csq_8b";
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let loss = step(&mut model, &mut opt, &x, &labels);
+                if is_csq {
+                    budget.apply(&mut model);
+                }
+                black_box(loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = training;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_training_step
+}
+criterion_main!(training);

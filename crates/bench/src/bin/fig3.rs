@@ -1,0 +1,64 @@
+//! Regenerates **Figure 3** of the CSQ paper: averaged model precision
+//! during training under different target precisions (1–5 bit),
+//! ResNet-20 with 3-bit activations.
+//!
+//! The paper's shape to reproduce: each trajectory tracks close to its
+//! target throughout training and converges to it by the last epoch.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin fig3
+//! ```
+
+use csq_bench::{write_results, Arch, BenchScale};
+use csq_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TargetSeries {
+    target: f32,
+    bits_per_epoch: Vec<f32>,
+    final_bits: f32,
+    final_acc: f32,
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("fig3: target sweep, scale {scale:?}");
+    let mut series = Vec::new();
+    for target in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
+        let data = Arch::ResNet20.dataset(&scale);
+        let mut factory = csq_factory(8);
+        let mut model = Arch::ResNet20.build(
+            &scale,
+            Some(3),
+            csq_nn::activation::ActMode::Uniform,
+            &mut factory,
+        );
+        let cfg = CsqConfig::fast(target)
+            .with_epochs(scale.epochs)
+            .with_seed(scale.seed);
+        let report = CsqTrainer::new(cfg).train(&mut model, &data);
+        let bits: Vec<f32> = report.history.iter().map(|h| h.avg_bits).collect();
+        println!(
+            "target={target}: final {:.2} bits, acc {:.2}% | {}",
+            report.final_avg_bits,
+            report.final_test_accuracy * 100.0,
+            bits.iter()
+                .map(|b| format!("{b:.1}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        series.push(TargetSeries {
+            target,
+            bits_per_epoch: bits,
+            final_bits: report.final_avg_bits,
+            final_acc: report.final_test_accuracy,
+        });
+    }
+    let hit = series
+        .iter()
+        .filter(|s| (s.final_bits - s.target).abs() <= 0.5)
+        .count();
+    println!("\n{hit}/5 targets hit within 0.5 bit (paper: all converge on target)");
+    write_results("fig3", &series);
+}

@@ -1,0 +1,120 @@
+//! Regenerates **Table I** of the CSQ paper: quantization results of
+//! ResNet-20 on the CIFAR-10 stand-in, across activation precisions
+//! 32 / 3 / 2.
+//!
+//! Paper columns are echoed next to measured values; absolute accuracies
+//! are not comparable (synthetic data, reduced scale — see
+//! EXPERIMENTS.md), the *shape* to check is: CSQ rows dominate the
+//! efficiency–accuracy frontier at every activation precision.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin table1
+//! ```
+
+use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("table1: ResNet-20 / CIFAR-like, scale {scale:?}");
+    let mut rows = Vec::new();
+
+    // ---- A-Bits = 32 -------------------------------------------------
+    let a = "32";
+    let act = None;
+    let fp = run_method(Arch::ResNet20, Method::Fp, act, &scale);
+    rows.push(TableRow::measured(a, &fp, Some(1.00), Some(92.62)));
+    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 3 }, act, &scale);
+    rows.push(TableRow::measured(a, &lq, Some(10.67), Some(92.00)));
+    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    rows.push(TableRow::measured(a, &bsq, Some(19.24), Some(91.87)));
+    let c1 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 1.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c1, Some(26.67), Some(91.70)));
+    let c2 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 2.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c2, Some(16.00), Some(92.68)));
+
+    // ---- A-Bits = 3 --------------------------------------------------
+    let a = "3";
+    let act = Some(3);
+    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 3 }, act, &scale);
+    rows.push(TableRow::measured(a, &lq, Some(10.67), Some(91.60)));
+    let pact = run_method(Arch::ResNet20, Method::Pact { bits: 3 }, act, &scale);
+    rows.push(TableRow::measured(a, &pact, Some(10.67), Some(91.10)));
+    let dorefa = run_method(Arch::ResNet20, Method::Dorefa { bits: 3 }, act, &scale);
+    rows.push(TableRow::measured(a, &dorefa, Some(10.67), Some(89.90)));
+    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    rows.push(TableRow::measured(a, &bsq, Some(11.04), Some(92.16)));
+    let c2 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 2.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c2, Some(16.93), Some(92.14)));
+    let c3 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 3.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c3, Some(10.49), Some(92.42)));
+
+    // ---- A-Bits = 2 --------------------------------------------------
+    let a = "2";
+    let act = Some(2);
+    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 2 }, act, &scale);
+    rows.push(TableRow::measured(a, &lq, Some(16.00), Some(90.20)));
+    let pact = run_method(Arch::ResNet20, Method::Pact { bits: 2 }, act, &scale);
+    rows.push(TableRow::measured(a, &pact, Some(16.00), Some(89.70)));
+    let dorefa = run_method(Arch::ResNet20, Method::Dorefa { bits: 2 }, act, &scale);
+    rows.push(TableRow::measured(a, &dorefa, Some(16.00), Some(88.20)));
+    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    rows.push(TableRow::measured(a, &bsq, Some(18.85), Some(90.19)));
+    let c1 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 1.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c1, Some(22.86), Some(90.08)));
+    let c2 = run_method(
+        Arch::ResNet20,
+        Method::Csq {
+            target: 2.0,
+            finetune: false,
+        },
+        act,
+        &scale,
+    );
+    rows.push(TableRow::measured(a, &c2, Some(16.41), Some(90.33)));
+
+    emit_table(
+        "table1",
+        "Table I: ResNet-20 on CIFAR-10 (stand-in)",
+        &rows,
+    );
+}

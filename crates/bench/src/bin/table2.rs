@@ -1,0 +1,78 @@
+//! Regenerates **Table II** of the CSQ paper: quantization results of
+//! VGG19BN on the CIFAR-10 stand-in.
+//!
+//! ZeroQ, ZAQ, QUANOS and the Non-Linear quantizer required systems the
+//! paper itself only cites (zero-shot distillation pipelines, multi-task
+//! GP search); their rows are echoed as `paper-reported`.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin table2
+//! ```
+
+use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("table2: VGG19BN / CIFAR-like, scale {scale:?}");
+    let mut rows = Vec::new();
+
+    // ---- A-Bits = 32 -------------------------------------------------
+    let fp = run_method(Arch::Vgg19Bn, Method::Fp, None, &scale);
+    rows.push(TableRow::measured("32", &fp, Some(1.00), Some(94.22)));
+    let lq = run_method(Arch::Vgg19Bn, Method::Lq { bits: 3 }, None, &scale);
+    rows.push(TableRow::measured("32", &lq, Some(10.67), Some(93.80)));
+    let c2 = run_method(
+        Arch::Vgg19Bn,
+        Method::Csq {
+            target: 2.0,
+            finetune: false,
+        },
+        None,
+        &scale,
+    );
+    rows.push(TableRow::measured("32", &c2, Some(16.00), Some(94.10)));
+
+    // ---- A-Bits = 8 --------------------------------------------------
+    rows.push(TableRow::paper_only("8", "ZeroQ", "4", Some(8.00), 92.69));
+    rows.push(TableRow::paper_only("8", "ZAQ", "4", Some(8.00), 93.06));
+    let c3 = run_method(
+        Arch::Vgg19Bn,
+        Method::Csq {
+            target: 3.0,
+            finetune: false,
+        },
+        Some(8),
+        &scale,
+    );
+    rows.push(TableRow::measured("8", &c3, Some(10.67), Some(93.90)));
+
+    // ---- A-Bits = 4 --------------------------------------------------
+    rows.push(TableRow::paper_only("4", "QUANOS", "MP", Some(7.11), 90.70));
+    let c3 = run_method(
+        Arch::Vgg19Bn,
+        Method::Csq {
+            target: 3.0,
+            finetune: false,
+        },
+        Some(4),
+        &scale,
+    );
+    rows.push(TableRow::measured("4", &c3, Some(10.67), Some(93.62)));
+
+    // ---- A-Bits = 3 --------------------------------------------------
+    let lq = run_method(Arch::Vgg19Bn, Method::Lq { bits: 3 }, Some(3), &scale);
+    rows.push(TableRow::measured("3", &lq, Some(10.67), Some(93.80)));
+    rows.push(TableRow::paper_only("3", "Non-Linear", "3", Some(9.14), 93.40));
+    let c2 = run_method(
+        Arch::Vgg19Bn,
+        Method::Csq {
+            target: 2.0,
+            finetune: false,
+        },
+        Some(3),
+        &scale,
+    );
+    rows.push(TableRow::measured("3", &c2, Some(16.00), Some(93.58)));
+
+    emit_table("table2", "Table II: VGG19BN on CIFAR-10 (stand-in)", &rows);
+}

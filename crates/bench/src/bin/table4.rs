@@ -1,0 +1,68 @@
+//! Regenerates **Table IV** of the CSQ paper: the QAT ablation comparing
+//! STE-Uniform (\[27\]), CSQ-Uniform (Eq. 3, continuous sparsification
+//! without a mask) and full CSQ-MP, at weight precisions 4 / 3 / 2 with
+//! 3-bit activations.
+//!
+//! The paper's claim to reproduce: at every precision,
+//! `STE-Uniform < CSQ-Uniform < CSQ-MP`.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin table4
+//! ```
+
+use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("table4: QAT ablation on ResNet-20, scale {scale:?}");
+    let act = Some(3);
+    let paper: [(usize, f32, f32, f32); 3] = [
+        (4, 88.89, 91.93, 92.68),
+        (3, 87.68, 91.74, 92.62),
+        (2, 84.35, 91.67, 92.34),
+    ];
+    let mut rows = Vec::new();
+    for (bits, ste_acc, uni_acc, mp_acc) in paper {
+        let r = run_method(Arch::ResNet20, Method::SteUniform { bits }, act, &scale);
+        rows.push(TableRow::measured(&bits.to_string(), &r, None, Some(ste_acc)));
+        let r = run_method(Arch::ResNet20, Method::CsqUniform { bits }, act, &scale);
+        rows.push(TableRow::measured(&bits.to_string(), &r, None, Some(uni_acc)));
+        let r = run_method(
+            Arch::ResNet20,
+            Method::Csq {
+                target: bits as f32,
+                finetune: false,
+            },
+            act,
+            &scale,
+        );
+        let mut row = TableRow::measured(&bits.to_string(), &r, None, Some(mp_acc));
+        row.method = "CSQ-MP".into();
+        rows.push(row);
+    }
+    emit_table(
+        "table4",
+        "Table IV: CSQ vs STE-based QAT (ResNet-20, A=3); A-Bits column shows W-Bits",
+        &rows,
+    );
+
+    // Verdict line: does the paper's ordering hold?
+    let acc = |m: &str, w: &str| {
+        rows.iter()
+            .find(|r| r.method == m && r.a_bits == w)
+            .and_then(|r| r.meas_acc)
+            .unwrap_or(0.0)
+    };
+    for bits in ["4", "3", "2"] {
+        let (s, u, m) = (
+            acc("STE-Uniform", bits),
+            acc("CSQ-Uniform", bits),
+            acc("CSQ-MP", bits),
+        );
+        let ok = s <= u && u <= m + 1.0; // small tolerance on the top pair
+        println!(
+            "W={bits}: STE {s:.2} <= CSQ-Uniform {u:.2} <= CSQ-MP {m:.2}  -> {}",
+            if ok { "ordering holds" } else { "ordering VIOLATED" }
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Regenerates **Table V** of the CSQ paper: the accuracy–model-size
+//! trade-off of CSQ across target precisions 1–5 bit (plus the FP
+//! reference), ResNet-20 with 3-bit activations.
+//!
+//! The paper's claims to reproduce: the achieved average precision lands
+//! on the target ("Ave. prec." ≈ target), and accuracy degrades
+//! monotonically (and gently) as the target shrinks.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin table5
+//! ```
+
+use csq_bench::{run_method, write_results, Arch, BenchScale, Method};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TradeoffRow {
+    target: String,
+    paper_avg_prec: f32,
+    paper_comp: f32,
+    paper_acc: f32,
+    meas_avg_prec: Option<f32>,
+    meas_comp: Option<f32>,
+    meas_acc: Option<f32>,
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("table5: accuracy-size trade-off, scale {scale:?}");
+    let paper: [(f32, f32, f32, f32); 5] = [
+        (1.0, 1.00, 32.00, 90.33),
+        (2.0, 1.97, 16.24, 91.70),
+        (3.0, 3.05, 10.49, 92.42),
+        (4.0, 4.00, 8.00, 92.51),
+        (5.0, 5.05, 6.34, 92.61),
+    ];
+    let mut rows = Vec::new();
+    for (target, p_prec, p_comp, p_acc) in paper {
+        let r = run_method(
+            Arch::ResNet20,
+            Method::Csq {
+                target,
+                finetune: false,
+            },
+            Some(3),
+            &scale,
+        );
+        rows.push(TradeoffRow {
+            target: format!("{target}-bit"),
+            paper_avg_prec: p_prec,
+            paper_comp: p_comp,
+            paper_acc: p_acc,
+            meas_avg_prec: Some(r.avg_bits),
+            meas_comp: Some(r.compression),
+            meas_acc: Some(r.accuracy * 100.0),
+        });
+    }
+    let fp = run_method(Arch::ResNet20, Method::Fp, Some(3), &scale);
+    rows.push(TradeoffRow {
+        target: "FP".into(),
+        paper_avg_prec: 32.0,
+        paper_comp: 1.0,
+        paper_acc: 92.62,
+        meas_avg_prec: Some(32.0),
+        meas_comp: Some(fp.compression),
+        meas_acc: Some(fp.accuracy * 100.0),
+    });
+
+    println!("\n=== Table V: accuracy-size trade-off under different target bits ===");
+    println!(
+        "{:<7} {:>10} {:>9} {:>8} | {:>10} {:>9} {:>8}",
+        "Target", "paperPrec", "paperComp", "paperAcc", "measPrec", "measComp", "measAcc"
+    );
+    let f = |v: Option<f32>| v.map_or("-".into(), |x| format!("{x:.2}"));
+    for r in &rows {
+        println!(
+            "{:<7} {:>10.2} {:>9.2} {:>8.2} | {:>10} {:>9} {:>8}",
+            r.target,
+            r.paper_avg_prec,
+            r.paper_comp,
+            r.paper_acc,
+            f(r.meas_avg_prec),
+            f(r.meas_comp),
+            f(r.meas_acc)
+        );
+    }
+    // Shape checks the paper highlights.
+    let hit = rows
+        .iter()
+        .take(5)
+        .zip(paper.iter())
+        .filter(|(r, (t, ..))| (r.meas_avg_prec.unwrap() - t).abs() <= 0.5)
+        .count();
+    println!("targets hit within 0.5 bit: {hit}/5");
+    write_results("table5", &rows);
+}

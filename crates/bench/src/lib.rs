@@ -1,0 +1,524 @@
+//! Experiment harness regenerating every table and figure of the CSQ
+//! paper at a single-core-feasible scale.
+//!
+//! Each `src/bin/*` binary reproduces one table or figure:
+//!
+//! | binary   | paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table I — ResNet-20 / CIFAR-10-like |
+//! | `table2` | Table II — VGG19BN / CIFAR-10-like |
+//! | `table3` | Table III — ResNet-18 & ResNet-50 / ImageNet-like |
+//! | `table4` | Table IV — STE vs CSQ-Uniform vs CSQ-MP ablation |
+//! | `table5` | Table V — accuracy/size trade-off across targets |
+//! | `fig2`   | Figure 2 — λ sweep of precision-vs-epoch |
+//! | `fig3`   | Figure 3 — target sweep of precision-vs-epoch |
+//! | `fig4`   | Figure 4 — layer-wise precision per target |
+//! | `ablations` | design-choice ablations called out in DESIGN.md §5 |
+//!
+//! Binaries print the paper's rows next to measured values and write
+//! JSON/CSV under `bench_results/`. Scale knobs come from environment
+//! variables (see [`BenchScale::from_env`]) so the same binaries run in
+//! seconds (default), or much longer with more epochs/samples/width.
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![deny(missing_docs)]
+
+use csq_baselines::{bsq_factory, dorefa_factory, lq_factory, ste_uniform_factory};
+use csq_core::prelude::*;
+use csq_core::trainer::{fit, FitConfig, OptimKind};
+use csq_data::{Dataset, SyntheticSpec};
+use csq_nn::activation::ActMode;
+use csq_nn::models::{resnet18, resnet50, resnet_cifar, vgg19bn, ModelConfig};
+use csq_nn::weight::float_factory;
+use csq_nn::{Layer, Sequential};
+use serde::Serialize;
+
+/// Scale parameters shared by every experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Finetuning epochs for runs that use the finetune phase (Table III).
+    pub finetune_epochs: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Model base width.
+    pub width: usize,
+    /// Dataset noise level.
+    pub noise: f32,
+    /// Master seed.
+    pub seed: u64,
+    /// Independent repetitions per table cell (results are averaged;
+    /// reduces the single-run variance that dominates at reduced scale).
+    pub seeds: usize,
+}
+
+impl BenchScale {
+    /// Reads the scale from `CSQ_*` environment variables, with
+    /// single-core-friendly defaults:
+    /// `CSQ_EPOCHS`, `CSQ_FT_EPOCHS`, `CSQ_TRAIN_PER_CLASS`,
+    /// `CSQ_TEST_PER_CLASS`, `CSQ_WIDTH`, `CSQ_NOISE`, `CSQ_SEED`.
+    pub fn from_env() -> Self {
+        fn env<T: std::str::FromStr>(key: &str, default: T) -> T {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        BenchScale {
+            epochs: env("CSQ_EPOCHS", 20),
+            finetune_epochs: env("CSQ_FT_EPOCHS", 8),
+            train_per_class: env("CSQ_TRAIN_PER_CLASS", 24),
+            test_per_class: env("CSQ_TEST_PER_CLASS", 32),
+            width: env("CSQ_WIDTH", 8),
+            noise: env("CSQ_NOISE", 0.8),
+            seed: env("CSQ_SEED", 0),
+            seeds: env("CSQ_SEEDS", 2),
+        }
+    }
+}
+
+/// The model families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// ResNet-20 on the CIFAR-10 stand-in (Tables I, IV, V, figures).
+    ResNet20,
+    /// VGG19BN on the CIFAR-10 stand-in (Table II).
+    Vgg19Bn,
+    /// ResNet-18 on the ImageNet stand-in (Table III).
+    ResNet18,
+    /// ResNet-50 on the ImageNet stand-in (Table III).
+    ResNet50,
+}
+
+impl Arch {
+    /// Builds the dataset this architecture is evaluated on.
+    pub fn dataset(&self, scale: &BenchScale) -> Dataset {
+        let spec = match self {
+            Arch::ResNet20 | Arch::Vgg19Bn => SyntheticSpec::cifar_like(scale.seed),
+            Arch::ResNet18 | Arch::ResNet50 => SyntheticSpec::imagenet_like(scale.seed),
+        }
+        .with_samples(scale.train_per_class, scale.test_per_class)
+        .with_noise(scale.noise);
+        Dataset::synthetic(&spec)
+    }
+
+    /// Builds the model with the given weight factory and activation
+    /// precision.
+    pub fn build(
+        &self,
+        scale: &BenchScale,
+        act_bits: Option<u32>,
+        act_mode: ActMode,
+        factory: &mut csq_nn::weight::WeightFactory<'_>,
+    ) -> Sequential {
+        match self {
+            Arch::ResNet20 => {
+                let cfg = ModelConfig::cifar_like(scale.width, act_bits, scale.seed)
+                    .with_act_mode(act_mode);
+                resnet_cifar(cfg, factory, 3)
+            }
+            Arch::Vgg19Bn => {
+                let cfg = ModelConfig::cifar_like(scale.width, act_bits, scale.seed)
+                    .with_act_mode(act_mode);
+                vgg19bn(cfg, factory)
+            }
+            Arch::ResNet18 => {
+                let cfg = ModelConfig::imagenet_like(scale.width, act_bits, scale.seed)
+                    .with_act_mode(act_mode);
+                resnet18(cfg, factory)
+            }
+            Arch::ResNet50 => {
+                let cfg = ModelConfig::imagenet_like(scale.width, act_bits, scale.seed)
+                    .with_act_mode(act_mode);
+                resnet50(cfg, factory)
+            }
+        }
+    }
+}
+
+/// A quantization method under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Full-precision reference.
+    Fp,
+    /// Full CSQ with a target average precision; `finetune` enables the
+    /// second phase of Algorithm 1.
+    Csq {
+        /// Target average weight precision.
+        target: f32,
+        /// Run the mask-frozen finetuning phase.
+        finetune: bool,
+    },
+    /// CSQ-Uniform ablation (Eq. 3, fixed precision, no mask search).
+    CsqUniform {
+        /// Fixed weight precision.
+        bits: usize,
+    },
+    /// STE-based uniform QAT (Polino et al. \[27\]).
+    SteUniform {
+        /// Fixed weight precision.
+        bits: usize,
+    },
+    /// DoReFa-Net weights.
+    Dorefa {
+        /// Fixed weight precision.
+        bits: usize,
+    },
+    /// PACT: DoReFa weights + learnable-clip activations.
+    Pact {
+        /// Fixed weight precision.
+        bits: usize,
+    },
+    /// LQ-Nets-style learned quantizer.
+    Lq {
+        /// Fixed weight precision.
+        bits: usize,
+    },
+    /// BSQ bit-level sparsity with periodic pruning.
+    Bsq,
+}
+
+impl Method {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Fp => "FP".into(),
+            Method::Csq { target, .. } => format!("CSQ T{}", *target as u32),
+            Method::CsqUniform { .. } => "CSQ-Uniform".into(),
+            Method::SteUniform { .. } => "STE-Uniform".into(),
+            Method::Dorefa { .. } => "DoReFa".into(),
+            Method::Pact { .. } => "PACT".into(),
+            Method::Lq { .. } => "LQ-Nets*".into(),
+            Method::Bsq => "BSQ".into(),
+        }
+    }
+
+    /// The "W-Bits" column entry.
+    pub fn w_bits_label(&self) -> String {
+        match self {
+            Method::Fp => "32".into(),
+            Method::Csq { .. } | Method::Bsq => "MP".into(),
+            Method::CsqUniform { bits }
+            | Method::SteUniform { bits }
+            | Method::Dorefa { bits }
+            | Method::Pact { bits }
+            | Method::Lq { bits } => bits.to_string(),
+        }
+    }
+}
+
+/// Outcome of one training run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Method label.
+    pub method: String,
+    /// "W-Bits" column entry.
+    pub w_bits: String,
+    /// Final element-weighted average weight precision.
+    pub avg_bits: f32,
+    /// Weight compression versus FP32.
+    pub compression: f32,
+    /// Final held-out accuracy (fraction).
+    pub accuracy: f32,
+    /// Per-epoch average precision (for the figures).
+    pub bits_history: Vec<f32>,
+    /// Per-layer final precision (for Figure 4).
+    pub layer_bits: Vec<f32>,
+    /// Wall-clock seconds for the run.
+    pub seconds: f32,
+}
+
+/// BSQ hyperparameters used by the harness (L1 strength tuned so pruning
+/// engages at reduced scale; pruning period from the BSQ paper's spirit).
+const BSQ_L1: f32 = 1e-3;
+const BSQ_PRUNE_EVERY: usize = 3;
+
+/// Trains `method` on `arch` at the given activation precision,
+/// averaging over `scale.seeds` independent repetitions (dataset, init
+/// and shuffling all reseeded). All methods share the dataset,
+/// architecture, initialization stream and optimizer per repetition
+/// (Adam at reduced scale — see DESIGN.md §2).
+pub fn run_method(
+    arch: Arch,
+    method: Method,
+    act_bits: Option<u32>,
+    scale: &BenchScale,
+) -> RunResult {
+    let reps = scale.seeds.max(1);
+    let start = std::time::Instant::now();
+    let mut merged: Option<RunResult> = None;
+    for rep in 0..reps {
+        let mut s = *scale;
+        s.seed = scale.seed + 1000 * rep as u64;
+        let r = run_method_once(arch, method, act_bits, &s);
+        merged = Some(match merged {
+            None => r,
+            Some(mut acc) => {
+                acc.accuracy += r.accuracy;
+                acc.avg_bits += r.avg_bits;
+                acc.compression += r.compression;
+                acc
+            }
+        });
+    }
+    let mut out = merged.expect("at least one repetition");
+    out.accuracy /= reps as f32;
+    out.avg_bits /= reps as f32;
+    out.compression /= reps as f32;
+    out.seconds = start.elapsed().as_secs_f32();
+    out
+}
+
+/// One repetition of [`run_method`].
+pub fn run_method_once(
+    arch: Arch,
+    method: Method,
+    act_bits: Option<u32>,
+    scale: &BenchScale,
+) -> RunResult {
+    let start = std::time::Instant::now();
+    let data = arch.dataset(scale);
+    let act_mode = if matches!(method, Method::Pact { .. }) {
+        ActMode::Pact
+    } else {
+        ActMode::Uniform
+    };
+
+    let mut result = match method {
+        Method::Csq { target, finetune } => {
+            let mut factory = csq_factory(8);
+            let mut model = arch.build(scale, act_bits, act_mode, &mut factory);
+            let mut cfg = CsqConfig::fast(target)
+                .with_epochs(scale.epochs)
+                .with_seed(scale.seed);
+            if finetune {
+                cfg = cfg.with_finetune(scale.finetune_epochs);
+            }
+            let report = CsqTrainer::new(cfg).train(&mut model, &data);
+            RunResult {
+                method: method.label(),
+                w_bits: method.w_bits_label(),
+                avg_bits: report.final_avg_bits,
+                compression: report.final_compression,
+                accuracy: report.final_test_accuracy,
+                bits_history: report.history.iter().map(|h| h.avg_bits).collect(),
+                layer_bits: report.scheme.layer_bits(),
+                seconds: 0.0,
+            }
+        }
+        _ => {
+            let mut factory: Box<dyn FnMut(csq_tensor::Tensor) -> Box<dyn csq_nn::WeightSource>> =
+                match method {
+                    Method::Fp => Box::new(float_factory()),
+                    Method::CsqUniform { bits } => Box::new(csq_uniform_factory(bits)),
+                    Method::SteUniform { bits } => Box::new(ste_uniform_factory(bits)),
+                    Method::Dorefa { bits } | Method::Pact { bits } => {
+                        Box::new(dorefa_factory(bits))
+                    }
+                    Method::Lq { bits } => Box::new(lq_factory(bits)),
+                    Method::Bsq => Box::new(bsq_factory(8, BSQ_L1, BSQ_PRUNE_EVERY)),
+                    Method::Csq { .. } => unreachable!("handled above"),
+                };
+            let mut model = arch.build(scale, act_bits, act_mode, &mut factory);
+            let mut cfg = FitConfig::fast(scale.epochs);
+            cfg.seed = scale.seed;
+            cfg.optim = OptimKind::Adam;
+            // Continuous-sparsification parameterizations need the
+            // temperature schedule; STE-based ones ignore it.
+            if matches!(method, Method::CsqUniform { .. }) {
+                cfg.beta = Some(
+                    TemperatureSchedule::paper_default(scale.epochs).with_saturation(0.75),
+                );
+            }
+            let history = fit(&mut model, &data, &cfg, false);
+            model.visit_weight_sources(&mut |src| src.finalize());
+            let (_, acc) = csq_core::trainer::evaluate(&mut model, &data.test, cfg.batch_size);
+            let stats = model_precision(&mut model);
+            let scheme = QuantScheme::extract(&mut model);
+            RunResult {
+                method: method.label(),
+                w_bits: method.w_bits_label(),
+                avg_bits: stats.avg_bits,
+                compression: stats.compression_ratio(),
+                accuracy: acc,
+                bits_history: history.iter().map(|h| h.avg_bits).collect(),
+                layer_bits: scheme.layer_bits(),
+                seconds: 0.0,
+            }
+        }
+    };
+    result.seconds = start.elapsed().as_secs_f32();
+    result
+}
+
+/// One row of a printed table; `paper` columns echo the publication,
+/// `measured` columns come from [`run_method`].
+#[derive(Debug, Clone, Serialize)]
+pub struct TableRow {
+    /// "A-Bits" column.
+    pub a_bits: String,
+    /// Method label.
+    pub method: String,
+    /// "W-Bits" column.
+    pub w_bits: String,
+    /// Compression reported by the paper (`None` when not reported).
+    pub paper_comp: Option<f32>,
+    /// Accuracy (%) reported by the paper (`None` when not reported).
+    pub paper_acc: Option<f32>,
+    /// Measured compression (`None` for paper-only rows).
+    pub meas_comp: Option<f32>,
+    /// Measured accuracy (%) (`None` for paper-only rows).
+    pub meas_acc: Option<f32>,
+    /// `measured` or `paper-reported` (methods whose systems the paper
+    /// itself only cites).
+    pub source: &'static str,
+}
+
+impl TableRow {
+    /// A row measured by this harness, annotated with the paper's numbers.
+    pub fn measured(
+        a_bits: &str,
+        result: &RunResult,
+        paper_comp: Option<f32>,
+        paper_acc: Option<f32>,
+    ) -> Self {
+        TableRow {
+            a_bits: a_bits.into(),
+            method: result.method.clone(),
+            w_bits: result.w_bits.clone(),
+            paper_comp,
+            paper_acc,
+            meas_comp: Some(result.compression),
+            meas_acc: Some(result.accuracy * 100.0),
+            source: "measured",
+        }
+    }
+
+    /// A row the paper only cites (HAWQ-V3, HAQ, ZeroQ, …): echoed, not
+    /// rerun.
+    pub fn paper_only(
+        a_bits: &str,
+        method: &str,
+        w_bits: &str,
+        paper_comp: Option<f32>,
+        paper_acc: f32,
+    ) -> Self {
+        TableRow {
+            a_bits: a_bits.into(),
+            method: method.into(),
+            w_bits: w_bits.into(),
+            paper_comp,
+            paper_acc: Some(paper_acc),
+            meas_comp: None,
+            meas_acc: None,
+            source: "paper-reported",
+        }
+    }
+}
+
+/// Prints a table to stdout and writes JSON + CSV under `bench_results/`.
+pub fn emit_table(name: &str, title: &str, rows: &[TableRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<7} {:<13} {:<7} {:>10} {:>9} {:>10} {:>9}  {}",
+        "A-Bits", "Method", "W-Bits", "paperComp", "paperAcc", "measComp", "measAcc", "source"
+    );
+    let fmt = |v: Option<f32>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+    for r in rows {
+        println!(
+            "{:<7} {:<13} {:<7} {:>10} {:>9} {:>10} {:>9}  {}",
+            r.a_bits,
+            r.method,
+            r.w_bits,
+            fmt(r.paper_comp),
+            fmt(r.paper_acc),
+            fmt(r.meas_comp),
+            fmt(r.meas_acc),
+            r.source
+        );
+    }
+    write_results(name, &rows.to_vec());
+}
+
+/// Writes any serializable result set to `bench_results/<name>.json`.
+pub fn write_results<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // non-fatal: printing already happened
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, json);
+        println!("[written {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults() {
+        let s = BenchScale::from_env();
+        assert!(s.epochs > 0 && s.width > 0 && s.train_per_class > 0);
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        assert_eq!(Method::Fp.label(), "FP");
+        assert_eq!(
+            Method::Csq {
+                target: 2.0,
+                finetune: false
+            }
+            .label(),
+            "CSQ T2"
+        );
+        assert_eq!(Method::Bsq.w_bits_label(), "MP");
+        assert_eq!(Method::SteUniform { bits: 3 }.w_bits_label(), "3");
+    }
+
+    #[test]
+    fn arch_builds_all_models() {
+        let scale = BenchScale {
+            epochs: 1,
+            finetune_epochs: 0,
+            train_per_class: 2,
+            test_per_class: 1,
+            width: 4,
+            noise: 0.5,
+            seed: 0,
+            seeds: 1,
+        };
+        for arch in [Arch::ResNet20, Arch::Vgg19Bn, Arch::ResNet18, Arch::ResNet50] {
+            let mut fac = float_factory();
+            let mut boxed: Box<dyn FnMut(csq_tensor::Tensor) -> Box<dyn csq_nn::WeightSource>> =
+                Box::new(&mut fac);
+            let m = arch.build(&scale, None, ActMode::Uniform, &mut boxed);
+            drop(m);
+            let d = arch.dataset(&scale);
+            assert!(!d.train.is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_fp_run_completes() {
+        let scale = BenchScale {
+            epochs: 1,
+            finetune_epochs: 0,
+            train_per_class: 2,
+            test_per_class: 1,
+            width: 4,
+            noise: 0.5,
+            seed: 0,
+            seeds: 1,
+        };
+        let r = run_method(Arch::ResNet20, Method::Fp, None, &scale);
+        assert_eq!(r.method, "FP");
+        assert!((r.compression - 1.0).abs() < 1e-5);
+        assert_eq!(r.bits_history.len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! Extension: continuous-sparsification search over *activation*
+//! precision.
+//!
+//! The paper explicitly leaves activations out of the search ("CSQ does
+//! not control activation quantization, we quantize the activation
+//! uniformly throughout the training process", §IV-A). This module
+//! extends the CSQ idea to that remaining axis: each activation
+//! quantizer carries per-bit selection logits `m_A` relaxed with the same
+//! temperature sigmoid, so its *precision* becomes differentiable:
+//!
+//! ```text
+//! p(soft) = Σ_b f_β(m_A^(b))         (soft bit count)
+//! step    = r / (2^p − 1)            (continuous level count)
+//! y       = round(clamp(x, 0, r) / step) · step
+//! ```
+//!
+//! Gradients reach `m_A` through the step size with the LSQ-style
+//! estimator `∂y/∂step ≈ round(x/step) − x/step` (Esser et al. 2020),
+//! chained through `∂step/∂p = −r·ln2·2^p/(2^p−1)²`. A per-layer budget
+//! term `λ_A·(p_hard − target)` pushes the bit count toward a requested
+//! activation precision, mirroring the weight-side Δ_S mechanism at
+//! layer granularity. As with weights, β annealing plus
+//! [`finalize`](SearchedActQuant::finalize) yields an exact integer
+//! precision at the end.
+//!
+//! This is a faithful *extension*, not part of the reproduced paper; the
+//! benchmark tables all use the paper's fixed uniform activations.
+
+use crate::gate::{temp_sigmoid, temp_sigmoid_grad};
+use csq_nn::{Layer, ParamMut};
+use csq_tensor::Tensor;
+
+/// Activation quantizer with searched precision (see module docs).
+#[derive(Debug)]
+pub struct SearchedActQuant {
+    /// Per-bit selection logits.
+    m_a: Tensor,
+    grad_a: Tensor,
+    bits: usize,
+    beta: f32,
+    /// Clipping range (EMA of batch max, frozen at eval).
+    range: f32,
+    range_momentum: f32,
+    initialized: bool,
+    /// Per-layer activation-bit budget strength and target.
+    lambda: f32,
+    target_bits: f32,
+    /// Finalized: precision is the hard count, gates are steps.
+    hard: bool,
+    cache: Option<ActCache>,
+}
+
+#[derive(Debug)]
+struct ActCache {
+    /// Quantization residual `round(x/step) − x/step` per element
+    /// (zero outside the clip range), for the step gradient.
+    residual: Vec<f32>,
+    /// STE pass mask.
+    pass: Vec<bool>,
+    soft_p: f32,
+}
+
+impl SearchedActQuant {
+    /// Creates a searched activation quantizer with `bits` candidate
+    /// planes, a per-layer budget target and strength λ_A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=16`, the target is not positive,
+    /// or λ_A is negative.
+    pub fn new(bits: usize, target_bits: f32, lambda: f32) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(target_bits > 0.0, "target must be positive");
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        SearchedActQuant {
+            m_a: Tensor::from_vec(
+                (0..bits).map(|b| 0.05 + 0.03 * b as f32).collect(),
+                &[bits],
+            ),
+            grad_a: Tensor::zeros(&[bits]),
+            bits,
+            beta: 1.0,
+            range: 1.0,
+            range_momentum: 0.99,
+            initialized: false,
+            lambda,
+            target_bits,
+            hard: false,
+            cache: None,
+        }
+    }
+
+    /// Number of candidate bit planes.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Soft bit count `Σ_b f_β(m_A)`.
+    pub fn soft_precision(&self) -> f32 {
+        if self.hard {
+            return self.hard_precision();
+        }
+        self.m_a
+            .iter()
+            .map(|&m| temp_sigmoid(m, self.beta))
+            .sum()
+    }
+
+    /// Hard bit count `Σ_b [m_A ≥ 0]` (at least 1 — a 0-bit activation
+    /// path would zero the network).
+    pub fn hard_precision(&self) -> f32 {
+        (self.m_a.iter().filter(|&&m| m >= 0.0).count() as f32).max(1.0)
+    }
+
+    /// Sets the gate temperature (shared schedule with the weights).
+    pub fn set_beta(&mut self, beta: f32) {
+        assert!(beta > 0.0, "temperature must be positive");
+        self.beta = beta;
+    }
+
+    /// Snaps the precision to its hard bit count permanently.
+    pub fn finalize(&mut self) {
+        self.hard = true;
+        self.cache = None;
+    }
+
+    fn effective_precision(&self) -> f32 {
+        if self.hard {
+            self.hard_precision()
+        } else {
+            self.soft_precision().max(1.0)
+        }
+    }
+}
+
+impl Layer for SearchedActQuant {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train && !self.hard {
+            let batch_max = input.max_abs().max(1e-6);
+            if self.initialized {
+                self.range =
+                    self.range_momentum * self.range + (1.0 - self.range_momentum) * batch_max;
+            } else {
+                self.range = batch_max;
+                self.initialized = true;
+            }
+        }
+        let r = self.range.max(1e-6);
+        let p = self.effective_precision();
+        let levels = (2.0f32.powf(p) - 1.0).max(1.0);
+        let step = r / levels;
+        let out = input.map(|v| {
+            let c = v.clamp(0.0, r);
+            (c / step).round() * step
+        });
+        if train {
+            let mut residual = Vec::with_capacity(input.numel());
+            let mut pass = Vec::with_capacity(input.numel());
+            for &v in input.iter() {
+                let in_range = (0.0..=r).contains(&v);
+                pass.push(in_range);
+                residual.push(if in_range {
+                    (v / step).round() - v / step
+                } else {
+                    0.0
+                });
+            }
+            self.cache = Some(ActCache {
+                residual,
+                pass,
+                soft_p: p,
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("SearchedActQuant::backward called before a training forward");
+        assert_eq!(cache.pass.len(), grad_output.numel(), "grad shape mismatch");
+
+        // STE toward the input, clipped.
+        let mut g = grad_output.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(cache.pass.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+
+        if !self.hard {
+            // dL/dstep via the LSQ residual estimator.
+            let dstep: f32 = grad_output
+                .data()
+                .iter()
+                .zip(cache.residual.iter())
+                .map(|(&gy, &res)| gy * res)
+                .sum();
+            // dstep/dp for step = r/(2^p − 1).
+            let p = cache.soft_p;
+            let two_p = 2.0f32.powf(p);
+            let denom = (two_p - 1.0).max(1e-6);
+            let dstep_dp = -self.range * std::f32::consts::LN_2 * two_p / (denom * denom);
+            // Per-layer budget on the hard count.
+            let budget = self.lambda * (self.hard_precision() - self.target_bits);
+            let dl_dp = dstep * dstep_dp + budget;
+            for (b, gm) in self.grad_a.data_mut().iter_mut().enumerate() {
+                let gate = temp_sigmoid(self.m_a.data()[b], self.beta);
+                *gm += dl_dp * temp_sigmoid_grad(gate, self.beta);
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut {
+            value: &mut self.m_a,
+            grad: &mut self.grad_a,
+            decay: false,
+        });
+    }
+
+    fn kind(&self) -> &'static str {
+        "searched_act_quant"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn starts_at_full_precision_and_on_grid() {
+        let mut q = SearchedActQuant::new(8, 4.0, 0.0);
+        assert_eq!(q.hard_precision(), 8.0);
+        let x = Tensor::from_vec(vec![0.0, 0.3, 0.7, 1.0], &[4]);
+        let y = q.forward(&x, true);
+        // All outputs on the current (soft-precision) grid.
+        let p = q.soft_precision().max(1.0);
+        let step = q.range / (2.0f32.powf(p) - 1.0);
+        for &v in y.iter() {
+            let k = v / step;
+            assert!((k - k.round()).abs() < 1e-4, "{v} off grid {step}");
+        }
+    }
+
+    #[test]
+    fn budget_prunes_activation_bits() {
+        // Pure budget pressure (no task signal): hard precision should
+        // descend from 8 toward the 3-bit target under SGD on m_A.
+        let mut q = SearchedActQuant::new(8, 3.0, 0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::uniform(&[64], 0.0, 1.0, &mut rng);
+        for _ in 0..200 {
+            q.forward(&x, true);
+            q.backward(&Tensor::zeros(&[64]));
+            // Plain gradient step on the logits.
+            let grads: Vec<f32> = q.grad_a.data().to_vec();
+            for (m, g) in q.m_a.data_mut().iter_mut().zip(grads) {
+                *m -= 0.05 * g;
+            }
+            q.grad_a.fill(0.0);
+        }
+        let p = q.hard_precision();
+        assert!(
+            (p - 3.0).abs() <= 1.0,
+            "activation precision {p} should approach the 3-bit target"
+        );
+    }
+
+    #[test]
+    fn budget_grows_bits_from_below() {
+        let mut q = SearchedActQuant::new(8, 6.0, 0.5);
+        // Start with most bits off.
+        for m in q.m_a.data_mut().iter_mut() {
+            *m = -0.2;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = init::uniform(&[64], 0.0, 1.0, &mut rng);
+        for _ in 0..200 {
+            q.forward(&x, true);
+            q.backward(&Tensor::zeros(&[64]));
+            let grads: Vec<f32> = q.grad_a.data().to_vec();
+            for (m, g) in q.m_a.data_mut().iter_mut().zip(grads) {
+                *m -= 0.05 * g;
+            }
+            q.grad_a.fill(0.0);
+        }
+        assert!(
+            q.hard_precision() >= 5.0,
+            "budget should grow activation bits, got {}",
+            q.hard_precision()
+        );
+    }
+
+    #[test]
+    fn reconstruction_pressure_defends_bits() {
+        // With a task gradient that penalizes quantization error (dL/dy
+        // pointing along the residual), the step gradient should oppose
+        // pruning relative to pure budget pressure.
+        let mut pruned = SearchedActQuant::new(8, 1.0, 0.2);
+        let mut defended = SearchedActQuant::new(8, 1.0, 0.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = init::uniform(&[128], 0.0, 1.0, &mut rng);
+        for _ in 0..150 {
+            // Budget-only path.
+            pruned.forward(&x, true);
+            pruned.backward(&Tensor::zeros(&[128]));
+            // Reconstruction path: gradient = y − x (MSE toward x).
+            let y = defended.forward(&x, true);
+            let gy = y.sub(&x).mul_scalar(8.0);
+            defended.backward(&gy);
+            for q in [&mut pruned, &mut defended] {
+                let grads: Vec<f32> = q.grad_a.data().to_vec();
+                for (m, g) in q.m_a.data_mut().iter_mut().zip(grads) {
+                    *m -= 0.05 * g;
+                }
+                q.grad_a.fill(0.0);
+            }
+        }
+        assert!(
+            defended.hard_precision() >= pruned.hard_precision(),
+            "task pressure should retain at least as many bits: {} vs {}",
+            defended.hard_precision(),
+            pruned.hard_precision()
+        );
+    }
+
+    #[test]
+    fn finalize_fixes_precision() {
+        let mut q = SearchedActQuant::new(8, 4.0, 0.1);
+        q.m_a.data_mut()[6] = -1.0;
+        q.m_a.data_mut()[7] = -1.0;
+        q.finalize();
+        assert_eq!(q.hard_precision(), 6.0);
+        // Backward no longer moves the logits.
+        let x = Tensor::from_vec(vec![0.5; 8], &[8]);
+        q.forward(&x, true);
+        q.backward(&Tensor::ones(&[8]));
+        assert!(q.grad_a.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_bit_floor_is_one() {
+        let mut q = SearchedActQuant::new(4, 2.0, 0.0);
+        for m in q.m_a.data_mut().iter_mut() {
+            *m = -5.0;
+        }
+        assert_eq!(q.hard_precision(), 1.0, "never collapses to 0 bits");
+        let x = Tensor::from_vec(vec![0.2, 0.9], &[2]);
+        let y = q.forward(&x, false);
+        assert!(y.all_finite());
+    }
+}

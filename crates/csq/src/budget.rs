@@ -1,0 +1,291 @@
+//! Budget-aware model-size regularization (Eqs. 6–7 of the paper).
+//!
+//! The regularizer `λ·Δ_S·Σ_layers Σ_b f_β(m_B^(b))` is what turns CSQ's
+//! relaxed bit masks into a *growing* scheme: `Δ_S` is the current average
+//! precision minus the target, so the mask logits are pushed down when the
+//! model is over budget, pushed **up** (grown) when under budget, and left
+//! alone at the target.
+
+use csq_nn::Layer;
+
+/// Precision accounting for a model: element-weighted average bits and
+/// per-layer breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionStats {
+    /// Element-weighted average precision in bits. Full-precision layers
+    /// count as 32 bits.
+    pub avg_bits: f32,
+    /// `(element count, bits)` per quantized weight tensor, in model
+    /// order.
+    pub per_layer: Vec<(usize, f32)>,
+    /// Total weight elements accounted.
+    pub total_elements: usize,
+}
+
+impl PrecisionStats {
+    /// Weight compression ratio versus a 32-bit float model
+    /// (the paper's `Comp(×)` column).
+    pub fn compression_ratio(&self) -> f32 {
+        if self.avg_bits <= 0.0 {
+            f32::INFINITY
+        } else {
+            32.0 / self.avg_bits
+        }
+    }
+}
+
+/// Computes the current precision statistics of a model by visiting its
+/// weight sources. Uses the paper's counting rule: each layer's precision
+/// is `Σ_b [m_B^(b) ≥ 0]` (hard-gated), regardless of gate softness.
+pub fn model_precision(model: &mut dyn Layer) -> PrecisionStats {
+    let mut per_layer = Vec::new();
+    let mut weighted = 0.0f64;
+    let mut total = 0usize;
+    model.visit_weight_sources(&mut |src| {
+        let bits = src.precision().unwrap_or(32.0);
+        let n = src.numel();
+        per_layer.push((n, bits));
+        weighted += bits as f64 * n as f64;
+        total += n;
+    });
+    PrecisionStats {
+        avg_bits: if total == 0 {
+            0.0
+        } else {
+            (weighted / total as f64) as f32
+        },
+        per_layer,
+        total_elements: total,
+    }
+}
+
+/// How the budget regularizer counts the current model precision when
+/// computing `Δ_S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountRule {
+    /// The paper's rule: `Σ_b [m_B^(b) ≥ 0]` per layer (hard counting
+    /// even while gates are soft).
+    #[default]
+    Hard,
+    /// Ablation: the relaxed sum `Σ_b f_β(m_B^(b))` — a smoother control
+    /// signal, but not what the paper specifies.
+    Soft,
+}
+
+/// The budget-aware regularizer: applies `λ·Δ_S` to every layer's bit
+/// mask each step.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetRegularizer {
+    /// Base regularization strength λ (paper default 0.01).
+    pub lambda: f32,
+    /// Target element-weighted average precision in bits.
+    pub target_bits: f32,
+    /// Precision counting rule for `Δ_S`.
+    pub count: CountRule,
+}
+
+impl BudgetRegularizer {
+    /// Creates a regularizer with the paper's hard counting rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if λ is negative or the target is not positive.
+    pub fn new(lambda: f32, target_bits: f32) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        assert!(target_bits > 0.0, "target precision must be positive");
+        BudgetRegularizer {
+            lambda,
+            target_bits,
+            count: CountRule::Hard,
+        }
+    }
+
+    /// Switches to soft precision counting (ablation).
+    pub fn with_soft_counting(mut self) -> Self {
+        self.count = CountRule::Soft;
+        self
+    }
+
+    /// Current `Δ_S` = average precision − target.
+    pub fn delta_s(&self, model: &mut dyn Layer) -> f32 {
+        let avg = match self.count {
+            CountRule::Hard => model_precision(model).avg_bits,
+            CountRule::Soft => {
+                let mut weighted = 0.0f64;
+                let mut total = 0usize;
+                model.visit_weight_sources(&mut |src| {
+                    let bits = src
+                        .soft_precision()
+                        .or_else(|| src.precision())
+                        .unwrap_or(32.0);
+                    weighted += bits as f64 * src.numel() as f64;
+                    total += src.numel();
+                });
+                if total == 0 {
+                    0.0
+                } else {
+                    (weighted / total as f64) as f32
+                }
+            }
+        };
+        avg - self.target_bits
+    }
+
+    /// Adds the regularization gradient `λ·Δ_S · ∂R/∂m_B` to every
+    /// layer's mask logits. Returns the `Δ_S` used (for logging /
+    /// Figures 2–3).
+    pub fn apply(&self, model: &mut dyn Layer) -> f32 {
+        let delta = self.delta_s(model);
+        let strength = self.lambda * delta;
+        model.visit_weight_sources(&mut |src| src.apply_precision_reg(strength));
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrep::{csq_factory, BitQuantizer, QuantMode};
+    use csq_nn::models::{resnet_cifar, ModelConfig};
+    use csq_nn::weight::float_factory;
+    use csq_nn::{Linear, WeightSource};
+    use csq_tensor::{init, Tensor};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quantized_linear(bits: usize, seed: u64) -> Linear {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = init::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let src = BitQuantizer::from_float(&w, bits, QuantMode::Csq);
+        Linear::new(Box::new(src), 4, 4, false)
+    }
+
+    #[test]
+    fn fp_model_counts_32_bits() {
+        let mut fac = float_factory();
+        let mut m = resnet_cifar(ModelConfig::cifar_like(4, None, 0), &mut fac, 1);
+        let stats = model_precision(&mut m);
+        assert_eq!(stats.avg_bits, 32.0);
+        assert!((stats.compression_ratio() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csq_model_starts_at_full_bit_width() {
+        let mut fac = csq_factory(8);
+        let mut m = resnet_cifar(ModelConfig::cifar_like(4, None, 0), &mut fac, 1);
+        let stats = model_precision(&mut m);
+        assert_eq!(stats.avg_bits, 8.0);
+        assert!((stats.compression_ratio() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_is_element_weighted() {
+        // Two layers, same element count, 8 and 2 bits -> average 5.
+        let mut model = csq_nn::Sequential::new(vec![
+            Box::new(quantized_linear(8, 0)) as Box<dyn csq_nn::Layer>,
+            Box::new(quantized_linear(2, 1)),
+        ]);
+        let stats = model_precision(&mut model);
+        assert!((stats.avg_bits - 5.0).abs() < 1e-6);
+        assert_eq!(stats.per_layer.len(), 2);
+        assert_eq!(stats.total_elements, 32);
+    }
+
+    #[test]
+    fn delta_s_sign_matches_budget_state() {
+        let mut fac = csq_factory(8);
+        let mut m = resnet_cifar(ModelConfig::cifar_like(4, None, 0), &mut fac, 1);
+        // Model starts at 8 bits everywhere.
+        let over = BudgetRegularizer::new(0.01, 3.0);
+        assert!(over.delta_s(&mut m) > 0.0, "over budget: positive Δ_S");
+        let under = BudgetRegularizer::new(0.01, 10.0);
+        assert!(under.delta_s(&mut m) < 0.0, "under budget: negative Δ_S");
+        let exact = BudgetRegularizer::new(0.01, 8.0);
+        assert!(exact.delta_s(&mut m).abs() < 1e-6, "at budget: zero Δ_S");
+    }
+
+    #[test]
+    fn apply_pushes_mask_gradients_in_the_right_direction() {
+        let mut layer = quantized_linear(8, 2);
+        // Over budget: gradients positive (SGD will reduce logits = prune).
+        let reg = BudgetRegularizer::new(0.1, 3.0);
+        let d = reg.apply(&mut layer);
+        assert!(d > 0.0);
+        let mut grads = Vec::new();
+        layer.visit_weight_sources(&mut |src| {
+            // Reach the mask gradient through a backward-free probe: the
+            // precision-reg already accumulated into grad_b; check via
+            // visit_params (4th param is the mask).
+            let mut idx = 0;
+            src.visit_params(&mut |p| {
+                if idx == 3 {
+                    grads.extend_from_slice(p.grad.data());
+                }
+                idx += 1;
+            });
+        });
+        assert!(!grads.is_empty());
+        assert!(grads.iter().all(|&g| g > 0.0), "pruning pressure: {grads:?}");
+    }
+
+    #[test]
+    fn at_budget_no_pressure() {
+        let mut layer = quantized_linear(8, 3);
+        let reg = BudgetRegularizer::new(0.1, 8.0);
+        reg.apply(&mut layer);
+        let mut grads = Vec::new();
+        layer.visit_weight_sources(&mut |src| {
+            let mut idx = 0;
+            src.visit_params(&mut |p| {
+                if idx == 3 {
+                    grads.extend_from_slice(p.grad.data());
+                }
+                idx += 1;
+            });
+        });
+        assert!(grads.iter().all(|&g| g.abs() < 1e-7));
+    }
+
+    #[test]
+    fn soft_counting_tracks_gate_values() {
+        let mut layer = quantized_linear(8, 5);
+        // Hard counting: all mask logits positive -> 8 bits exactly.
+        let hard = BudgetRegularizer::new(0.1, 3.0);
+        assert!((hard.delta_s(&mut layer) - 5.0).abs() < 1e-5);
+        // Soft counting: σ of small positive logits is just above 0.5
+        // per bit, so the soft average sits well below 8.
+        let soft = BudgetRegularizer::new(0.1, 3.0).with_soft_counting();
+        let d = soft.delta_s(&mut layer);
+        assert!(d < 5.0, "soft Δ_S {d} must be below the hard 5.0");
+        assert!(d > 0.0, "still above a 3-bit target");
+    }
+
+    #[test]
+    fn soft_and_hard_agree_on_finalized_sources() {
+        let mut layer = quantized_linear(8, 6);
+        layer.visit_weight_sources(&mut |src| src.finalize());
+        let hard = BudgetRegularizer::new(0.1, 3.0).delta_s(&mut layer);
+        let soft = BudgetRegularizer::new(0.1, 3.0)
+            .with_soft_counting()
+            .delta_s(&mut layer);
+        assert!((hard - soft).abs() < 1e-5);
+    }
+
+    #[test]
+    fn compression_of_empty_model_is_infinite() {
+        let stats = PrecisionStats {
+            avg_bits: 0.0,
+            per_layer: vec![],
+            total_elements: 0,
+        };
+        assert!(stats.compression_ratio().is_infinite());
+    }
+
+    #[test]
+    fn finalized_source_keeps_reported_precision() {
+        let w = Tensor::from_vec(vec![0.1, -0.5, 0.9, 0.3], &[4]);
+        let mut q = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+        q.finalize();
+        assert_eq!(q.precision(), Some(8.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! CSQ: growing mixed-precision quantization with bi-level continuous
+//! sparsification (DAC 2023).
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`gate`] — the temperature sigmoid `f_β(x) = σ(βx)` (Eq. 2) and the
+//!   exponential temperature schedule `β = β₀·β_max^(epoch/T)`;
+//! * [`bitrep`] — the bi-level bit-level weight parameterization (Eq. 5):
+//!   every weight element is a sum of signed bit planes gated by
+//!   per-element logits `m_p, m_n` and a per-layer per-bit mask `m_B`,
+//!   all relaxed with `f_β` so the whole path is exactly differentiable
+//!   (implemented as a [`csq_nn::WeightSource`]);
+//! * [`budget`] — the budget-aware model-size regularization (Eqs. 6–7)
+//!   with the `Δ_S` scaling that grows or prunes layer precision toward a
+//!   target average;
+//! * [`trainer`] — Algorithm 1: the CSQ training phase plus the optional
+//!   mask-frozen finetuning phase with temperature rewind, along with the
+//!   generic QAT training loop shared with the baselines;
+//! * [`scheme`] — extraction, accounting and serialization of the final
+//!   mixed-precision quantization scheme.
+//!
+//! # Example
+//!
+//! Train a tiny CNN with CSQ toward a 3-bit average budget:
+//!
+//! ```no_run
+//! use csq_core::prelude::*;
+//! use csq_data::{Dataset, SyntheticSpec};
+//! use csq_nn::models::{resnet_cifar, ModelConfig};
+//!
+//! let data = Dataset::synthetic(&SyntheticSpec::cifar_like(0));
+//! let cfg = CsqConfig::fast(3.0);
+//! let mut factory = csq_factory(8);
+//! let model_cfg = ModelConfig::cifar_like(8, Some(3), 0);
+//! let mut model = resnet_cifar(model_cfg, &mut factory, 1);
+//! let report = CsqTrainer::new(cfg).train(&mut model, &data);
+//! println!("final accuracy {:.2}%", report.final_test_accuracy * 100.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod act_search;
+pub mod analysis;
+pub mod bitrep;
+pub mod budget;
+pub mod gate;
+pub mod pack;
+pub mod qinfer;
+pub mod scheme;
+pub mod trainer;
+
+pub use act_search::SearchedActQuant;
+pub use analysis::{logit_gate_stats, mask_gate_stats, GateStats};
+pub use bitrep::{
+    csq_factory, csq_factory_per_channel, csq_uniform_factory, BitQuantizer, QuantMode,
+    ScaleGranularity,
+};
+pub use budget::{model_precision, BudgetRegularizer, PrecisionStats};
+pub use gate::{temp_sigmoid, temp_sigmoid_grad, TemperatureSchedule};
+pub use pack::{PackedModel, PackedWeight};
+pub use qinfer::{conv2d_integer, linear_integer, QuantizedActivations};
+pub use scheme::{LayerScheme, QuantScheme};
+pub use trainer::{fit, CsqConfig, CsqTrainer, EpochStats, FitConfig, TrainReport};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::bitrep::{csq_factory, csq_uniform_factory, BitQuantizer, QuantMode};
+    pub use crate::budget::{model_precision, BudgetRegularizer, PrecisionStats};
+    pub use crate::gate::{temp_sigmoid, TemperatureSchedule};
+    pub use crate::scheme::{LayerScheme, QuantScheme};
+    pub use crate::trainer::{fit, CsqConfig, CsqTrainer, FitConfig, TrainReport};
+}

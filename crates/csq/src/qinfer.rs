@@ -1,0 +1,269 @@
+//! Integer-arithmetic inference kernels for packed weights.
+//!
+//! The paper's efficiency argument (§I, citing Horowitz's ISSCC analysis)
+//! is that linear quantization lets deployment replace floating-point
+//! multiplies with fixed-point ones. These kernels demonstrate that path
+//! for the workspace's packed models: activations are quantized to
+//! unsigned 8-bit codes, weights come from [`crate::PackedWeight`] integer
+//! codes, accumulation happens in `i64`, and a single float multiply per
+//! output element applies the combined scale:
+//!
+//! ```text
+//! y ≈ (Σ_k w_code[k] · x_code[k]) · (w_step · x_step)
+//! ```
+//!
+//! The kernels are bit-exact with respect to their own quantization
+//! grids; tests bound their deviation from the float path by the
+//! activation quantization error (the weight path is exact because
+//! packed codes reconstruct the finalized weights exactly).
+
+use crate::pack::PackedWeight;
+use csq_tensor::conv::ConvSpec;
+use csq_tensor::Tensor;
+
+/// An activation tensor quantized to unsigned 8-bit codes.
+#[derive(Debug, Clone)]
+pub struct QuantizedActivations {
+    /// Codes in `0..=255`, row-major, same logical shape as the source.
+    pub codes: Vec<u8>,
+    /// Dequantization step: `float = code · step`.
+    pub step: f32,
+    /// Logical tensor shape.
+    pub dims: Vec<usize>,
+}
+
+impl QuantizedActivations {
+    /// Quantizes a non-negative activation tensor (post-ReLU) to 8-bit
+    /// codes on `[0, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn quantize(x: &Tensor) -> QuantizedActivations {
+        assert!(x.numel() > 0, "cannot quantize an empty activation tensor");
+        let max = x.max().max(1e-8);
+        let step = max / 255.0;
+        QuantizedActivations {
+            codes: x
+                .iter()
+                .map(|&v| (v.clamp(0.0, max) / step).round() as u8)
+                .collect(),
+            step,
+            dims: x.dims().to_vec(),
+        }
+    }
+
+    /// Reconstructs the float tensor this quantization represents.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.codes.iter().map(|&c| c as f32 * self.step).collect(),
+            &self.dims,
+        )
+    }
+}
+
+/// Integer 2-D convolution: packed integer weights × 8-bit activations,
+/// `i64` accumulation, one float scale per output.
+///
+/// `x` is `[N, IC, H, W]` quantized activations; `w` is a packed conv
+/// weight `[OC, IC, KH, KW]`. Returns float `[N, OC, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `x`, `w` and `spec`.
+pub fn conv2d_integer(x: &QuantizedActivations, w: &PackedWeight, spec: ConvSpec) -> Tensor {
+    assert_eq!(x.dims.len(), 4, "activations must be NCHW");
+    assert_eq!(w.dims.len(), 4, "weights must be [OC, IC, KH, KW]");
+    let (n, ic, h, wd) = (x.dims[0], x.dims[1], x.dims[2], x.dims[3]);
+    let (oc, wic, kh, kw) = (w.dims[0], w.dims[1], w.dims[2], w.dims[3]);
+    assert_eq!(ic, wic, "channel mismatch");
+    assert_eq!(kh, spec.kernel, "kernel mismatch");
+    assert_eq!(kw, spec.kernel, "kernel mismatch");
+    let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
+    let scale = w.step * x.step;
+
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for oci in 0..oc {
+            let wbase = oci * ic * kh * kw;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc: i64 = 0;
+                    for ici in 0..ic {
+                        let xbase = (ni * ic + ici) * h * wd;
+                        let wrow = wbase + ici * kh * kw;
+                        for ki in 0..kh {
+                            let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let jj =
+                                    (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                if jj < 0 || jj >= wd as isize {
+                                    continue;
+                                }
+                                let xc = x.codes[xbase + ii as usize * wd + jj as usize] as i64;
+                                let wc = w.codes[wrow + ki * kw + kj] as i64;
+                                acc += xc * wc;
+                            }
+                        }
+                    }
+                    out.data_mut()[oidx] = acc as f32 * scale;
+                    oidx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Integer fully-connected layer: `y = codes(x) · codes(W)ᵀ · scale`.
+///
+/// `x` is `[B, IN]` quantized activations; `w` is a packed linear weight
+/// `[OUT, IN]`. Returns float `[B, OUT]`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn linear_integer(x: &QuantizedActivations, w: &PackedWeight) -> Tensor {
+    assert_eq!(x.dims.len(), 2, "activations must be [batch, features]");
+    assert_eq!(w.dims.len(), 2, "weights must be [out, in]");
+    let (b, inf) = (x.dims[0], x.dims[1]);
+    let (outf, winf) = (w.dims[0], w.dims[1]);
+    assert_eq!(inf, winf, "feature mismatch");
+    let scale = w.step * x.step;
+    let mut out = Tensor::zeros(&[b, outf]);
+    for bi in 0..b {
+        for oi in 0..outf {
+            let mut acc: i64 = 0;
+            for k in 0..inf {
+                acc += x.codes[bi * inf + k] as i64 * w.codes[oi * inf + k] as i64;
+            }
+            out.data_mut()[bi * outf + oi] = acc as f32 * scale;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrep::{BitQuantizer, QuantMode};
+    use crate::pack::PackedModel;
+    use csq_nn::{Linear, WeightSource};
+    use csq_tensor::conv::conv2d;
+    use csq_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn packed_weight(dims: &[usize], seed: u64) -> (PackedWeight, Tensor) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w0 = init::uniform(dims, -0.5, 0.5, &mut rng);
+        let mut q = BitQuantizer::from_float(&w0, 8, QuantMode::Csq);
+        q.finalize();
+        let w = q.materialize();
+        let (inf, outf) = (dims.iter().product::<usize>(), 1usize);
+        let _ = (inf, outf);
+        let mut layer = Linear::new(
+            Box::new(q),
+            dims[1..].iter().product::<usize>().max(1),
+            dims[0],
+            false,
+        );
+        let packed = PackedModel::pack(&mut layer).unwrap();
+        (packed.layers[0].clone(), w)
+    }
+
+    #[test]
+    fn activation_quantization_round_trip_error_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::uniform(&[64], 0.0, 3.0, &mut rng);
+        let q = QuantizedActivations::quantize(&x);
+        let back = q.dequantize();
+        let bound = q.step * 0.5 + 1e-6;
+        for (&a, &b) in x.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn integer_conv_matches_float_conv_within_activation_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Non-negative activations, as after ReLU.
+        let x = init::uniform(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let (pw, w) = packed_weight(&[3, 2, 3, 3], 2);
+        let spec = ConvSpec::new(3, 1, 1);
+
+        let xq = QuantizedActivations::quantize(&x);
+        let y_int = conv2d_integer(&xq, &pw, spec);
+        // Reference: float conv on the dequantized activations is
+        // *exactly* what the integer path computes.
+        let y_ref = conv2d(&xq.dequantize(), &w, spec);
+        assert!(
+            y_int.approx_eq(&y_ref, 1e-3),
+            "integer path must match float path on the same grid"
+        );
+        // And against the unquantized activations the error is bounded
+        // by the activation quantization noise.
+        let y_float = conv2d(&x, &w, spec);
+        let max_err = y_int
+            .iter()
+            .zip(y_float.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        // Worst case: sum over kernel of |w|·(step/2).
+        let bound = 2.0 * 9.0 * w.max_abs() * xq.step * 0.5 + 1e-4;
+        assert!(max_err <= bound, "err {max_err} > bound {bound}");
+    }
+
+    #[test]
+    fn integer_linear_matches_float_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = init::uniform(&[4, 8], 0.0, 2.0, &mut rng);
+        let (pw, w) = packed_weight(&[5, 8], 4);
+        let xq = QuantizedActivations::quantize(&x);
+        let y_int = linear_integer(&xq, &pw);
+        let y_ref = xq.dequantize().matmul_nt(&w);
+        assert!(y_int.approx_eq(&y_ref, 1e-3));
+    }
+
+    #[test]
+    fn integer_accumulation_is_exact_for_large_sums() {
+        // 4096 products of max-magnitude codes must not lose precision
+        // (i64 accumulation; f32 would).
+        let n = 4096usize;
+        let xq = QuantizedActivations {
+            codes: vec![255u8; n],
+            step: 1.0,
+            dims: vec![1, n],
+        };
+        let pw = PackedWeight {
+            codes: vec![255i32; n],
+            step: 1.0,
+            dims: vec![1, n],
+            bits: 8.0,
+        };
+        let y = linear_integer(&xq, &pw);
+        let expect = 255.0f64 * 255.0 * n as f64;
+        assert_eq!(y.data()[0] as f64, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn linear_shape_mismatch_panics() {
+        let xq = QuantizedActivations {
+            codes: vec![0; 4],
+            step: 1.0,
+            dims: vec![1, 4],
+        };
+        let pw = PackedWeight {
+            codes: vec![0; 6],
+            step: 1.0,
+            dims: vec![2, 3],
+            bits: 8.0,
+        };
+        linear_integer(&xq, &pw);
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for trainer configurations not exercised by the
+//! unit tests: the SGD path, learning-rate warmup, paper-preset configs
+//! and the budget regularizer running inside `fit`.
+
+use csq_core::prelude::*;
+use csq_core::trainer::{fit, FitConfig, OptimKind};
+use csq_data::{Dataset, SyntheticSpec};
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_nn::weight::float_factory;
+
+fn tiny_data() -> Dataset {
+    Dataset::synthetic(
+        &SyntheticSpec::cifar_like(1)
+            .with_samples(16, 8)
+            .with_classes(4)
+            .with_noise(0.5),
+    )
+}
+
+fn tiny_model_cfg() -> ModelConfig {
+    let mut cfg = ModelConfig::cifar_like(6, None, 1);
+    cfg.num_classes = 4;
+    cfg
+}
+
+#[test]
+fn sgd_path_trains_float_model() {
+    let data = tiny_data();
+    let mut fac = float_factory();
+    let mut model = resnet_cifar(tiny_model_cfg(), &mut fac, 1);
+    let mut cfg = FitConfig::fast(10);
+    cfg.optim = OptimKind::Sgd;
+    cfg.base_lr = 0.05;
+    cfg.batch_size = 8;
+    let history = fit(&mut model, &data, &cfg, false);
+    let first = history.first().unwrap().loss;
+    let last = history.last().unwrap().loss;
+    assert!(last < first, "SGD should reduce loss: {first} -> {last}");
+}
+
+#[test]
+fn warmup_ramps_learning_rate() {
+    let data = tiny_data();
+    let mut fac = float_factory();
+    let mut model = resnet_cifar(tiny_model_cfg(), &mut fac, 1);
+    let mut cfg = FitConfig::fast(6);
+    cfg.warmup_epochs = 3;
+    cfg.batch_size = 8;
+    let history = fit(&mut model, &data, &cfg, false);
+    let lrs: Vec<f32> = history.iter().map(|h| h.lr).collect();
+    assert!(lrs[0] < lrs[1] && lrs[1] < lrs[2], "warmup ramp: {lrs:?}");
+    assert!(lrs[3] >= lrs[4], "cosine decay after warmup: {lrs:?}");
+}
+
+#[test]
+fn paper_config_presets_are_faithful() {
+    let cifar = CsqConfig::paper_cifar(3.0, 600);
+    assert_eq!(cifar.epochs, 600);
+    assert_eq!(cifar.base_lr, 0.1);
+    assert_eq!(cifar.lambda, 0.01);
+    assert_eq!(cifar.beta_max, 200.0);
+    assert_eq!(cifar.beta_saturate, 1.0, "paper reaches beta_max last epoch");
+    assert_eq!(cifar.weight_decay, 5e-4);
+    assert!(matches!(cifar.optim, OptimKind::Sgd));
+    assert_eq!(cifar.finetune_epochs, 0, "no finetuning on CIFAR");
+
+    let imagenet = CsqConfig::paper_imagenet(2.0, 200, 100);
+    assert_eq!(imagenet.warmup_epochs, 5);
+    assert_eq!(imagenet.weight_decay, 1e-4);
+    assert_eq!(imagenet.finetune_epochs, 100);
+}
+
+#[test]
+fn paper_sgd_pipeline_smoke_test() {
+    // The full Algorithm 1 on the paper's SGD path, scaled to 4 epochs:
+    // must run end to end and produce an exactly quantized model.
+    let data = tiny_data();
+    let mut fac = csq_factory(8);
+    let mut model_cfg = tiny_model_cfg();
+    model_cfg.act_bits = Some(3);
+    let mut model = resnet_cifar(model_cfg, &mut fac, 1);
+    let mut cfg = CsqConfig::paper_cifar(4.0, 4);
+    cfg.batch_size = 8;
+    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    assert_eq!(report.history.len(), 4);
+    assert!(report.final_avg_bits <= 8.0);
+    assert!(report.scheme.layers.iter().all(|l| l.bits >= 0.0));
+}
+
+#[test]
+fn budget_delta_is_logged_in_history() {
+    let data = tiny_data();
+    let mut fac = csq_factory(8);
+    let mut model = resnet_cifar(tiny_model_cfg(), &mut fac, 1);
+    let mut cfg = CsqConfig::fast(3.0).with_epochs(6);
+    cfg.batch_size = 8;
+    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    // Early epochs are over budget: Δ_S starts positive.
+    assert!(
+        report.history[0].delta_s > 0.0,
+        "initial Δ_S {} should be positive (8 bits vs 3 target)",
+        report.history[0].delta_s
+    );
+    // Temperature telemetry is populated and rising.
+    assert!(report.history.last().unwrap().beta > report.history[0].beta);
+}
+
+#[test]
+fn soft_counting_budget_also_converges() {
+    let data = tiny_data();
+    let mut fac = csq_factory(8);
+    let mut model = resnet_cifar(tiny_model_cfg(), &mut fac, 1);
+    let mut cfg = FitConfig::fast(12);
+    cfg.batch_size = 8;
+    cfg.beta = Some(TemperatureSchedule::paper_default(12).with_saturation(0.75));
+    cfg.budget = Some(BudgetRegularizer::new(0.3, 3.0).with_soft_counting());
+    fit(&mut model, &data, &cfg, false);
+    let bits = model_precision(&mut model).avg_bits;
+    assert!(
+        (bits - 3.0).abs() <= 2.0,
+        "soft-counting budget should steer precision toward 3, got {bits}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Training-time data augmentation (random shift and horizontal flip).
+//!
+//! The paper trains with the standard CIFAR augmentation (random crop +
+//! flip). At the reduced synthetic scale augmentation is optional — the
+//! benchmark harness leaves it off by default because the synthetic
+//! classes are not flip-invariant — but the transforms are provided and
+//! tested for paper-scale runs.
+
+use csq_tensor::Tensor;
+use rand::Rng;
+
+/// Randomly translates each image in a `[N, C, H, W]` batch by up to
+/// `max_shift` pixels along each axis (zero-filled), a cheap stand-in for
+/// pad-and-crop augmentation.
+///
+/// # Panics
+///
+/// Panics unless `batch` is rank 4.
+pub fn random_shift<R: Rng>(batch: &Tensor, max_shift: usize, rng: &mut R) -> Tensor {
+    assert_eq!(batch.rank(), 4, "random_shift requires NCHW input");
+    let (n, c, h, w) = (
+        batch.dims()[0],
+        batch.dims()[1],
+        batch.dims()[2],
+        batch.dims()[3],
+    );
+    let m = max_shift as isize;
+    let mut out = Tensor::zeros(batch.dims());
+    for ni in 0..n {
+        let dy = rng.gen_range(-m..=m);
+        let dx = rng.gen_range(-m..=m);
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for y in 0..h as isize {
+                let sy = y - dy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for x in 0..w as isize {
+                    let sx = x - dx;
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    out.data_mut()[base + (y as usize) * w + x as usize] =
+                        batch.data()[base + (sy as usize) * w + sx as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flips each image horizontally with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `batch` is rank 4 or `p` is outside `[0, 1]`.
+pub fn random_hflip<R: Rng>(batch: &Tensor, p: f32, rng: &mut R) -> Tensor {
+    assert_eq!(batch.rank(), 4, "random_hflip requires NCHW input");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let (n, c, h, w) = (
+        batch.dims()[0],
+        batch.dims()[1],
+        batch.dims()[2],
+        batch.dims()[3],
+    );
+    let mut out = batch.clone();
+    for ni in 0..n {
+        if rng.gen_range(0.0..1.0) >= p {
+            continue;
+        }
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for y in 0..h {
+                for x in 0..w / 2 {
+                    let a = base + y * w + x;
+                    let b = base + y * w + (w - 1 - x);
+                    out.data_mut().swap(a, b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = random_shift(&x, 0, &mut rng);
+        assert!(y.approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn shift_preserves_mass_or_loses_at_border() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = Tensor::ones(&[4, 1, 6, 6]);
+        let y = random_shift(&x, 2, &mut rng);
+        // Shifting 1s can only lose mass at borders, never create it.
+        assert!(y.sum() <= x.sum());
+        assert!(y.max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn hflip_p0_identity_p1_mirrors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 1, 4]);
+        assert!(random_hflip(&x, 0.0, &mut rng).approx_eq(&x, 0.0));
+        let y = random_hflip(&x, 1.0, &mut rng);
+        assert_eq!(y.data(), &[4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 1, 4]);
+        let y = random_hflip(&random_hflip(&x, 1.0, &mut rng), 1.0, &mut rng);
+        assert!(y.approx_eq(&x, 0.0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Loader for the real CIFAR-10 dataset (binary version).
+//!
+//! The reduced-scale benchmarks use the synthetic generator, but the
+//! paper's experiments run on CIFAR-10 proper; this loader parses the
+//! standard binary distribution (`cifar-10-batches-bin`: five training
+//! files and one test file of 10 000 records each, one record being a
+//! label byte followed by 3 072 channel-major pixel bytes) so paper-scale
+//! runs can use the genuine data when it is available on disk.
+//!
+//! Pixels are normalized with the conventional per-channel CIFAR-10
+//! statistics.
+
+use crate::synth::{Dataset, Split, SyntheticSpec};
+use csq_tensor::Tensor;
+
+/// Bytes per record: 1 label + 3×32×32 pixels.
+const RECORD_BYTES: usize = 1 + 3 * 32 * 32;
+
+/// Conventional CIFAR-10 per-channel normalization statistics.
+const MEAN: [f32; 3] = [0.4914, 0.4822, 0.4465];
+const STD: [f32; 3] = [0.2470, 0.2435, 0.2616];
+
+/// Error loading CIFAR-10 from disk.
+#[derive(Debug)]
+pub enum CifarError {
+    /// An expected file is missing or unreadable.
+    Io(std::io::Error),
+    /// A file's size is not a whole number of records.
+    Malformed {
+        /// The offending file.
+        file: String,
+        /// Its size in bytes.
+        len: usize,
+    },
+    /// A record's label byte is outside 0..=9.
+    BadLabel {
+        /// The offending file.
+        file: String,
+        /// Record index within the file.
+        record: usize,
+        /// The label byte found.
+        label: u8,
+    },
+}
+
+impl std::fmt::Display for CifarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CifarError::Io(e) => write!(f, "i/o error reading CIFAR-10: {e}"),
+            CifarError::Malformed { file, len } => {
+                write!(f, "{file}: {len} bytes is not a whole number of records")
+            }
+            CifarError::BadLabel {
+                file,
+                record,
+                label,
+            } => write!(f, "{file}: record {record} has invalid label {label}"),
+        }
+    }
+}
+
+impl std::error::Error for CifarError {}
+
+impl From<std::io::Error> for CifarError {
+    fn from(e: std::io::Error) -> Self {
+        CifarError::Io(e)
+    }
+}
+
+fn parse_file(path: &std::path::Path) -> Result<(Vec<f32>, Vec<usize>), CifarError> {
+    let bytes = std::fs::read(path)?;
+    let name = path.display().to_string();
+    if bytes.len() % RECORD_BYTES != 0 {
+        return Err(CifarError::Malformed {
+            file: name,
+            len: bytes.len(),
+        });
+    }
+    let n = bytes.len() / RECORD_BYTES;
+    let mut pixels = Vec::with_capacity(n * 3072);
+    let mut labels = Vec::with_capacity(n);
+    for r in 0..n {
+        let rec = &bytes[r * RECORD_BYTES..(r + 1) * RECORD_BYTES];
+        let label = rec[0];
+        if label > 9 {
+            return Err(CifarError::BadLabel {
+                file: name,
+                record: r,
+                label,
+            });
+        }
+        labels.push(label as usize);
+        // Channel-major already (R plane, G plane, B plane) — matches our
+        // NCHW layout directly.
+        for c in 0..3 {
+            let plane = &rec[1 + c * 1024..1 + (c + 1) * 1024];
+            pixels.extend(
+                plane
+                    .iter()
+                    .map(|&b| (b as f32 / 255.0 - MEAN[c]) / STD[c]),
+            );
+        }
+    }
+    Ok((pixels, labels))
+}
+
+/// Loads the binary CIFAR-10 distribution from `dir`
+/// (`data_batch_1.bin` … `data_batch_5.bin` + `test_batch.bin`).
+///
+/// # Errors
+///
+/// [`CifarError`] on missing files, truncated records or invalid labels.
+pub fn load_cifar10(dir: &std::path::Path) -> Result<Dataset, CifarError> {
+    let mut train_pixels = Vec::new();
+    let mut train_labels = Vec::new();
+    for i in 1..=5 {
+        let (p, l) = parse_file(&dir.join(format!("data_batch_{i}.bin")))?;
+        train_pixels.extend(p);
+        train_labels.extend(l);
+    }
+    let (test_pixels, test_labels) = parse_file(&dir.join("test_batch.bin"))?;
+
+    let n_train = train_labels.len();
+    let n_test = test_labels.len();
+    Ok(Dataset {
+        train: Split {
+            images: Tensor::from_vec(train_pixels, &[n_train, 3, 32, 32]),
+            labels: train_labels,
+        },
+        test: Split {
+            images: Tensor::from_vec(test_pixels, &[n_test, 3, 32, 32]),
+            labels: test_labels,
+        },
+        spec: SyntheticSpec {
+            num_classes: 10,
+            image_size: 32,
+            channels: 3,
+            train_per_class: n_train / 10,
+            test_per_class: n_test / 10,
+            noise: 0.0,
+            jitter: 0,
+            seed: 0,
+        },
+    })
+}
+
+/// Loads CIFAR-10 from `dir` when present, otherwise falls back to the
+/// synthetic stand-in with `fallback` — the pattern the examples use so
+/// they work both with and without the real data.
+pub fn load_cifar10_or_synthetic(dir: &std::path::Path, fallback: &SyntheticSpec) -> Dataset {
+    match load_cifar10(dir) {
+        Ok(d) => d,
+        Err(_) => Dataset::synthetic(fallback),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes a miniature but format-correct batch file.
+    fn write_fixture(dir: &std::path::Path, name: &str, records: usize, label_of: impl Fn(usize) -> u8) {
+        let mut bytes = Vec::with_capacity(records * RECORD_BYTES);
+        for r in 0..records {
+            bytes.push(label_of(r));
+            for i in 0..3072 {
+                bytes.push(((r * 31 + i * 7) % 256) as u8);
+            }
+        }
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+
+    fn fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("csq_cifar_fixture_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_wellformed_fixture() {
+        let dir = fixture_dir("ok");
+        for i in 1..=5 {
+            write_fixture(&dir, &format!("data_batch_{i}.bin"), 4, |r| (r % 10) as u8);
+        }
+        write_fixture(&dir, "test_batch.bin", 2, |r| (r % 10) as u8);
+        let d = load_cifar10(&dir).unwrap();
+        assert_eq!(d.train.images.dims(), &[20, 3, 32, 32]);
+        assert_eq!(d.test.images.dims(), &[2, 3, 32, 32]);
+        assert_eq!(d.train.labels.len(), 20);
+        assert!(d.train.images.all_finite());
+        // Normalization: raw bytes span [0, 255] so normalized values
+        // stay within a few standard deviations.
+        assert!(d.train.images.max_abs() < 4.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = fixture_dir("trunc");
+        for i in 1..=5 {
+            write_fixture(&dir, &format!("data_batch_{i}.bin"), 2, |_| 0);
+        }
+        write_fixture(&dir, "test_batch.bin", 1, |_| 0);
+        // Truncate one file by a byte.
+        let path = dir.join("data_batch_3.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.pop();
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_cifar10(&dir).unwrap_err();
+        assert!(matches!(err, CifarError::Malformed { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let dir = fixture_dir("label");
+        for i in 1..=5 {
+            write_fixture(&dir, &format!("data_batch_{i}.bin"), 2, |_| 0);
+        }
+        write_fixture(&dir, "test_batch.bin", 2, |r| if r == 1 { 11 } else { 0 });
+        let err = load_cifar10(&dir).unwrap_err();
+        match err {
+            CifarError::BadLabel { record, label, .. } => {
+                assert_eq!(record, 1);
+                assert_eq!(label, 11);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_errors_and_fallback_works() {
+        let missing = std::path::Path::new("/definitely/not/here");
+        assert!(matches!(load_cifar10(missing), Err(CifarError::Io(_))));
+        let spec = SyntheticSpec::cifar_like(0).with_samples(2, 1);
+        let d = load_cifar10_or_synthetic(missing, &spec);
+        assert_eq!(d.train.len(), 20);
+    }
+
+    #[test]
+    fn channel_layout_is_nchw() {
+        let dir = fixture_dir("layout");
+        // One record whose R plane is all 255 and G/B planes all 0.
+        let mut bytes = vec![3u8]; // label
+        bytes.extend(std::iter::repeat(255u8).take(1024)); // R
+        bytes.extend(std::iter::repeat(0u8).take(2048)); // G, B
+        for i in 1..=5 {
+            std::fs::write(dir.join(format!("data_batch_{i}.bin")), &bytes).unwrap();
+        }
+        std::fs::write(dir.join("test_batch.bin"), &bytes).unwrap();
+        let d = load_cifar10(&dir).unwrap();
+        let img = &d.test.images;
+        // R channel uniformly the normalized max, G below its mean.
+        let r_val = img.at(&[0, 0, 16, 16]);
+        let g_val = img.at(&[0, 1, 16, 16]);
+        assert!(r_val > 1.5, "R should be high, got {r_val}");
+        assert!(g_val < -1.5, "G should be low, got {g_val}");
+        assert_eq!(d.test.labels[0], 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Mini-batch iteration with optional shuffling.
+
+use crate::synth::Split;
+use csq_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One mini-batch: stacked images and labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images, `[B, C, H, W]`.
+    pub images: Tensor,
+    /// Class index per image.
+    pub labels: Vec<usize>,
+}
+
+/// Deterministic mini-batch loader over a [`Split`].
+///
+/// Each call to [`DataLoader::epoch`] produces a freshly shuffled set of
+/// batches (shuffling is seeded, so runs are reproducible); pass
+/// `shuffle = false` for evaluation order.
+#[derive(Debug)]
+pub struct DataLoader {
+    batch_size: usize,
+    shuffle: bool,
+    rng: ChaCha8Rng,
+}
+
+impl DataLoader {
+    /// Creates a loader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        DataLoader {
+            batch_size,
+            shuffle,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces the batches for one epoch over `split`. The final batch
+    /// may be smaller than `batch_size`.
+    pub fn epoch(&mut self, split: &Split) -> Vec<Batch> {
+        let n = split.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.shuffle {
+            order.shuffle(&mut self.rng);
+        }
+        let px: usize = split.images.dims()[1..].iter().product();
+        let dims_tail = split.images.dims()[1..].to_vec();
+        let mut out = Vec::new();
+        for chunk in order.chunks(self.batch_size) {
+            let mut data = Vec::with_capacity(chunk.len() * px);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                data.extend_from_slice(&split.images.data()[i * px..(i + 1) * px]);
+                labels.push(split.labels[i]);
+            }
+            let mut dims = vec![chunk.len()];
+            dims.extend_from_slice(&dims_tail);
+            out.push(Batch {
+                images: Tensor::from_vec(data, &dims),
+                labels,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{Dataset, SyntheticSpec};
+
+    fn tiny() -> Dataset {
+        Dataset::synthetic(&SyntheticSpec::cifar_like(0).with_samples(3, 1))
+    }
+
+    #[test]
+    fn covers_all_samples_once() {
+        let d = tiny();
+        let mut loader = DataLoader::new(8, true, 0);
+        let batches = loader.epoch(&d.train);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, d.train.len());
+        // Every class appears the right number of times.
+        let mut counts = vec![0usize; 10];
+        for b in &batches {
+            for &l in &b.labels {
+                counts[l] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn shuffle_changes_order_between_epochs() {
+        let d = tiny();
+        let mut loader = DataLoader::new(30, true, 1);
+        let a: Vec<usize> = loader.epoch(&d.train)[0].labels.clone();
+        let b: Vec<usize> = loader.epoch(&d.train)[0].labels.clone();
+        assert_ne!(a, b, "two epochs should shuffle differently");
+    }
+
+    #[test]
+    fn unshuffled_order_is_stable() {
+        let d = tiny();
+        let mut loader = DataLoader::new(7, false, 0);
+        let a: Vec<usize> = loader.epoch(&d.test).iter().flat_map(|b| b.labels.clone()).collect();
+        assert_eq!(a, d.test.labels);
+    }
+
+    #[test]
+    fn batch_larger_than_dataset_yields_one_batch() {
+        let d = tiny();
+        let mut loader = DataLoader::new(10_000, false, 0);
+        let batches = loader.epoch(&d.train);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].labels.len(), d.train.len());
+    }
+
+    #[test]
+    fn empty_split_yields_no_batches() {
+        let empty = crate::synth::Split {
+            images: csq_tensor::Tensor::zeros(&[0, 3, 4, 4]),
+            labels: vec![],
+        };
+        let mut loader = DataLoader::new(8, true, 0);
+        assert!(loader.epoch(&empty).is_empty());
+    }
+
+    #[test]
+    fn last_batch_may_be_partial() {
+        let d = tiny();
+        let mut loader = DataLoader::new(7, false, 0);
+        let batches = loader.epoch(&d.train); // 30 samples -> 4×7 + 2
+        assert_eq!(batches.last().unwrap().labels.len(), 2);
+        assert_eq!(batches.last().unwrap().images.dims()[0], 2);
+    }
+}

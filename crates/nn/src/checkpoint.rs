@@ -1,0 +1,237 @@
+//! Saving and restoring trained parameters.
+//!
+//! A checkpoint is the flat list of a model's parameter tensors in
+//! visitation order — the same stable order the optimizers key their
+//! state by — so any architecturally identical model can restore it.
+//! The format is plain JSON (small models, human-inspectable); weights
+//! quantized by CSQ should instead be deployed via fixed-point packing
+//! (`csq_core::PackedModel`).
+
+use crate::layer::Layer;
+use csq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of every trainable parameter of a model.
+///
+/// # Example
+///
+/// ```
+/// use csq_nn::{Checkpoint, Linear};
+///
+/// let mut trained = Linear::with_float_weights(4, 2, 0);
+/// let ckpt = Checkpoint::capture(&mut trained);
+/// let mut fresh = Linear::with_float_weights(4, 2, 99);
+/// ckpt.restore(&mut fresh)?;
+/// # Ok::<(), csq_nn::checkpoint::RestoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter tensors in visitation order.
+    pub params: Vec<Tensor>,
+}
+
+/// Error restoring a checkpoint into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint has a different number of parameter tensors.
+    CountMismatch {
+        /// Tensors in the checkpoint.
+        expected: usize,
+        /// Parameters in the model.
+        actual: usize,
+    },
+    /// A tensor's shape differs from the model parameter at its position.
+    ShapeMismatch {
+        /// Parameter index (visitation order).
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::CountMismatch { expected, actual } => write!(
+                f,
+                "checkpoint has {expected} parameter tensors but the model has {actual}"
+            ),
+            RestoreError::ShapeMismatch { index } => {
+                write!(f, "parameter {index} has a different shape in the checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl Checkpoint {
+    /// Captures a snapshot of `model`'s parameters.
+    pub fn capture(model: &mut dyn Layer) -> Checkpoint {
+        let mut params = Vec::new();
+        model.visit_params(&mut |p| params.push(p.value.clone()));
+        Checkpoint { params }
+    }
+
+    /// Restores the snapshot into `model` (which must have the identical
+    /// architecture).
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] on parameter count or shape mismatch; the model
+    /// is left unchanged in that case.
+    pub fn restore(&self, model: &mut dyn Layer) -> Result<(), RestoreError> {
+        // Validate first so a failed restore never half-applies.
+        let mut count = 0usize;
+        let mut shape_err = None;
+        model.visit_params(&mut |p| {
+            if let Some(ckpt) = self.params.get(count) {
+                if ckpt.dims() != p.value.dims() && shape_err.is_none() {
+                    shape_err = Some(count);
+                }
+            }
+            count += 1;
+        });
+        if count != self.params.len() {
+            return Err(RestoreError::CountMismatch {
+                expected: self.params.len(),
+                actual: count,
+            });
+        }
+        if let Some(index) = shape_err {
+            return Err(RestoreError::ShapeMismatch { index });
+        }
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            *p.value = self.params[idx].clone();
+            idx += 1;
+        });
+        Ok(())
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Checkpoint, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed JSON becomes
+    /// `io::ErrorKind::InvalidData`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Total number of scalar parameters in the snapshot.
+    pub fn numel(&self) -> usize {
+        self.params.iter().map(Tensor::numel).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::sequential::Sequential;
+    use csq_tensor::Tensor as T;
+
+    fn model(seed: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::with_float_weights(3, 4, seed)),
+            Box::new(Linear::with_float_weights(4, 2, seed + 1)),
+        ])
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut a = model(0);
+        let mut b = model(99); // different init
+        let x = T::ones(&[1, 3]);
+        assert!(!a.forward(&x, false).approx_eq(&b.forward(&x, false), 1e-6));
+
+        let ckpt = Checkpoint::capture(&mut a);
+        ckpt.restore(&mut b).unwrap();
+        assert!(a.forward(&x, false).approx_eq(&b.forward(&x, false), 0.0));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_architecture() {
+        let mut a = model(0);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut other = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(3, 4, 0)) as Box<dyn crate::layer::Layer>,
+        ]);
+        let err = ckpt.restore(&mut other).unwrap_err();
+        assert!(matches!(err, RestoreError::CountMismatch { .. }));
+
+        let mut wrong_shape = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(3, 4, 0)) as Box<dyn crate::layer::Layer>,
+            Box::new(Linear::with_float_weights(4, 3, 1)),
+        ]);
+        let err = ckpt.restore(&mut wrong_shape).unwrap_err();
+        assert_eq!(err, RestoreError::ShapeMismatch { index: 2 });
+        assert!(err.to_string().contains("parameter 2"));
+    }
+
+    #[test]
+    fn failed_restore_leaves_model_untouched() {
+        let mut a = model(0);
+        let ckpt = Checkpoint::capture(&mut a);
+        let mut wrong = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(3, 4, 7)) as Box<dyn crate::layer::Layer>,
+            Box::new(Linear::with_float_weights(4, 3, 8)),
+        ]);
+        let before = Checkpoint::capture(&mut wrong);
+        let _ = ckpt.restore(&mut wrong);
+        let after = Checkpoint::capture(&mut wrong);
+        assert_eq!(before, after, "no partial application");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut a = model(3);
+        let ckpt = Checkpoint::capture(&mut a);
+        let path = std::env::temp_dir().join("csq_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("csq_ckpt_garbage.json");
+        std::fs::write(&path, "not json").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn numel_counts_everything() {
+        let mut a = model(0);
+        let ckpt = Checkpoint::capture(&mut a);
+        // 4x3 + 4 + 2x4 + 2 = 26
+        assert_eq!(ckpt.numel(), 26);
+    }
+}

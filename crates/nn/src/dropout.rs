@@ -1,0 +1,133 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use csq_tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so evaluation
+/// is a plain identity. VGG-style classifiers traditionally use it; the
+/// reduced-scale benchmark models leave it off.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: ChaCha8Rng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seeded
+    /// mask stream (runs stay reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.numel())
+            .map(|_| {
+                if self.rng.gen_range(0.0f32..1.0) < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let Some(mask) = self.mask.take() else {
+            // Eval-mode or p == 0 forward: identity.
+            return grad_output.clone();
+        };
+        assert_eq!(mask.len(), grad_output.numel(), "grad shape mismatch");
+        let mut g = grad_output.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+            *v *= m;
+        }
+        g
+    }
+
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert!(d.forward(&x, false).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn p_zero_is_identity_in_training() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Tensor::ones(&[8]);
+        assert!(d.forward(&x, true).approx_eq(&x, 0.0));
+    }
+
+    #[test]
+    fn training_preserves_expected_mass() {
+        let mut d = Dropout::new(0.3, 1);
+        let x = Tensor::ones(&[10000]);
+        let y = d.forward(&x, true);
+        // Inverted scaling keeps E[y] = 1; the mean over 10k elements
+        // should be close.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly 30% of elements are exactly zero.
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        assert!((2500..3500).contains(&zeros), "{zeros} zeros");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[64]));
+        // Gradient is zero exactly where the output was zeroed.
+        for (&yo, &go) in y.iter().zip(g.iter()) {
+            assert_eq!(yo == 0.0, go == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1)")]
+    fn p_one_rejected() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The [`Layer`] trait and parameter-visitor plumbing.
+
+use crate::weight::WeightSource;
+use csq_tensor::Tensor;
+
+/// A mutable view of one trainable parameter handed to a visitor.
+///
+/// The optimizer identifies parameters purely by visitation order, which is
+/// stable because the layer graph is static after construction.
+#[derive(Debug)]
+pub struct ParamMut<'a> {
+    /// Current parameter value.
+    pub value: &'a mut Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: &'a mut Tensor,
+    /// Whether weight decay applies to this parameter. Following standard
+    /// practice (and the paper's baselines), decay applies to weights but
+    /// not to biases, BatchNorm affine parameters, quantizer scales or
+    /// gate logits.
+    pub decay: bool,
+}
+
+/// A differentiable network layer with exact, hand-derived adjoints.
+///
+/// The contract between [`forward`](Layer::forward) and
+/// [`backward`](Layer::backward):
+///
+/// * `backward` may only be called after `forward` with `train = true`,
+///   and consumes cached activations from that call;
+/// * `backward` receives `dL/d(output)` and returns `dL/d(input)`,
+///   *accumulating* parameter gradients internally (they are cleared by
+///   [`Layer::zero_grads`]).
+pub trait Layer: std::fmt::Debug {
+    /// Runs the layer. `train` enables behaviours that differ between
+    /// training and evaluation (caching for backward, batch statistics,
+    /// activation-range tracking).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a training-mode `forward`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamMut<'_>)) {}
+
+    /// Visits every [`WeightSource`] in the layer (quantized weight
+    /// parameterizations), in a stable order. Used by the CSQ trainer to
+    /// schedule temperatures and account model precision.
+    fn visit_weight_sources(&mut self, _f: &mut dyn FnMut(&mut dyn WeightSource)) {}
+
+    /// Clears all accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.grad.fill(0.0));
+    }
+
+    /// Human-readable layer kind, for debugging and scheme printouts.
+    fn kind(&self) -> &'static str;
+}
+
+/// Counts the trainable scalar parameters reachable from `layer`.
+pub fn count_params(layer: &mut dyn Layer) -> usize {
+    let mut n = 0usize;
+    layer.visit_params(&mut |p| n += p.value.numel());
+    n
+}
+
+/// Collects the flattened gradient of every parameter (testing helper).
+pub fn collect_grads(layer: &mut dyn Layer) -> Vec<f32> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+    out
+}
+
+/// Collects the flattened value of every parameter (testing helper).
+pub fn collect_values(layer: &mut dyn Layer) -> Vec<f32> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+
+    #[test]
+    fn count_params_linear() {
+        let mut l = Linear::with_float_weights(3, 4, 0);
+        // weight 4x3 + bias 4
+        assert_eq!(count_params(&mut l), 16);
+    }
+
+    #[test]
+    fn zero_grads_clears_everything() {
+        let mut l = Linear::with_float_weights(2, 2, 0);
+        let x = Tensor::ones(&[1, 2]);
+        let y = l.forward(&x, true);
+        l.backward(&Tensor::ones(y.dims()));
+        assert!(collect_grads(&mut l).iter().any(|&g| g != 0.0));
+        l.zero_grads();
+        assert!(collect_grads(&mut l).iter().all(|&g| g == 0.0));
+    }
+}

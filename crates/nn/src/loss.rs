@@ -1,0 +1,114 @@
+//! Loss functions.
+
+use csq_tensor::reduce::{log_softmax_rows, softmax_rows};
+use csq_tensor::Tensor;
+
+/// Mean softmax cross-entropy over a batch, with its exact gradient.
+///
+/// `logits` is `[batch, classes]`; `labels` holds one class index per
+/// batch row. Returns `(loss, dL/dlogits)`.
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the batch size or any label is
+/// out of range.
+///
+/// # Example
+///
+/// ```
+/// use csq_nn::softmax_cross_entropy;
+/// use csq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(loss < 0.1, "confident correct predictions give low loss");
+/// assert_eq!(grad.dims(), &[2, 2]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "one label per batch row required");
+    for &l in labels {
+        assert!(l < k, "label {l} out of range for {k} classes");
+    }
+
+    let log_p = log_softmax_rows(logits);
+    let mut loss = 0.0f32;
+    for (i, &l) in labels.iter().enumerate() {
+        loss -= log_p.data()[i * k + l];
+    }
+    loss /= n as f32;
+
+    // dL/dlogits = (softmax − one_hot) / batch
+    let mut grad = softmax_rows(logits);
+    let scale = 1.0 / n as f32;
+    for (i, &l) in labels.iter().enumerate() {
+        grad.data_mut()[i * k + l] -= 1.0;
+    }
+    grad.scale_inplace(scale);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let logits = init::uniform(&[5, 7], -2.0, 2.0, &mut rng);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]);
+        for i in 0..5 {
+            let s: f32 = grad.data()[i * 7..(i + 1) * 7].iter().sum();
+            assert!(s.abs() < 1e-6, "row {i} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let logits = init::uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "index {i}: numeric {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_toward_correct_class() {
+        let bad = Tensor::from_vec(vec![3.0, 0.0], &[1, 2]);
+        let good = Tensor::from_vec(vec![0.0, 3.0], &[1, 2]);
+        let (l_bad, _) = softmax_cross_entropy(&bad, &[1]);
+        let (l_good, _) = softmax_cross_entropy(&good, &[1]);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Evaluation metrics.
+
+use csq_tensor::reduce::argmax_rows;
+use csq_tensor::Tensor;
+
+/// Top-1 classification accuracy in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics when `labels.len()` differs from the batch size.
+///
+/// # Example
+///
+/// ```
+/// use csq_nn::accuracy;
+/// use csq_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.dims()[0], labels.len(), "one label per row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = argmax_rows(logits);
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Running average helper for loss/accuracy curves.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: usize,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation with weight `n` (e.g. a batch of size `n`).
+    pub fn add(&mut self, value: f32, n: usize) {
+        self.sum += value as f64 * n as f64;
+        self.count += n;
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sum / self.count as f64) as f32
+        }
+    }
+
+    /// Number of observations accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_mean_weighted() {
+        let mut m = RunningMean::new();
+        m.add(1.0, 1);
+        m.add(0.0, 3);
+        assert!((m.mean() - 0.25).abs() < 1e-6);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn empty_running_mean_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sequential layer container.
+
+use crate::layer::{Layer, ParamMut};
+use crate::weight::WeightSource;
+use csq_tensor::Tensor;
+
+/// Runs a list of layers in order; the workhorse container for every model
+/// in the workspace.
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a container from a list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty container.
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over contained layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Box<dyn Layer>> {
+        self.layers.iter()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
+        for layer in &mut self.layers {
+            layer.visit_weight_sources(f);
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+
+    #[test]
+    fn forward_composes_in_order() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 3, 0)),
+            Box::new(Relu::new()),
+            Box::new(Linear::with_float_weights(3, 1, 1)),
+        ]);
+        let y = m.forward(&Tensor::ones(&[4, 2]), false);
+        assert_eq!(y.dims(), &[4, 1]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 2, 2)),
+            Box::new(Relu::new()),
+        ]);
+        let x = Tensor::ones(&[1, 2]);
+        let y = m.forward(&x, true);
+        let gx = m.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn param_visitation_covers_all_layers() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 2, 0)),
+            Box::new(Linear::with_float_weights(2, 2, 1)),
+        ]);
+        let mut count = 0;
+        m.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 4, "two weights + two biases");
+    }
+}

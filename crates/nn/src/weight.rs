@@ -1,0 +1,182 @@
+//! The [`WeightSource`] abstraction: pluggable differentiable weight
+//! parameterizations.
+//!
+//! A [`Conv2d`](crate::Conv2d) or [`Linear`](crate::Linear) layer does not
+//! own a plain weight tensor; it owns a `Box<dyn WeightSource>` that
+//! *materializes* the effective weight each forward pass and receives
+//! `dL/dW` each backward pass. A float model uses [`FloatWeight`]; the CSQ
+//! bit-level parameterization (Eq. 5 of the paper) and every baseline
+//! quantizer implement this same trait in their own crates, so the model
+//! builders and training loop are method-agnostic.
+
+use crate::layer::ParamMut;
+use csq_tensor::Tensor;
+
+/// A differentiable parameterization of a weight tensor.
+///
+/// Implementations cache whatever they need in
+/// [`materialize`](WeightSource::materialize) so that
+/// [`backward`](WeightSource::backward) can route `dL/dW` to the
+/// underlying trainable parameters exactly.
+pub trait WeightSource: std::fmt::Debug {
+    /// Produces the effective weight tensor for the next forward pass.
+    /// Implementations may cache intermediate gate values for `backward`.
+    fn materialize(&mut self) -> Tensor;
+
+    /// Consumes `dL/dW` (same shape as the materialized weight),
+    /// accumulating gradients into the underlying trainable parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before
+    /// [`materialize`](WeightSource::materialize) or on a shape mismatch.
+    fn backward(&mut self, grad_weight: &Tensor);
+
+    /// Visits the underlying trainable parameters in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>));
+
+    /// Sets the continuous-sparsification gate temperature β. Float and
+    /// STE-based parameterizations ignore this.
+    fn set_beta(&mut self, _beta: f32) {}
+
+    /// Called by the training loop at the end of each epoch (used by BSQ's
+    /// periodic bit pruning; a no-op elsewhere).
+    fn on_epoch_end(&mut self, _epoch: usize) {}
+
+    /// Current weight precision in bits for this layer, if the
+    /// parameterization is quantized. Fractional values are allowed while
+    /// a scheme is still being searched; `None` means full precision
+    /// (counted as 32 bits by the budget accounting).
+    fn precision(&self) -> Option<f32>;
+
+    /// Number of weight elements materialized by this source.
+    fn numel(&self) -> usize;
+
+    /// Converts the parameterization into its exact discrete form (e.g.
+    /// replaces soft gates with unit steps). After `finalize`, the
+    /// materialized weight must lie exactly on the quantization grid.
+    fn finalize(&mut self) {}
+
+    /// The per-bit selection mask of this layer (`true` = bit kept), if
+    /// the method searches one. Used for scheme extraction (Figure 4).
+    fn bit_mask(&self) -> Option<Vec<bool>> {
+        None
+    }
+
+    /// The *soft* precision `Σ_b f_β(m_B^(b))` of this layer, if the
+    /// parameterization has relaxed bit-selection gates. Used by the
+    /// soft-counting ablation of the budget regularizer; `None` falls
+    /// back to [`precision`](WeightSource::precision).
+    fn soft_precision(&self) -> Option<f32> {
+        None
+    }
+
+    /// The quantization grid step of the materialized weight (`s / (2^n −
+    /// 1)` for linear schemes), if the parameterization has one. After
+    /// [`finalize`](WeightSource::finalize), every materialized weight is
+    /// an exact integer multiple of this step.
+    fn quant_step(&self) -> Option<f32> {
+        None
+    }
+
+    /// Adds the gradient of a precision regularizer to the bit-selection
+    /// parameters. For CSQ this is `strength · d/dm_B Σ_b f_β(m_B^(b))`
+    /// with `strength = λ·Δ_S` (Eq. 7 of the paper); parameterizations
+    /// without a searched bit selection ignore it.
+    fn apply_precision_reg(&mut self, _strength: f32) {}
+
+    /// Permanently hardens the bit-selection mask (the start of the CSQ
+    /// finetuning phase: "fix bit selection `q_B = I(m_B ≥ 0)`"), leaving
+    /// the bit representations trainable. A no-op for parameterizations
+    /// without a searched mask.
+    fn freeze_mask(&mut self) {}
+}
+
+/// A plain full-precision weight tensor (the "FP" rows of the paper's
+/// tables).
+#[derive(Debug, Clone)]
+pub struct FloatWeight {
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl FloatWeight {
+    /// Wraps an initialized weight tensor.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        FloatWeight { value, grad }
+    }
+
+    /// Read access to the raw weight (testing/inspection).
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+}
+
+impl WeightSource for FloatWeight {
+    fn materialize(&mut self) -> Tensor {
+        self.value.clone()
+    }
+
+    fn backward(&mut self, grad_weight: &Tensor) {
+        self.grad.add_assign_t(grad_weight);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut {
+            value: &mut self.value,
+            grad: &mut self.grad,
+            decay: true,
+        });
+    }
+
+    fn precision(&self) -> Option<f32> {
+        None
+    }
+
+    fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// A factory turning an initialized float weight tensor into a
+/// [`WeightSource`].
+///
+/// Model builders initialize every weight with the same Kaiming scheme and
+/// hand the tensor to the factory, so all methods (FP, CSQ, baselines)
+/// start from identical initial conditions — matching the paper's
+/// "trained from scratch with the same hyperparameters" setup.
+pub type WeightFactory<'a> = dyn FnMut(Tensor) -> Box<dyn WeightSource> + 'a;
+
+/// Convenience factory producing plain [`FloatWeight`] sources.
+pub fn float_factory() -> impl FnMut(Tensor) -> Box<dyn WeightSource> {
+    |w: Tensor| Box::new(FloatWeight::new(w)) as Box<dyn WeightSource>
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_weight_round_trip() {
+        let w = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[2, 2]);
+        let mut fw = FloatWeight::new(w.clone());
+        assert!(fw.materialize().approx_eq(&w, 0.0));
+        assert_eq!(fw.numel(), 4);
+        assert_eq!(fw.precision(), None);
+
+        fw.backward(&Tensor::ones(&[2, 2]));
+        fw.backward(&Tensor::ones(&[2, 2]));
+        let mut grads = Vec::new();
+        fw.visit_params(&mut |p| grads.extend_from_slice(p.grad.data()));
+        assert!(grads.iter().all(|&g| g == 2.0), "gradients accumulate");
+    }
+
+    #[test]
+    fn float_weight_decays() {
+        let mut fw = FloatWeight::new(Tensor::ones(&[2]));
+        let mut decays = Vec::new();
+        fw.visit_params(&mut |p| decays.push(p.decay));
+        assert_eq!(decays, vec![true]);
+    }
+}

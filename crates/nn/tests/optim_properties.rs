@@ -1,0 +1,106 @@
+//! Property-based tests of optimizer and schedule invariants.
+
+use csq_nn::{Adam, CosineSchedule, Layer, Linear, Sgd};
+use proptest::prelude::*;
+
+/// Builds a 1-layer model with every weight set to `w0` and every
+/// gradient to `g`.
+fn prepared_linear(w0: f32, g: f32) -> Linear {
+    let mut l = Linear::with_float_weights(2, 2, 0);
+    l.visit_params(&mut |p| {
+        p.value.fill(w0);
+        p.grad.fill(g);
+    });
+    l
+}
+
+fn first_weight(l: &mut Linear) -> f32 {
+    let mut w = 0.0;
+    let mut first = true;
+    l.visit_params(&mut |p| {
+        if first {
+            w = p.value.data()[0];
+            first = false;
+        }
+    });
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One SGD step without momentum/decay is exactly `w -= lr·g`.
+    #[test]
+    fn sgd_vanilla_step_is_exact(w0 in -2.0f32..2.0, g in -2.0f32..2.0, lr in 0.0f32..0.5) {
+        let mut l = prepared_linear(w0, g);
+        let mut opt = Sgd::new(lr, 0.0, 0.0);
+        opt.step(&mut l);
+        let w = first_weight(&mut l);
+        prop_assert!((w - (w0 - lr * g)).abs() < 1e-5);
+    }
+
+    /// SGD with momentum equals vanilla SGD on the first step.
+    #[test]
+    fn momentum_matches_vanilla_on_first_step(w0 in -1.0f32..1.0, g in -1.0f32..1.0) {
+        let mut a = prepared_linear(w0, g);
+        let mut b = prepared_linear(w0, g);
+        Sgd::new(0.1, 0.0, 0.0).step(&mut a);
+        Sgd::new(0.1, 0.9, 0.0).step(&mut b);
+        prop_assert!((first_weight(&mut a) - first_weight(&mut b)).abs() < 1e-6);
+    }
+
+    /// An Adam step never moves a parameter more than ~lr (the bias
+    /// correction bounds |m̂/√v̂| near 1 on the first step).
+    #[test]
+    fn adam_step_is_bounded_by_lr(w0 in -1.0f32..1.0, g in -100.0f32..100.0, lr in 0.001f32..0.1) {
+        prop_assume!(g.abs() > 1e-3);
+        let mut l = prepared_linear(w0, g);
+        let mut opt = Adam::new(lr, 0.0);
+        opt.step(&mut l);
+        let moved = (first_weight(&mut l) - w0).abs();
+        prop_assert!(moved <= lr * 1.01, "moved {} with lr {}", moved, lr);
+        // And it moves in the descent direction.
+        let dw = first_weight(&mut l) - w0;
+        prop_assert!(dw * g <= 0.0);
+    }
+
+    /// Zero gradient means no movement for either optimizer.
+    #[test]
+    fn zero_gradient_is_a_fixed_point(w0 in -1.0f32..1.0) {
+        let mut a = prepared_linear(w0, 0.0);
+        Sgd::new(0.1, 0.9, 0.0).step(&mut a);
+        prop_assert!((first_weight(&mut a) - w0).abs() < 1e-7);
+        let mut b = prepared_linear(w0, 0.0);
+        Adam::new(0.1, 0.0).step(&mut b);
+        prop_assert!((first_weight(&mut b) - w0).abs() < 1e-7);
+    }
+
+    /// The cosine schedule stays within [0, base_lr] and ends near zero.
+    #[test]
+    fn cosine_schedule_bounded(base in 0.001f32..1.0, total in 2usize..500) {
+        let s = CosineSchedule::new(base, 0, total);
+        for e in 0..total {
+            let lr = s.lr_at(e);
+            prop_assert!((0.0..=base * 1.0001).contains(&lr));
+        }
+        // Monotone decreasing without warmup.
+        for e in 1..total {
+            prop_assert!(s.lr_at(e) <= s.lr_at(e - 1) + 1e-7);
+        }
+        // The final LR approaches zero once the schedule is long enough
+        // for t = (T−1)/T to be near 1 (cos(π·t) ≈ −1).
+        if total >= 20 {
+            prop_assert!(s.lr_at(total - 1) < base * 0.05 + 1e-6);
+        }
+    }
+
+    /// Warmup never exceeds the base learning rate.
+    #[test]
+    fn warmup_bounded(base in 0.01f32..1.0, warmup in 1usize..10, extra in 2usize..50) {
+        let total = warmup + extra;
+        let s = CosineSchedule::new(base, warmup, total);
+        for e in 0..total {
+            prop_assert!(s.lr_at(e) <= base * 1.0001);
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! 2-D convolution via im2col / col2im, with exact adjoints.
+//!
+//! Layouts follow the usual deep-learning conventions:
+//!
+//! * activations: `[N, C, H, W]` (row-major, so `W` is innermost)
+//! * weights: `[OC, IC, KH, KW]`
+//!
+//! The forward pass lowers each sample to a `[IC·KH·KW, OH·OW]` column
+//! matrix and multiplies by the `[OC, IC·KH·KW]` weight matrix; the
+//! backward pass is the exact transpose of that linear map (col2im), so
+//! gradients are exact to floating-point rounding — there is no
+//! approximation anywhere, which is what the CSQ training pipeline
+//! requires.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding.
+///
+/// # Example
+///
+/// ```
+/// use csq_tensor::conv::ConvSpec;
+/// let spec = ConvSpec::new(3, 1, 1); // 3x3, stride 1, "same" padding
+/// assert_eq!(spec.out_size(32), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a spec with a square kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        ConvSpec {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial extent for an input extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_size(&self, in_size: usize) -> usize {
+        let padded = in_size + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "padded input ({padded}) smaller than kernel ({})",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Lowers one `[C, H, W]` sample (given as a flat slice) to a column matrix
+/// `[C·KH·KW, OH·OW]` stored row-major in `cols`.
+fn im2col_sample(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    cols: &mut [f32],
+) {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let n_spatial = oh * ow;
+    debug_assert_eq!(cols.len(), c * k * k * n_spatial);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let chan = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let dst = &mut cols[row * n_spatial..(row + 1) * n_spatial];
+                let mut idx = 0usize;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        for v in &mut dst[idx..idx + ow] {
+                            *v = 0.0;
+                        }
+                        idx += ow;
+                        continue;
+                    }
+                    let src_row = &chan[ii as usize * w..(ii as usize + 1) * w];
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        dst[idx] = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            src_row[jj as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col_sample`]: scatters a column matrix back into a
+/// `[C, H, W]` gradient buffer, accumulating overlaps.
+fn col2im_sample(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    grad_input: &mut [f32],
+) {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let n_spatial = oh * ow;
+    let mut row = 0usize;
+    for ci in 0..c {
+        let chan = &mut grad_input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let src = &cols[row * n_spatial..(row + 1) * n_spatial];
+                let mut idx = 0usize;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        idx += ow;
+                        continue;
+                    }
+                    let dst_row = &mut chan[ii as usize * w..(ii as usize + 1) * w];
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj >= 0 && jj < w as isize {
+                            dst_row[jj as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `[N, IC, H, W]`, `weight` is `[OC, IC, KH, KW]`; returns
+/// `[N, OC, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or when the padded input is
+/// smaller than the kernel.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [OC, IC, KH, KW]");
+    let (n, ic, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (oc, wic, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(ic, wic, "input/weight channel mismatch");
+    assert_eq!(kh, spec.kernel, "weight kernel height mismatch with spec");
+    assert_eq!(kw, spec.kernel, "weight kernel width mismatch with spec");
+
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let kdim = ic * kh * kw;
+    let n_spatial = oh * ow;
+    let w_mat = weight.reshape(&[oc, kdim]);
+
+    let mut out = vec![0.0f32; n * oc * n_spatial];
+    let mut cols = vec![0.0f32; kdim * n_spatial];
+    for ni in 0..n {
+        let sample = &input.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
+        im2col_sample(sample, ic, h, w, spec, &mut cols);
+        let col_t = Tensor::from_vec(cols.clone(), &[kdim, n_spatial]);
+        let y = w_mat.matmul(&col_t); // [oc, n_spatial]
+        out[ni * oc * n_spatial..(ni + 1) * oc * n_spatial].copy_from_slice(y.data());
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+/// Gradients of [`conv2d`] with respect to its input and weight.
+///
+/// Returned as `(grad_input, grad_weight)` with the same shapes as `input`
+/// and `weight`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between the arguments.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor) {
+    let (n, ic, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oc = weight.dims()[0];
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    assert_eq!(
+        grad_output.dims(),
+        &[n, oc, oh, ow],
+        "grad_output shape mismatch"
+    );
+
+    let kdim = ic * spec.kernel * spec.kernel;
+    let n_spatial = oh * ow;
+    let w_mat = weight.reshape(&[oc, kdim]);
+
+    let mut grad_input = Tensor::zeros(input.dims());
+    let mut grad_w_mat = Tensor::zeros(&[oc, kdim]);
+    let mut cols = vec![0.0f32; kdim * n_spatial];
+
+    for ni in 0..n {
+        let sample = &input.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
+        im2col_sample(sample, ic, h, w, spec, &mut cols);
+        let col_t = Tensor::from_vec(cols.clone(), &[kdim, n_spatial]);
+        let go = Tensor::from_vec(
+            grad_output.data()[ni * oc * n_spatial..(ni + 1) * oc * n_spatial].to_vec(),
+            &[oc, n_spatial],
+        );
+        // dW += dY · colᵀ
+        grad_w_mat.add_assign_t(&go.matmul_nt(&col_t));
+        // dcol = Wᵀ · dY, then scatter back.
+        let grad_cols = w_mat.matmul_tn(&go);
+        let gi = &mut grad_input.data_mut()[ni * ic * h * w..(ni + 1) * ic * h * w];
+        col2im_sample(grad_cols.data(), ic, h, w, spec, gi);
+    }
+    (grad_input, grad_w_mat.reshape(weight.dims()))
+}
+
+/// Reference (direct-loop) convolution used to validate the im2col path.
+///
+/// Quadratically slower than [`conv2d`]; exposed for tests and benchmarks.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`conv2d`].
+pub fn conv2d_naive(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    let (n, ic, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (oc, _, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    for ni in 0..n {
+        for oci in 0..oc {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ici in 0..ic {
+                        for ki in 0..kh {
+                            for kj in 0..kw {
+                                let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w {
+                                    acc += input.at(&[ni, ici, ii as usize, jj as usize])
+                                        * weight.at(&[oci, ici, ki, kj]);
+                                }
+                            }
+                        }
+                    }
+                    out.set(&[ni, oci, oi, oj], acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        init::uniform(dims, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn out_size_math() {
+        let s = ConvSpec::new(3, 1, 1);
+        assert_eq!(s.out_size(32), 32);
+        let s = ConvSpec::new(3, 2, 1);
+        assert_eq!(s.out_size(32), 16);
+        let s = ConvSpec::new(1, 1, 0);
+        assert_eq!(s.out_size(7), 7);
+        let s = ConvSpec::new(7, 2, 3);
+        assert_eq!(s.out_size(224), 112);
+    }
+
+    #[test]
+    fn conv_matches_naive_stride1() {
+        let x = rand_t(&[2, 3, 8, 8], 1);
+        let w = rand_t(&[4, 3, 3, 3], 2);
+        let spec = ConvSpec::new(3, 1, 1);
+        assert!(conv2d(&x, &w, spec).approx_eq(&conv2d_naive(&x, &w, spec), 1e-4));
+    }
+
+    #[test]
+    fn conv_matches_naive_stride2_no_pad() {
+        let x = rand_t(&[1, 2, 9, 9], 3);
+        let w = rand_t(&[3, 2, 3, 3], 4);
+        let spec = ConvSpec::new(3, 2, 0);
+        assert!(conv2d(&x, &w, spec).approx_eq(&conv2d_naive(&x, &w, spec), 1e-4));
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mix() {
+        let x = rand_t(&[1, 2, 4, 4], 5);
+        let w = rand_t(&[3, 2, 1, 1], 6);
+        let spec = ConvSpec::new(1, 1, 0);
+        assert!(conv2d(&x, &w, spec).approx_eq(&conv2d_naive(&x, &w, spec), 1e-5));
+    }
+
+    /// The backward pass must be the exact adjoint of the forward map:
+    /// <conv(x, w), gy> == <x, grad_x> + ... checked via directional
+    /// finite differences on both arguments.
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let x = rand_t(&[1, 2, 5, 5], 7);
+        let w = rand_t(&[2, 2, 3, 3], 8);
+        let spec = ConvSpec::new(3, 1, 1);
+        let gy = rand_t(&[1, 2, 5, 5], 9);
+        let (gx, gw) = conv2d_backward(&x, &w, &gy, spec);
+
+        let loss = |x: &Tensor, w: &Tensor| conv2d(x, w, spec).dot(&gy);
+        let eps = 1e-2f32;
+        // Directional derivative along random directions.
+        let dx = rand_t(x.dims(), 10);
+        let dw = rand_t(w.dims(), 11);
+        let mut xp = x.clone();
+        xp.axpy(eps, &dx);
+        let mut xm = x.clone();
+        xm.axpy(-eps, &dx);
+        let num_x = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+        assert!((num_x - gx.dot(&dx)).abs() < 2e-2 * (1.0 + num_x.abs()));
+
+        let mut wp = w.clone();
+        wp.axpy(eps, &dw);
+        let mut wm = w.clone();
+        wm.axpy(-eps, &dw);
+        let num_w = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+        assert!((num_w - gw.dot(&dw)).abs() < 2e-2 * (1.0 + num_w.abs()));
+    }
+
+    #[test]
+    fn conv_backward_strided_adjoint_identity() {
+        // <A x, y> == <x, Aᵀ y> where A is conv as a linear map in x.
+        let x = rand_t(&[2, 2, 7, 7], 12);
+        let w = rand_t(&[3, 2, 3, 3], 13);
+        let spec = ConvSpec::new(3, 2, 1);
+        let y = conv2d(&x, &w, spec);
+        let gy = rand_t(y.dims(), 14);
+        let (gx, _) = conv2d_backward(&x, &w, &gy, spec);
+        let lhs = y.dot(&gy);
+        let rhs = x.dot(&gx);
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_channel_mismatch_panics() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 4, 3, 3]);
+        conv2d(&x, &w, ConvSpec::new(3, 1, 1));
+    }
+}
+
+/// Forward depthwise 2-D convolution: each input channel is convolved
+/// with its own single `[KH, KW]` filter (the grouped convolution with
+/// `groups == channels` that MobileNet-family models are built from).
+///
+/// `input` is `[N, C, H, W]`, `weight` is `[C, 1, KH, KW]`; returns
+/// `[N, C, OH, OW]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "depthwise input must be NCHW");
+    assert_eq!(weight.rank(), 4, "depthwise weight must be [C, 1, KH, KW]");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    assert_eq!(weight.dims()[0], c, "depthwise channel mismatch");
+    assert_eq!(weight.dims()[1], 1, "depthwise weight must have one input channel");
+    assert_eq!(weight.dims()[2], spec.kernel, "kernel mismatch");
+    assert_eq!(weight.dims()[3], spec.kernel, "kernel mismatch");
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan = &input.data()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+            let filt = &weight.data()[ci * k * k..(ci + 1) * k * k];
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ki in 0..k {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..k {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj >= 0 && jj < w as isize {
+                                acc += chan[ii as usize * w + jj as usize] * filt[ki * k + kj];
+                            }
+                        }
+                    }
+                    out.data_mut()[oidx] = acc;
+                    oidx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of [`depthwise_conv2d`] with respect to input and weight,
+/// returned as `(grad_input, grad_weight)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn depthwise_conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    assert_eq!(
+        grad_output.dims(),
+        &[n, c, oh, ow],
+        "grad_output shape mismatch"
+    );
+    let k = spec.kernel;
+    let mut grad_input = Tensor::zeros(input.dims());
+    let mut grad_weight = Tensor::zeros(weight.dims());
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan_base = (ni * c + ci) * h * w;
+            let filt = &weight.data()[ci * k * k..(ci + 1) * k * k];
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = grad_output.data()[oidx];
+                    oidx += 1;
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ki in 0..k {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..k {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj < 0 || jj >= w as isize {
+                                continue;
+                            }
+                            let at = chan_base + ii as usize * w + jj as usize;
+                            grad_input.data_mut()[at] += g * filt[ki * k + kj];
+                            grad_weight.data_mut()[ci * k * k + ki * k + kj] +=
+                                g * input.data()[at];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (grad_input, grad_weight)
+}
+
+#[cfg(test)]
+mod depthwise_tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rand_t(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        init::uniform(dims, -1.0, 1.0, &mut rng)
+    }
+
+    /// Depthwise conv equals per-channel 1-channel dense convs.
+    #[test]
+    fn matches_per_channel_dense_conv() {
+        let x = rand_t(&[2, 3, 6, 6], 0);
+        let w = rand_t(&[3, 1, 3, 3], 1);
+        let spec = ConvSpec::new(3, 1, 1);
+        let y = depthwise_conv2d(&x, &w, spec);
+        for ci in 0..3 {
+            // Slice channel ci of x into a [2,1,6,6] tensor.
+            let mut xc = Tensor::zeros(&[2, 1, 6, 6]);
+            for ni in 0..2 {
+                for i in 0..36 {
+                    xc.data_mut()[ni * 36 + i] = x.data()[(ni * 3 + ci) * 36 + i];
+                }
+            }
+            let wc = Tensor::from_vec(
+                w.data()[ci * 9..(ci + 1) * 9].to_vec(),
+                &[1, 1, 3, 3],
+            );
+            let yc = conv2d(&xc, &wc, spec);
+            for ni in 0..2 {
+                for i in 0..36 {
+                    let got = y.data()[(ni * 3 + ci) * 36 + i];
+                    let want = yc.data()[ni * 36 + i];
+                    assert!((got - want).abs() < 1e-4, "ch {ci}: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_output_shape() {
+        let x = rand_t(&[1, 4, 8, 8], 2);
+        let w = rand_t(&[4, 1, 3, 3], 3);
+        let y = depthwise_conv2d(&x, &w, ConvSpec::new(3, 2, 1));
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn backward_is_exact_adjoint() {
+        let x = rand_t(&[1, 2, 5, 5], 4);
+        let w = rand_t(&[2, 1, 3, 3], 5);
+        let spec = ConvSpec::new(3, 2, 1);
+        let y = depthwise_conv2d(&x, &w, spec);
+        let gy = rand_t(y.dims(), 6);
+        let (gx, gw) = depthwise_conv2d_backward(&x, &w, &gy, spec);
+        // <Ax, y> == <x, A'y> in both arguments.
+        assert!((y.dot(&gy) - x.dot(&gx)).abs() < 1e-3);
+        // Weight gradient via finite differences along a direction.
+        let dw = rand_t(w.dims(), 7);
+        let eps = 1e-2f32;
+        let mut wp = w.clone();
+        wp.axpy(eps, &dw);
+        let mut wm = w.clone();
+        wm.axpy(-eps, &dw);
+        let num = (depthwise_conv2d(&x, &wp, spec).dot(&gy)
+            - depthwise_conv2d(&x, &wm, spec).dot(&gy))
+            / (2.0 * eps);
+        assert!((num - gw.dot(&dw)).abs() < 2e-2 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    #[should_panic(expected = "depthwise channel mismatch")]
+    fn channel_mismatch_panics() {
+        depthwise_conv2d(
+            &Tensor::zeros(&[1, 3, 4, 4]),
+            &Tensor::zeros(&[2, 1, 3, 3]),
+            ConvSpec::new(3, 1, 1),
+        );
+    }
+}

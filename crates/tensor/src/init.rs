@@ -1,0 +1,111 @@
+//! Random tensor initializers.
+//!
+//! All initializers take an explicit `Rng` so experiments are exactly
+//! reproducible from a seed (the workspace standardizes on
+//! `rand_chacha::ChaCha8Rng`, whose stream is stable across platforms and
+//! crate versions).
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Uniformly distributed tensor on `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo < hi, "uniform requires lo < hi");
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Normally distributed tensor with the given mean and standard deviation
+/// (Box–Muller; two draws per sample for simplicity).
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn normal<R: Rng>(dims: &[usize], mean: f32, std: f32, rng: &mut R) -> Tensor {
+    assert!(std >= 0.0, "normal requires std >= 0");
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            mean + std * z
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Kaiming / He normal initialization for a conv weight `[OC, IC, KH, KW]`
+/// or linear weight `[OUT, IN]`: `std = sqrt(2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `dims` has rank < 2.
+pub fn kaiming_normal<R: Rng>(dims: &[usize], rng: &mut R) -> Tensor {
+    assert!(dims.len() >= 2, "kaiming init requires rank >= 2");
+    let fan_in: usize = dims[1..].iter().product();
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(dims, 0.0, std, rng)
+}
+
+/// Kaiming / He uniform initialization: `bound = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `dims` has rank < 2.
+pub fn kaiming_uniform<R: Rng>(dims: &[usize], rng: &mut R) -> Tensor {
+    assert!(dims.len() >= 2, "kaiming init requires rank >= 2");
+    let fan_in: usize = dims[1..].iter().product();
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(dims, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(&[32], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = uniform(&[32], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(7));
+        assert!(a.approx_eq(&b, 0.0));
+        let c = uniform(&[32], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(8));
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = normal(&[20000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let small_fan = kaiming_normal(&[8, 4], &mut rng);
+        let big_fan = kaiming_normal(&[8, 4096], &mut rng);
+        assert!(small_fan.max_abs() > big_fan.max_abs());
+        let u = kaiming_uniform(&[16, 9], &mut rng);
+        let bound = (6.0f32 / 9.0).sqrt();
+        assert!(u.iter().all(|&v| v.abs() <= bound));
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense `f32` tensor substrate for the CSQ reproduction.
+//!
+//! This crate provides the numerical foundation that the rest of the
+//! workspace builds on: a contiguous row-major [`Tensor`] type with
+//! elementwise arithmetic, a blocked [`matmul`](Tensor::matmul), im2col-based
+//! 2-D convolution ([`conv`]), pooling ([`pool`]), reductions
+//! ([`reduce`]) and parameter initializers ([`init`]).
+//!
+//! The design goal is *exactness and predictability*, not peak FLOPs: the
+//! CSQ paper's central claim is that its training path is fully
+//! differentiable with no gradient approximation, so every operation here
+//! has a hand-derived adjoint in `csq-nn` that is verified against finite
+//! differences.
+//!
+//! # Example
+//!
+//! ```
+//! use csq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Error produced when constructing a tensor from mismatched data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// Number of elements implied by the requested shape.
+    pub expected: usize,
+    /// Number of elements actually provided.
+    pub actual: usize,
+}
+
+impl std::fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shape implies {} elements but {} were provided",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatchError {}

@@ -1,0 +1,207 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover the forward pass and both adjoints of a linear map
+//! without materializing transposes:
+//!
+//! * [`Tensor::matmul`] — `C = A · B`
+//! * [`Tensor::matmul_tn`] — `C = Aᵀ · B` (weight-gradient shape)
+//! * [`Tensor::matmul_nt`] — `C = A · Bᵀ` (input-gradient shape)
+//!
+//! All use an `i-k-j` loop order so the innermost loop streams contiguous
+//! rows of the right operand, which is the main thing that matters for a
+//! single-core f32 kernel at the sizes this workspace uses.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · other` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use csq_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_ip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[k, m]` and `other` is `[k, n]`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        // Loop over the shared k axis outermost: each iteration is a rank-1
+        // update with contiguous reads from both operands.
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out[i * n..(i + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_pi * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[n, k]`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims mismatch: {k} vs {k2}");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product `self · v` for `self` `[m, k]`, `v` `[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec lhs must be rank 2");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank 1");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(v.dims()[0], k, "matvec inner dims mismatch");
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.data().iter()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn arange(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|v| (v as f32) * 0.1 - 1.0).collect(), dims)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = arange(&[4, 7]);
+        let b = arange(&[7, 5]);
+        assert!(a.matmul(&b).approx_eq(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = arange(&[3, 3]);
+        assert!(a.matmul(&Tensor::eye(3)).approx_eq(&a, 1e-6));
+        assert!(Tensor::eye(3).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = arange(&[6, 4]);
+        let b = arange(&[6, 5]);
+        let expect = a.transpose2().matmul(&b);
+        assert!(a.matmul_tn(&b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = arange(&[4, 6]);
+        let b = arange(&[5, 6]);
+        let expect = a.matmul(&b.transpose2());
+        assert!(a.matmul_nt(&b).approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = arange(&[4, 3]);
+        let v = arange(&[3]);
+        let expect = a.matmul(&v.reshape(&[3, 1])).reshape(&[4]);
+        assert!(a.matvec(&v).approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

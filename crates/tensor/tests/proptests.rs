@@ -1,0 +1,182 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use csq_tensor::conv::{conv2d, conv2d_backward, conv2d_naive, ConvSpec};
+use csq_tensor::pool::{avgpool2d, avgpool2d_backward, maxpool2d, maxpool2d_backward};
+use csq_tensor::reduce::{log_softmax_rows, softmax_rows, sum_channels, sum_rows};
+use csq_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c).prop_map(move |v| (r, c, v))
+    })
+}
+
+/// Two same-shaped matrices.
+fn matrix_pair() -> impl Strategy<Value = (usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, r * c),
+            proptest::collection::vec(-3.0f32..3.0, r * c),
+        )
+            .prop_map(move |(v, w)| (r, c, v, w))
+    })
+}
+
+/// `[k, m]` and `[k, n]` matrices sharing their first extent.
+fn tn_pair() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(k, m, n)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, k * m),
+            proptest::collection::vec(-3.0f32..3.0, k * n),
+        )
+            .prop_map(move |(a, b)| (k, m, n, a, b))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise addition commutes and subtraction inverts it.
+    #[test]
+    fn add_commutes_and_sub_inverts((r, c, v, w) in matrix_pair()) {
+        let a = Tensor::from_vec(v, &[r, c]);
+        let b = Tensor::from_vec(w, &[r, c]);
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6));
+        prop_assert!(a.add(&b).sub(&b).approx_eq(&a, 1e-4));
+    }
+
+    /// Matmul with the identity is the identity map, on both sides.
+    #[test]
+    fn matmul_identity_law((r, c, v) in small_matrix()) {
+        let a = Tensor::from_vec(v, &[r, c]);
+        prop_assert!(a.matmul(&Tensor::eye(c)).approx_eq(&a, 1e-5));
+        prop_assert!(Tensor::eye(r).matmul(&a).approx_eq(&a, 1e-5));
+    }
+
+    /// The fused transpose kernels agree with explicit transposition.
+    #[test]
+    fn fused_transpose_kernels_agree((k, m, n, av, bv) in tn_pair()) {
+        // matmul_tn: a is [k, m], b is [k, n].
+        let a = Tensor::from_vec(av, &[k, m]);
+        let b = Tensor::from_vec(bv, &[k, n]);
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose2().matmul(&b), 1e-4));
+        // matmul_nt: aᵀ is [m, k], bᵀ is [n, k].
+        let at = a.transpose2();
+        let bt = b.transpose2();
+        prop_assert!(at.matmul_nt(&bt).approx_eq(&at.matmul(&bt.transpose2()), 1e-4));
+    }
+
+    /// Double transposition is the identity.
+    #[test]
+    fn transpose_involution((r, c, v) in small_matrix()) {
+        let a = Tensor::from_vec(v, &[r, c]);
+        prop_assert!(a.transpose2().transpose2().approx_eq(&a, 0.0));
+    }
+
+    /// Softmax rows are probability distributions for any input.
+    #[test]
+    fn softmax_rows_are_distributions((r, c, v) in small_matrix()) {
+        let p = softmax_rows(&Tensor::from_vec(v, &[r, c]));
+        prop_assert!(p.all_finite());
+        for i in 0..r {
+            let s: f32 = p.data()[i * c..(i + 1) * c].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(p.data()[i * c..(i + 1) * c].iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// exp(log_softmax) equals softmax.
+    #[test]
+    fn log_softmax_consistency((r, c, v) in small_matrix()) {
+        let t = Tensor::from_vec(v, &[r, c]);
+        let a = log_softmax_rows(&t).map(f32::exp);
+        prop_assert!(a.approx_eq(&softmax_rows(&t), 1e-5));
+    }
+
+    /// sum_rows sums to the same total as a flat sum.
+    #[test]
+    fn reductions_preserve_total((r, c, v) in small_matrix()) {
+        let t = Tensor::from_vec(v.clone(), &[r, c]);
+        let total: f32 = v.iter().sum();
+        prop_assert!((sum_rows(&t).sum() - total).abs() < 1e-3);
+        let t4 = Tensor::from_vec(v, &[r, c, 1, 1]);
+        prop_assert!((sum_channels(&t4).sum() - total).abs() < 1e-3);
+    }
+
+    /// im2col conv agrees with the direct-loop reference for arbitrary
+    /// geometry.
+    #[test]
+    fn conv_matches_reference(
+        n in 1usize..3, ic in 1usize..3, oc in 1usize..3,
+        hw in 4usize..8, stride in 1usize..3, padding in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x = csq_tensor::init::uniform(&[n, ic, hw, hw], -1.0, 1.0, &mut rng);
+        let w = csq_tensor::init::uniform(&[oc, ic, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = ConvSpec::new(3, stride, padding);
+        prop_assume!(hw + 2 * padding >= 3);
+        prop_assert!(conv2d(&x, &w, spec).approx_eq(&conv2d_naive(&x, &w, spec), 1e-3));
+    }
+
+    /// The conv backward is the exact adjoint: <Ax, y> == <x, Aᵀy>.
+    #[test]
+    fn conv_adjoint_identity(
+        stride in 1usize..3, padding in 0usize..2, seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x = csq_tensor::init::uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let w = csq_tensor::init::uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = ConvSpec::new(3, stride, padding);
+        prop_assume!(6 + 2 * padding >= 3);
+        let y = conv2d(&x, &w, spec);
+        let gy = csq_tensor::init::uniform(y.dims(), -1.0, 1.0, &mut rng);
+        let (gx, _) = conv2d_backward(&x, &w, &gy, spec);
+        let lhs = y.dot(&gy);
+        let rhs = x.dot(&gx);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    /// Max pooling's gradient routes exactly the incoming gradient mass.
+    #[test]
+    fn maxpool_gradient_mass_conserved(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x = csq_tensor::init::uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let out = maxpool2d(&x, 2, 2);
+        let gy = csq_tensor::init::uniform(out.output.dims(), 0.0, 1.0, &mut rng);
+        let gx = maxpool2d_backward(&gy, &out.argmax, x.dims());
+        prop_assert!((gx.sum() - gy.sum()).abs() < 1e-3);
+    }
+
+    /// Average pooling is linear: pool(a + b) == pool(a) + pool(b).
+    #[test]
+    fn avgpool_is_linear(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = csq_tensor::init::uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let b = csq_tensor::init::uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let lhs = avgpool2d(&a.add(&b), 2, 2);
+        let rhs = avgpool2d(&a, 2, 2).add(&avgpool2d(&b, 2, 2));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-5));
+        // And its backward conserves mean mass.
+        let gy = Tensor::ones(&[1, 2, 2, 2]);
+        let gx = avgpool2d_backward(&gy, a.dims(), 2, 2);
+        prop_assert!((gx.sum() - gy.sum()).abs() < 1e-4);
+    }
+
+    /// Reshape preserves data and slicing+concat is the identity.
+    #[test]
+    fn reshape_slice_concat_laws((r, c, v) in small_matrix()) {
+        prop_assume!(r >= 2);
+        let a = Tensor::from_vec(v, &[r, c]);
+        let reshaped = a.reshape(&[c, r]);
+        prop_assert_eq!(reshaped.data(), a.data());
+        let top = a.slice_axis0(0, r / 2);
+        let bottom = a.slice_axis0(r / 2, r);
+        prop_assert!(Tensor::concat_axis0(&[&top, &bottom]).approx_eq(&a, 0.0));
+    }
+}

@@ -1,0 +1,80 @@
+//! Head-to-head comparison of every quantization method in the workspace
+//! on one dataset — a miniature version of the paper's Table I, runnable
+//! in about a minute.
+//!
+//! All methods share the architecture, initialization stream, optimizer
+//! and data; only the weight parameterization differs.
+//!
+//! ```text
+//! cargo run --example baseline_comparison --release
+//! ```
+
+use csq_repro::baselines::{bsq_factory, dorefa_factory, lq_factory, ste_uniform_factory};
+use csq_repro::csq::prelude::*;
+use csq_repro::csq::trainer::evaluate;
+use csq_repro::data::{Dataset, SyntheticSpec};
+use csq_repro::nn::models::{resnet_cifar, ModelConfig};
+use csq_repro::nn::weight::float_factory;
+use csq_repro::nn::{Layer, WeightSource};
+use csq_repro::tensor::Tensor;
+
+type Factory = Box<dyn FnMut(Tensor) -> Box<dyn WeightSource>>;
+
+fn main() {
+    let data = Dataset::synthetic(
+        &SyntheticSpec::cifar_like(0)
+            .with_samples(24, 24)
+            .with_noise(0.8),
+    );
+    let epochs = 12;
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>10}",
+        "method", "w-bits", "compression", "accuracy"
+    );
+
+    // Methods trained through the generic fit loop.
+    let methods: Vec<(&str, Factory, bool)> = vec![
+        ("FP", Box::new(float_factory()), false),
+        ("STE-Uniform", Box::new(ste_uniform_factory(3)), false),
+        ("DoReFa", Box::new(dorefa_factory(3)), false),
+        ("LQ-Nets*", Box::new(lq_factory(3)), false),
+        ("BSQ", Box::new(bsq_factory(8, 1e-3, 3)), false),
+        ("CSQ-Uniform", Box::new(csq_uniform_factory(3)), true),
+    ];
+    for (name, mut factory, needs_beta) in methods {
+        let model_cfg = ModelConfig::cifar_like(8, Some(3), 0);
+        let mut model = resnet_cifar(model_cfg, &mut factory, 1);
+        let mut cfg = FitConfig::fast(epochs);
+        if needs_beta {
+            cfg.beta = Some(TemperatureSchedule::paper_default(epochs).with_saturation(0.75));
+        }
+        fit(&mut model, &data, &cfg, false);
+        model.visit_weight_sources(&mut |src| src.finalize());
+        let (_, acc) = evaluate(&mut model, &data.test, 32);
+        let stats = model_precision(&mut model);
+        println!(
+            "{:<14} {:>8.1} {:>11.1}x {:>9.1}%",
+            name,
+            stats.avg_bits,
+            stats.compression_ratio(),
+            acc * 100.0
+        );
+    }
+
+    // Full CSQ through Algorithm 1, at two budgets.
+    for target in [3.0f32, 2.0] {
+        let mut factory = csq_factory(8);
+        let model_cfg = ModelConfig::cifar_like(8, Some(3), 0);
+        let mut model = resnet_cifar(model_cfg, &mut factory, 1);
+        let report =
+            CsqTrainer::new(CsqConfig::fast(target).with_epochs(epochs)).train(&mut model, &data);
+        println!(
+            "{:<14} {:>8.1} {:>11.1}x {:>9.1}%",
+            format!("CSQ T{target}"),
+            report.final_avg_bits,
+            report.final_compression,
+            report.final_test_accuracy * 100.0
+        );
+    }
+}

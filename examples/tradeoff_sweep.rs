@@ -1,0 +1,49 @@
+//! Explore the accuracy–model-size trade-off by sweeping the CSQ target
+//! precision (the experiment behind Table V of the paper): one knob —
+//! the bit budget — controls the whole frontier.
+//!
+//! ```text
+//! cargo run --example tradeoff_sweep --release
+//! ```
+
+use csq_repro::csq::prelude::*;
+use csq_repro::data::{Dataset, SyntheticSpec};
+use csq_repro::nn::models::{resnet_cifar, ModelConfig};
+
+fn main() {
+    let data = Dataset::synthetic(
+        &SyntheticSpec::cifar_like(3)
+            .with_samples(24, 12)
+            .with_noise(0.8),
+    );
+
+    println!(
+        "{:>7} {:>10} {:>12} {:>10}",
+        "target", "achieved", "compression", "accuracy"
+    );
+    let mut frontier: Vec<(f32, f32)> = Vec::new();
+    for target in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
+        let mut factory = csq_factory(8);
+        let model_cfg = ModelConfig::cifar_like(8, Some(3), 3);
+        let mut model = resnet_cifar(model_cfg, &mut factory, 1);
+        let cfg = CsqConfig::fast(target).with_epochs(12);
+        let report = CsqTrainer::new(cfg).train(&mut model, &data);
+        println!(
+            "{:>6}b {:>9.2}b {:>11.1}x {:>9.2}%",
+            target,
+            report.final_avg_bits,
+            report.final_compression,
+            report.final_test_accuracy * 100.0
+        );
+        frontier.push((report.final_compression, report.final_test_accuracy));
+    }
+
+    // A frontier summary: how much accuracy each extra 2x of compression
+    // costs, walking from the least to the most compressed point.
+    frontier.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    println!("\nfrontier (compression -> accuracy):");
+    for (comp, acc) in &frontier {
+        let bar = "#".repeat((acc * 40.0) as usize);
+        println!("{comp:>6.1}x  {bar} {:.1}%", acc * 100.0);
+    }
+}

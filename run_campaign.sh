@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table and figure of the CSQ paper in sequence and
+# logs to bench_results/campaign.log. Build first:
+#   cargo build -p csq-bench --release
+# Scale via CSQ_* env vars (see BenchScale::from_env).
+set -u
+cd "$(dirname "$0")"
+mkdir -p bench_results
+for b in table1 table2 table4 table5 fig2 fig3 fig4 ablations table3; do
+  echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
+  ./target/release/$b 2>&1
+  echo "=== DONE $b ==="
+done
+echo "=== CAMPAIGN COMPLETE ==="

@@ -1,0 +1,20 @@
+//! Umbrella crate for the CSQ reproduction workspace.
+//!
+//! Re-exports every sub-crate under one name so the examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`tensor`] — dense f32 tensors, matmul, conv, pooling
+//! * [`nn`] — layers, models, losses, optimizers (exact backprop)
+//! * [`data`] — synthetic CIFAR-10/ImageNet stand-in datasets
+//! * [`csq`] — the CSQ algorithm (gates, bit-level parameterization,
+//!   budget regularization, Algorithm-1 trainer, scheme extraction)
+//! * [`baselines`] — STE-Uniform, DoReFa, PACT, LQ-Nets-style, BSQ
+//!
+//! See the repository README for a walkthrough and `cargo run --example
+//! quickstart --release` for a first contact.
+
+pub use csq_baselines as baselines;
+pub use csq_core as csq;
+pub use csq_data as data;
+pub use csq_nn as nn;
+pub use csq_tensor as tensor;

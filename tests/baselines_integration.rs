@@ -1,0 +1,108 @@
+//! Integration tests for the baseline quantizers: each trains the same
+//! tiny model end to end through the shared `fit` loop.
+
+use csq_repro::baselines::{bsq_factory, dorefa_factory, lq_factory, ste_uniform_factory};
+use csq_repro::csq::prelude::*;
+use csq_repro::csq::trainer::evaluate;
+use csq_repro::data::{Dataset, SyntheticSpec};
+use csq_repro::nn::activation::ActMode;
+use csq_repro::nn::models::{resnet_cifar, ModelConfig};
+use csq_repro::nn::{Layer, WeightSource};
+use csq_repro::tensor::Tensor;
+
+fn tiny_data() -> Dataset {
+    Dataset::synthetic(
+        &SyntheticSpec::cifar_like(0)
+            .with_samples(16, 8)
+            .with_classes(4)
+            .with_noise(0.5),
+    )
+}
+
+fn train_with(
+    factory: &mut dyn FnMut(Tensor) -> Box<dyn WeightSource>,
+    act_mode: ActMode,
+    epochs: usize,
+) -> (f32, csq_repro::nn::Sequential) {
+    let data = tiny_data();
+    let mut model_cfg = ModelConfig::cifar_like(6, Some(3), 0).with_act_mode(act_mode);
+    model_cfg.num_classes = 4;
+    let mut model = resnet_cifar(model_cfg, factory, 1);
+    let mut cfg = FitConfig::fast(epochs);
+    cfg.batch_size = 8;
+    fit(&mut model, &data, &cfg, false);
+    model.visit_weight_sources(&mut |src| src.finalize());
+    let (_, acc) = evaluate(&mut model, &data.test, 8);
+    (acc, model)
+}
+
+#[test]
+fn ste_uniform_trains_above_chance() {
+    let mut f = ste_uniform_factory(3);
+    let (acc, _) = train_with(&mut f, ActMode::Uniform, 12);
+    assert!(acc > 0.5, "STE-Uniform should beat 25% chance, got {acc}");
+}
+
+#[test]
+fn dorefa_trains_above_chance() {
+    let mut f = dorefa_factory(3);
+    let (acc, _) = train_with(&mut f, ActMode::Uniform, 12);
+    assert!(acc > 0.5, "DoReFa should beat 25% chance, got {acc}");
+}
+
+#[test]
+fn pact_trains_and_adapts_alpha() {
+    let mut f = dorefa_factory(3);
+    let (acc, _model) = train_with(&mut f, ActMode::Pact, 12);
+    assert!(acc > 0.5, "PACT should beat 25% chance, got {acc}");
+}
+
+#[test]
+fn lq_trains_above_chance() {
+    let mut f = lq_factory(2);
+    let (acc, _) = train_with(&mut f, ActMode::Uniform, 12);
+    assert!(acc > 0.5, "LQ should beat 25% chance, got {acc}");
+}
+
+#[test]
+fn bsq_trains_and_reports_mixed_precision() {
+    let mut f = bsq_factory(8, 1e-3, 3);
+    let (acc, mut model) = train_with(&mut f, ActMode::Uniform, 12);
+    assert!(acc > 0.5, "BSQ should beat 25% chance, got {acc}");
+    let stats = model_precision(&mut model);
+    assert!(stats.avg_bits <= 8.0);
+    assert!(stats.avg_bits >= 1.0);
+}
+
+#[test]
+fn all_methods_produce_grid_exact_weights_after_finalize() {
+    let factories: Vec<(&str, Box<dyn FnMut(Tensor) -> Box<dyn WeightSource>>)> = vec![
+        ("ste", Box::new(ste_uniform_factory(3))),
+        ("bsq", Box::new(bsq_factory(8, 1e-3, 3))),
+        ("csq", Box::new(csq_factory(8))),
+    ];
+    for (name, mut f) in factories {
+        let (_, mut model) = train_with(&mut *f, ActMode::Uniform, 4);
+        model.visit_weight_sources(&mut |src| {
+            if let Some(step) = src.quant_step() {
+                let w = src.materialize();
+                for &v in w.iter() {
+                    let k = v / step;
+                    assert!(
+                        (k - k.round()).abs() < 1e-2,
+                        "{name}: {v} off grid {step}"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn quantized_methods_expose_precisions() {
+    let mut f = ste_uniform_factory(4);
+    let (_, mut model) = train_with(&mut f, ActMode::Uniform, 2);
+    let stats = model_precision(&mut model);
+    assert_eq!(stats.avg_bits, 4.0);
+    assert!((stats.compression_ratio() - 8.0).abs() < 1e-5);
+}

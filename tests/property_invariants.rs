@@ -1,0 +1,139 @@
+//! Property-based tests of the core quantization invariants, across
+//! crates.
+
+use csq_repro::baselines::{BsqWeight, DorefaWeight, LqWeight, SteUniformWeight};
+use csq_repro::csq::{temp_sigmoid, BitQuantizer, QuantMode, TemperatureSchedule};
+use csq_repro::nn::WeightSource;
+use csq_repro::tensor::Tensor;
+use proptest::prelude::*;
+
+fn weight_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, 4..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Finalized CSQ weights lie exactly on the quantization grid for
+    /// any input weight tensor.
+    #[test]
+    fn finalized_csq_weights_on_grid(w in weight_strategy()) {
+        let t = Tensor::from_slice(&w);
+        let mut q = BitQuantizer::from_float(&t, 8, QuantMode::Csq);
+        q.finalize();
+        let step = q.quant_step().unwrap();
+        let m = q.materialize();
+        for &v in m.iter() {
+            let k = v / step;
+            prop_assert!((k - k.round()).abs() < 1e-2, "{} off grid {}", v, step);
+        }
+    }
+
+    /// The hard precision count is always within [0, bits], soft
+    /// precision within (0, bits), and both agree after finalization.
+    #[test]
+    fn precision_counts_bounded(w in weight_strategy(), bits in 1usize..9) {
+        let t = Tensor::from_slice(&w);
+        let mut q = BitQuantizer::from_float(&t, bits, QuantMode::Csq);
+        let hard = q.precision().unwrap();
+        let soft = q.soft_precision().unwrap();
+        prop_assert!((0.0..=bits as f32).contains(&hard));
+        prop_assert!(soft > 0.0 && soft < bits as f32 + 1e-3);
+        q.finalize();
+        prop_assert_eq!(q.precision().unwrap(), q.soft_precision().unwrap());
+    }
+
+    /// Materialization never produces NaN/Inf at any temperature.
+    #[test]
+    fn materialization_always_finite(w in weight_strategy(), beta in 0.1f32..500.0) {
+        let t = Tensor::from_slice(&w);
+        let mut q = BitQuantizer::from_float(&t, 8, QuantMode::Csq);
+        q.set_beta(beta);
+        prop_assert!(q.materialize().all_finite());
+    }
+
+    /// The materialized magnitude is bounded by the scale: |W| ≤ s for
+    /// every gate configuration (the bit sum is at most 2^n − 1).
+    #[test]
+    fn materialized_magnitude_bounded_by_scale(w in weight_strategy()) {
+        let t = Tensor::from_slice(&w);
+        let mut q = BitQuantizer::from_float(&t, 8, QuantMode::Csq);
+        let s = q.scale();
+        let m = q.materialize();
+        prop_assert!(m.max_abs() <= s + 1e-5);
+    }
+
+    /// STE-Uniform quantization error is bounded by half a grid step per
+    /// element (for values inside the clip range).
+    #[test]
+    fn ste_quantization_error_bounded(w in weight_strategy(), bits in 2usize..9) {
+        let t = Tensor::from_slice(&w);
+        let mut q = SteUniformWeight::from_float(&t, bits);
+        let m = q.materialize();
+        let step = q.quant_step().unwrap();
+        for (&orig, &quant) in t.iter().zip(m.iter()) {
+            prop_assert!((orig - quant).abs() <= step * 0.5 + 1e-5);
+        }
+    }
+
+    /// DoReFa output is always inside [-1, 1].
+    #[test]
+    fn dorefa_output_bounded(w in weight_strategy(), bits in 1usize..9) {
+        let t = Tensor::from_slice(&w);
+        let mut q = DorefaWeight::from_float(&t, bits);
+        let m = q.materialize();
+        prop_assert!(m.max_abs() <= 1.0 + 1e-5);
+    }
+
+    /// LQ assignment is optimal: no element could move to a different
+    /// level with lower error.
+    #[test]
+    fn lq_assigns_nearest_level(w in weight_strategy(), bits in 1usize..4) {
+        let t = Tensor::from_slice(&w);
+        let mut q = LqWeight::from_float(&t, bits);
+        let m = q.materialize();
+        let levels = q.levels();
+        for (&orig, &assigned) in t.iter().zip(m.iter()) {
+            let err = (orig - assigned).abs();
+            for &l in &levels {
+                prop_assert!(err <= (orig - l).abs() + 1e-4);
+            }
+        }
+    }
+
+    /// BSQ's MSB pruning is weight-preserving by construction whenever it
+    /// fires.
+    #[test]
+    fn bsq_pruning_preserves_weights(w in weight_strategy()) {
+        let t = Tensor::from_slice(&w);
+        let mut q = BsqWeight::from_float(&t, 8, 0.0, 1);
+        let before = q.materialize();
+        q.on_epoch_end(0); // prunes only all-zero MSB planes
+        let after = q.materialize();
+        prop_assert!(after.approx_eq(&before, 1e-5));
+    }
+
+    /// The temperature schedule is monotone non-decreasing and hits its
+    /// extremes.
+    #[test]
+    fn temperature_schedule_monotone(total in 2usize..300) {
+        let s = TemperatureSchedule::paper_default(total);
+        let mut prev = 0.0f32;
+        for e in 0..total {
+            let b = s.beta_at(e);
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+        prop_assert!((s.beta_at(0) - 1.0).abs() < 1e-5);
+        prop_assert!((s.beta_at(total - 1) - 200.0).abs() < 0.1);
+    }
+
+    /// σ(βx) is always a valid gate value and symmetric about 0.5.
+    #[test]
+    fn gate_is_probability(x in -10.0f32..10.0, beta in 0.01f32..1000.0) {
+        let g = temp_sigmoid(x, beta);
+        prop_assert!((0.0..=1.0).contains(&g));
+        let g_neg = temp_sigmoid(-x, beta);
+        prop_assert!((g + g_neg - 1.0).abs() < 1e-5);
+    }
+}
