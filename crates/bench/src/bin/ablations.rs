@@ -16,18 +16,20 @@
 //!    per-output-channel scales.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin ablations
+//! cargo run -p csq-bench --release --bin ablations [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed variants from the campaign cache.
 
-use csq_bench::{write_results, Arch, BenchScale};
+use csq_bench::{write_results, Arch, BenchScale, Campaign};
 use csq_core::bitrep::csq_factory_with_mask_init;
 use csq_core::prelude::*;
 use csq_core::trainer::{evaluate, fit, FitConfig};
 use csq_nn::activation::ActMode;
 use csq_nn::Layer;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct AblationResult {
     name: String,
     variant: String,
@@ -58,7 +60,7 @@ fn run_variant(
     cfg.seed = scale.seed;
     cfg.beta = Some(TemperatureSchedule::new(1.0, beta_max, scale.epochs));
     cfg.budget = Some(budget);
-    let history = fit(&mut model, &data, &cfg, false);
+    let history = fit(&mut model, &data, &cfg, false).expect("ablation training failed");
     let (_, soft_acc) = evaluate(&mut model, &data.test, cfg.batch_size);
     model.visit_weight_sources(&mut |src| src.finalize());
     let (_, acc) = evaluate(&mut model, &data.test, cfg.batch_size);
@@ -80,12 +82,18 @@ fn run_variant(
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("ablations");
     eprintln!("ablations: scale {scale:?}");
     let mut results = Vec::new();
 
     println!("\n--- Ablation 1: mask-logit initialization ---");
-    for (variant, stagger) in [("staggered (default)", Some((0.05, 0.03))), ("uniform", Some((0.05, 0.0)))] {
-        let mut r = run_variant(&scale, stagger, false, 200.0);
+    for (variant, stagger) in [
+        ("staggered (default)", Some((0.05, 0.03))),
+        ("uniform", Some((0.05, 0.0))),
+    ] {
+        let mut r = campaign.run(&format!("mask-init {variant}"), || {
+            run_variant(&scale, stagger, false, 200.0)
+        });
         r.name = "mask-init".into();
         r.variant = variant.into();
         println!(
@@ -104,7 +112,9 @@ fn main() {
 
     println!("\n--- Ablation 2: Δ_S counting rule ---");
     for (variant, soft) in [("hard (paper)", false), ("soft", true)] {
-        let mut r = run_variant(&scale, None, soft, 200.0);
+        let mut r = campaign.run(&format!("delta-s {variant}"), || {
+            run_variant(&scale, None, soft, 200.0)
+        });
         r.name = "delta-s-counting".into();
         r.variant = variant.into();
         println!(
@@ -117,7 +127,9 @@ fn main() {
 
     println!("\n--- Ablation 3: maximum gate temperature ---");
     for beta_max in [20.0f32, 200.0, 1000.0] {
-        let mut r = run_variant(&scale, None, false, beta_max);
+        let mut r = campaign.run(&format!("beta-max-{beta_max}"), || {
+            run_variant(&scale, None, false, beta_max)
+        });
         r.name = "beta-max".into();
         r.variant = format!("beta_max={beta_max}");
         let gap = (r.soft_acc.unwrap() - r.final_acc) * 100.0;
@@ -131,36 +143,40 @@ fn main() {
 
     println!("\n--- Ablation 4: scale granularity ---");
     for (variant, per_channel) in [("per-layer (paper)", false), ("per-channel", true)] {
-        let target = 3.0f32;
-        let data = Arch::ResNet20.dataset(&scale);
-        let mut model = if per_channel {
-            let mut factory = csq_core::bitrep::csq_factory_per_channel(8);
-            Arch::ResNet20.build(&scale, Some(3), ActMode::Uniform, &mut factory)
-        } else {
-            let mut factory = csq_factory(8);
-            Arch::ResNet20.build(&scale, Some(3), ActMode::Uniform, &mut factory)
-        };
-        let mut cfg = FitConfig::fast(scale.epochs);
-        cfg.seed = scale.seed;
-        cfg.beta = Some(TemperatureSchedule::paper_default(scale.epochs).with_saturation(0.75));
-        cfg.budget = Some(BudgetRegularizer::new(0.3, target));
-        fit(&mut model, &data, &cfg, false);
-        model.visit_weight_sources(&mut |src| src.finalize());
-        let (_, acc) = evaluate(&mut model, &data.test, cfg.batch_size);
-        let bits = model_precision(&mut model).avg_bits;
-        println!(
-            "{variant:<22} final {bits:.2} bits, acc {:.2}%",
-            acc * 100.0
-        );
-        results.push(AblationResult {
-            name: "scale-granularity".into(),
-            variant: variant.into(),
-            final_bits: bits,
-            final_acc: acc,
-            bits_per_epoch: vec![],
-            precision_collapsed: false,
-            soft_acc: None,
+        let r = campaign.run(&format!("scale-granularity {variant}"), || {
+            let target = 3.0f32;
+            let data = Arch::ResNet20.dataset(&scale);
+            let mut model = if per_channel {
+                let mut factory = csq_core::bitrep::csq_factory_per_channel(8);
+                Arch::ResNet20.build(&scale, Some(3), ActMode::Uniform, &mut factory)
+            } else {
+                let mut factory = csq_factory(8);
+                Arch::ResNet20.build(&scale, Some(3), ActMode::Uniform, &mut factory)
+            };
+            let mut cfg = FitConfig::fast(scale.epochs);
+            cfg.seed = scale.seed;
+            cfg.beta = Some(TemperatureSchedule::paper_default(scale.epochs).with_saturation(0.75));
+            cfg.budget = Some(BudgetRegularizer::new(0.3, target));
+            fit(&mut model, &data, &cfg, false).expect("ablation training failed");
+            model.visit_weight_sources(&mut |src| src.finalize());
+            let (_, acc) = evaluate(&mut model, &data.test, cfg.batch_size);
+            let bits = model_precision(&mut model).avg_bits;
+            AblationResult {
+                name: "scale-granularity".into(),
+                variant: variant.into(),
+                final_bits: bits,
+                final_acc: acc,
+                bits_per_epoch: vec![],
+                precision_collapsed: false,
+                soft_acc: None,
+            }
         });
+        println!(
+            "{variant:<22} final {:.2} bits, acc {:.2}%",
+            r.final_bits,
+            r.final_acc * 100.0
+        );
+        results.push(r);
     }
 
     write_results("ablations", &results);

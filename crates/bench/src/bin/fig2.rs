@@ -11,14 +11,16 @@
 //! the claim under test.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin fig2
+//! cargo run -p csq-bench --release --bin fig2 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed λ runs from the campaign cache.
 
-use csq_bench::{write_results, Arch, BenchScale};
+use csq_bench::{write_results, Arch, BenchScale, Campaign};
 use csq_core::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct LambdaSeries {
     lambda: f32,
     bits_per_epoch: Vec<f32>,
@@ -28,39 +30,48 @@ struct LambdaSeries {
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("fig2");
     let target = 3.0f32;
     eprintln!("fig2: lambda sweep at target {target}, scale {scale:?}");
     let lambdas = [1e-6f32, 1e-4, 1e-3, 1e-2, 1e-1, 0.3, 1.0];
     let mut series = Vec::new();
     for &lambda in &lambdas {
-        let data = Arch::ResNet20.dataset(&scale);
-        let mut factory = csq_factory(8);
-        let mut model = Arch::ResNet20.build(
-            &scale,
-            Some(3),
-            csq_nn::activation::ActMode::Uniform,
-            &mut factory,
-        );
-        let cfg = CsqConfig::fast(target)
-            .with_epochs(scale.epochs)
-            .with_lambda(lambda)
-            .with_seed(scale.seed);
-        let report = CsqTrainer::new(cfg).train(&mut model, &data);
-        let bits: Vec<f32> = report.history.iter().map(|h| h.avg_bits).collect();
-        let final_bits = report.final_avg_bits;
+        let s = campaign.run(&format!("lambda-{lambda}"), || {
+            let data = Arch::ResNet20.dataset(&scale);
+            let mut factory = csq_factory(8);
+            let mut model = Arch::ResNet20.build(
+                &scale,
+                Some(3),
+                csq_nn::activation::ActMode::Uniform,
+                &mut factory,
+            );
+            let cfg = CsqConfig::fast(target)
+                .with_epochs(scale.epochs)
+                .with_lambda(lambda)
+                .with_seed(scale.seed);
+            let report = CsqTrainer::new(cfg)
+                .train(&mut model, &data)
+                .unwrap_or_else(|e| panic!("lambda {lambda} training failed: {e}"));
+            let bits: Vec<f32> = report.history.iter().map(|h| h.avg_bits).collect();
+            let final_bits = report.final_avg_bits;
+            LambdaSeries {
+                lambda,
+                bits_per_epoch: bits,
+                final_bits,
+                reached_target: (final_bits - target).abs() <= 0.5,
+            }
+        });
         println!(
-            "lambda={lambda:<8}: final {final_bits:.2} bits | {}",
-            bits.iter()
+            "lambda={:<8}: final {:.2} bits | {}",
+            s.lambda,
+            s.final_bits,
+            s.bits_per_epoch
+                .iter()
                 .map(|b| format!("{b:.1}"))
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        series.push(LambdaSeries {
-            lambda,
-            bits_per_epoch: bits,
-            final_bits,
-            reached_target: (final_bits - target).abs() <= 0.5,
-        });
+        series.push(s);
     }
     let reached = series.iter().filter(|s| s.reached_target).count();
     let failed_small: Vec<f32> = series

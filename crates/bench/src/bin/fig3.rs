@@ -6,14 +6,16 @@
 //! target throughout training and converges to it by the last epoch.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin fig3
+//! cargo run -p csq-bench --release --bin fig3 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed target runs from the campaign cache.
 
-use csq_bench::{write_results, Arch, BenchScale};
+use csq_bench::{write_results, Arch, BenchScale, Campaign};
 use csq_core::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct TargetSeries {
     target: f32,
     bits_per_epoch: Vec<f32>,
@@ -23,37 +25,43 @@ struct TargetSeries {
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("fig3");
     eprintln!("fig3: target sweep, scale {scale:?}");
     let mut series = Vec::new();
     for target in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
-        let data = Arch::ResNet20.dataset(&scale);
-        let mut factory = csq_factory(8);
-        let mut model = Arch::ResNet20.build(
-            &scale,
-            Some(3),
-            csq_nn::activation::ActMode::Uniform,
-            &mut factory,
-        );
-        let cfg = CsqConfig::fast(target)
-            .with_epochs(scale.epochs)
-            .with_seed(scale.seed);
-        let report = CsqTrainer::new(cfg).train(&mut model, &data);
-        let bits: Vec<f32> = report.history.iter().map(|h| h.avg_bits).collect();
+        let s = campaign.run(&format!("target-{target}"), || {
+            let data = Arch::ResNet20.dataset(&scale);
+            let mut factory = csq_factory(8);
+            let mut model = Arch::ResNet20.build(
+                &scale,
+                Some(3),
+                csq_nn::activation::ActMode::Uniform,
+                &mut factory,
+            );
+            let cfg = CsqConfig::fast(target)
+                .with_epochs(scale.epochs)
+                .with_seed(scale.seed);
+            let report = CsqTrainer::new(cfg)
+                .train(&mut model, &data)
+                .unwrap_or_else(|e| panic!("target {target} training failed: {e}"));
+            TargetSeries {
+                target,
+                bits_per_epoch: report.history.iter().map(|h| h.avg_bits).collect(),
+                final_bits: report.final_avg_bits,
+                final_acc: report.final_test_accuracy,
+            }
+        });
         println!(
             "target={target}: final {:.2} bits, acc {:.2}% | {}",
-            report.final_avg_bits,
-            report.final_test_accuracy * 100.0,
-            bits.iter()
+            s.final_bits,
+            s.final_acc * 100.0,
+            s.bits_per_epoch
+                .iter()
                 .map(|b| format!("{b:.1}"))
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        series.push(TargetSeries {
-            target,
-            bits_per_epoch: bits,
-            final_bits: report.final_avg_bits,
-            final_acc: report.final_test_accuracy,
-        });
+        series.push(s);
     }
     let hit = series
         .iter()

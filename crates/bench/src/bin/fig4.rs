@@ -9,14 +9,16 @@
 //! output layers.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin fig4
+//! cargo run -p csq-bench --release --bin fig4 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed target runs from the campaign cache.
 
-use csq_bench::{write_results, Arch, BenchScale};
+use csq_bench::{write_results, Arch, BenchScale, Campaign};
 use csq_core::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct LayerwiseScheme {
     target: f32,
     layer_bits: Vec<f32>,
@@ -25,26 +27,32 @@ struct LayerwiseScheme {
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("fig4");
     eprintln!("fig4: layer-wise schemes, scale {scale:?}");
     let mut schemes = Vec::new();
     for target in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
-        let data = Arch::ResNet20.dataset(&scale);
-        let mut factory = csq_factory(8);
-        let mut model = Arch::ResNet20.build(
-            &scale,
-            Some(3),
-            csq_nn::activation::ActMode::Uniform,
-            &mut factory,
-        );
-        let cfg = CsqConfig::fast(target)
-            .with_epochs(scale.epochs)
-            .with_seed(scale.seed);
-        let report = CsqTrainer::new(cfg).train(&mut model, &data);
-        schemes.push(LayerwiseScheme {
-            target,
-            layer_bits: report.scheme.layer_bits(),
-            avg_bits: report.final_avg_bits,
+        let s = campaign.run(&format!("target-{target}"), || {
+            let data = Arch::ResNet20.dataset(&scale);
+            let mut factory = csq_factory(8);
+            let mut model = Arch::ResNet20.build(
+                &scale,
+                Some(3),
+                csq_nn::activation::ActMode::Uniform,
+                &mut factory,
+            );
+            let cfg = CsqConfig::fast(target)
+                .with_epochs(scale.epochs)
+                .with_seed(scale.seed);
+            let report = CsqTrainer::new(cfg)
+                .train(&mut model, &data)
+                .unwrap_or_else(|e| panic!("target {target} training failed: {e}"));
+            LayerwiseScheme {
+                target,
+                layer_bits: report.scheme.layer_bits(),
+                avg_bits: report.final_avg_bits,
+            }
         });
+        schemes.push(s);
     }
 
     let n_layers = schemes[0].layer_bits.len();

@@ -8,113 +8,111 @@
 //! efficiency–accuracy frontier at every activation precision.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table1
+//! cargo run -p csq-bench --release --bin table1 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed rows from the campaign cache, so an
+//! interrupted table restarts at the first missing row.
 
-use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("table1");
     eprintln!("table1: ResNet-20 / CIFAR-like, scale {scale:?}");
     let mut rows = Vec::new();
+    let csq = |target| Method::Csq {
+        target,
+        finetune: false,
+    };
 
     // ---- A-Bits = 32 -------------------------------------------------
     let a = "32";
     let act = None;
-    let fp = run_method(Arch::ResNet20, Method::Fp, act, &scale);
+    let fp = campaign.method("a32-fp", Arch::ResNet20, Method::Fp, act, &scale);
     rows.push(TableRow::measured(a, &fp, Some(1.00), Some(92.62)));
-    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 3 }, act, &scale);
+    let lq = campaign.method(
+        "a32-lq3",
+        Arch::ResNet20,
+        Method::Lq { bits: 3 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &lq, Some(10.67), Some(92.00)));
-    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    let bsq = campaign.method("a32-bsq", Arch::ResNet20, Method::Bsq, act, &scale);
     rows.push(TableRow::measured(a, &bsq, Some(19.24), Some(91.87)));
-    let c1 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 1.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c1 = campaign.method("a32-csq-t1", Arch::ResNet20, csq(1.0), act, &scale);
     rows.push(TableRow::measured(a, &c1, Some(26.67), Some(91.70)));
-    let c2 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 2.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c2 = campaign.method("a32-csq-t2", Arch::ResNet20, csq(2.0), act, &scale);
     rows.push(TableRow::measured(a, &c2, Some(16.00), Some(92.68)));
 
     // ---- A-Bits = 3 --------------------------------------------------
     let a = "3";
     let act = Some(3);
-    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 3 }, act, &scale);
+    let lq = campaign.method(
+        "a3-lq3",
+        Arch::ResNet20,
+        Method::Lq { bits: 3 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &lq, Some(10.67), Some(91.60)));
-    let pact = run_method(Arch::ResNet20, Method::Pact { bits: 3 }, act, &scale);
+    let pact = campaign.method(
+        "a3-pact3",
+        Arch::ResNet20,
+        Method::Pact { bits: 3 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &pact, Some(10.67), Some(91.10)));
-    let dorefa = run_method(Arch::ResNet20, Method::Dorefa { bits: 3 }, act, &scale);
+    let dorefa = campaign.method(
+        "a3-dorefa3",
+        Arch::ResNet20,
+        Method::Dorefa { bits: 3 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &dorefa, Some(10.67), Some(89.90)));
-    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    let bsq = campaign.method("a3-bsq", Arch::ResNet20, Method::Bsq, act, &scale);
     rows.push(TableRow::measured(a, &bsq, Some(11.04), Some(92.16)));
-    let c2 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 2.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c2 = campaign.method("a3-csq-t2", Arch::ResNet20, csq(2.0), act, &scale);
     rows.push(TableRow::measured(a, &c2, Some(16.93), Some(92.14)));
-    let c3 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 3.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c3 = campaign.method("a3-csq-t3", Arch::ResNet20, csq(3.0), act, &scale);
     rows.push(TableRow::measured(a, &c3, Some(10.49), Some(92.42)));
 
     // ---- A-Bits = 2 --------------------------------------------------
     let a = "2";
     let act = Some(2);
-    let lq = run_method(Arch::ResNet20, Method::Lq { bits: 2 }, act, &scale);
+    let lq = campaign.method(
+        "a2-lq2",
+        Arch::ResNet20,
+        Method::Lq { bits: 2 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &lq, Some(16.00), Some(90.20)));
-    let pact = run_method(Arch::ResNet20, Method::Pact { bits: 2 }, act, &scale);
+    let pact = campaign.method(
+        "a2-pact2",
+        Arch::ResNet20,
+        Method::Pact { bits: 2 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &pact, Some(16.00), Some(89.70)));
-    let dorefa = run_method(Arch::ResNet20, Method::Dorefa { bits: 2 }, act, &scale);
+    let dorefa = campaign.method(
+        "a2-dorefa2",
+        Arch::ResNet20,
+        Method::Dorefa { bits: 2 },
+        act,
+        &scale,
+    );
     rows.push(TableRow::measured(a, &dorefa, Some(16.00), Some(88.20)));
-    let bsq = run_method(Arch::ResNet20, Method::Bsq, act, &scale);
+    let bsq = campaign.method("a2-bsq", Arch::ResNet20, Method::Bsq, act, &scale);
     rows.push(TableRow::measured(a, &bsq, Some(18.85), Some(90.19)));
-    let c1 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 1.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c1 = campaign.method("a2-csq-t1", Arch::ResNet20, csq(1.0), act, &scale);
     rows.push(TableRow::measured(a, &c1, Some(22.86), Some(90.08)));
-    let c2 = run_method(
-        Arch::ResNet20,
-        Method::Csq {
-            target: 2.0,
-            finetune: false,
-        },
-        act,
-        &scale,
-    );
+    let c2 = campaign.method("a2-csq-t2", Arch::ResNet20, csq(2.0), act, &scale);
     rows.push(TableRow::measured(a, &c2, Some(16.41), Some(90.33)));
 
-    emit_table(
-        "table1",
-        "Table I: ResNet-20 on CIFAR-10 (stand-in)",
-        &rows,
-    );
+    emit_table("table1", "Table I: ResNet-20 on CIFAR-10 (stand-in)", &rows);
 }

@@ -6,72 +6,65 @@
 //! GP search); their rows are echoed as `paper-reported`.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table2
+//! cargo run -p csq-bench --release --bin table2 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed rows from the campaign cache.
 
-use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("table2");
     eprintln!("table2: VGG19BN / CIFAR-like, scale {scale:?}");
     let mut rows = Vec::new();
+    let csq = |target| Method::Csq {
+        target,
+        finetune: false,
+    };
 
     // ---- A-Bits = 32 -------------------------------------------------
-    let fp = run_method(Arch::Vgg19Bn, Method::Fp, None, &scale);
+    let fp = campaign.method("a32-fp", Arch::Vgg19Bn, Method::Fp, None, &scale);
     rows.push(TableRow::measured("32", &fp, Some(1.00), Some(94.22)));
-    let lq = run_method(Arch::Vgg19Bn, Method::Lq { bits: 3 }, None, &scale);
-    rows.push(TableRow::measured("32", &lq, Some(10.67), Some(93.80)));
-    let c2 = run_method(
+    let lq = campaign.method(
+        "a32-lq3",
         Arch::Vgg19Bn,
-        Method::Csq {
-            target: 2.0,
-            finetune: false,
-        },
+        Method::Lq { bits: 3 },
         None,
         &scale,
     );
+    rows.push(TableRow::measured("32", &lq, Some(10.67), Some(93.80)));
+    let c2 = campaign.method("a32-csq-t2", Arch::Vgg19Bn, csq(2.0), None, &scale);
     rows.push(TableRow::measured("32", &c2, Some(16.00), Some(94.10)));
 
     // ---- A-Bits = 8 --------------------------------------------------
     rows.push(TableRow::paper_only("8", "ZeroQ", "4", Some(8.00), 92.69));
     rows.push(TableRow::paper_only("8", "ZAQ", "4", Some(8.00), 93.06));
-    let c3 = run_method(
-        Arch::Vgg19Bn,
-        Method::Csq {
-            target: 3.0,
-            finetune: false,
-        },
-        Some(8),
-        &scale,
-    );
+    let c3 = campaign.method("a8-csq-t3", Arch::Vgg19Bn, csq(3.0), Some(8), &scale);
     rows.push(TableRow::measured("8", &c3, Some(10.67), Some(93.90)));
 
     // ---- A-Bits = 4 --------------------------------------------------
     rows.push(TableRow::paper_only("4", "QUANOS", "MP", Some(7.11), 90.70));
-    let c3 = run_method(
-        Arch::Vgg19Bn,
-        Method::Csq {
-            target: 3.0,
-            finetune: false,
-        },
-        Some(4),
-        &scale,
-    );
+    let c3 = campaign.method("a4-csq-t3", Arch::Vgg19Bn, csq(3.0), Some(4), &scale);
     rows.push(TableRow::measured("4", &c3, Some(10.67), Some(93.62)));
 
     // ---- A-Bits = 3 --------------------------------------------------
-    let lq = run_method(Arch::Vgg19Bn, Method::Lq { bits: 3 }, Some(3), &scale);
-    rows.push(TableRow::measured("3", &lq, Some(10.67), Some(93.80)));
-    rows.push(TableRow::paper_only("3", "Non-Linear", "3", Some(9.14), 93.40));
-    let c2 = run_method(
+    let lq = campaign.method(
+        "a3-lq3",
         Arch::Vgg19Bn,
-        Method::Csq {
-            target: 2.0,
-            finetune: false,
-        },
+        Method::Lq { bits: 3 },
         Some(3),
         &scale,
     );
+    rows.push(TableRow::measured("3", &lq, Some(10.67), Some(93.80)));
+    rows.push(TableRow::paper_only(
+        "3",
+        "Non-Linear",
+        "3",
+        Some(9.14),
+        93.40,
+    ));
+    let c2 = campaign.method("a3-csq-t2", Arch::Vgg19Bn, csq(2.0), Some(3), &scale);
     rows.push(TableRow::measured("3", &c2, Some(16.00), Some(93.58)));
 
     emit_table("table2", "Table II: VGG19BN on CIFAR-10 (stand-in)", &rows);

@@ -8,12 +8,14 @@
 //! activations for the ImageNet CSQ models (4-bit for the T2 ResNet-18).
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table3
+//! cargo run -p csq-bench --release --bin table3 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed rows from the campaign cache.
 
-use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
 
-fn resnet_rows(arch: Arch, scale: &BenchScale, rows: &mut Vec<TableRow>) {
+fn resnet_rows(arch: Arch, scale: &BenchScale, campaign: &Campaign, rows: &mut Vec<TableRow>) {
     let name = if arch == Arch::ResNet18 { "r18" } else { "r50" };
     let (fp_acc, dorefa, pact, lq, hawq, csq2, csq3) = if arch == Arch::ResNet18 {
         (
@@ -37,28 +39,57 @@ fn resnet_rows(arch: Arch, scale: &BenchScale, rows: &mut Vec<TableRow>) {
         )
     };
 
-    let fp = run_method(arch, Method::Fp, None, scale);
+    let fp = campaign.method(&format!("{name}-fp"), arch, Method::Fp, None, scale);
     rows.push(TableRow::measured(name, &fp, Some(1.00), Some(fp_acc)));
 
-    let r = run_method(arch, Method::Dorefa { bits: dorefa.0 }, Some(8), scale);
+    let r = campaign.method(
+        &format!("{name}-dorefa"),
+        arch,
+        Method::Dorefa { bits: dorefa.0 },
+        Some(8),
+        scale,
+    );
     rows.push(TableRow::measured(name, &r, Some(dorefa.1), Some(dorefa.2)));
 
-    let r = run_method(arch, Method::Pact { bits: pact.0 }, Some(8), scale);
+    let r = campaign.method(
+        &format!("{name}-pact"),
+        arch,
+        Method::Pact { bits: pact.0 },
+        Some(8),
+        scale,
+    );
     rows.push(TableRow::measured(name, &r, Some(pact.1), Some(pact.2)));
 
-    let r = run_method(arch, Method::Lq { bits: lq.0 }, Some(8), scale);
+    let r = campaign.method(
+        &format!("{name}-lq"),
+        arch,
+        Method::Lq { bits: lq.0 },
+        Some(8),
+        scale,
+    );
     rows.push(TableRow::measured(name, &r, Some(lq.1), Some(lq.2)));
 
-    rows.push(TableRow::paper_only(name, "HAWQ-V3", "4", Some(hawq.0), hawq.1));
+    rows.push(TableRow::paper_only(
+        name,
+        "HAWQ-V3",
+        "4",
+        Some(hawq.0),
+        hawq.1,
+    ));
 
     if arch == Arch::ResNet50 {
         rows.push(TableRow::paper_only(name, "HAQ", "MP", Some(10.57), 75.30));
-        let r = run_method(arch, Method::Bsq, Some(8), scale);
+        let r = campaign.method(&format!("{name}-bsq"), arch, Method::Bsq, Some(8), scale);
         rows.push(TableRow::measured(name, &r, Some(13.90), Some(75.16)));
     }
 
-    let act2 = if arch == Arch::ResNet18 { Some(4) } else { Some(8) };
-    let r = run_method(
+    let act2 = if arch == Arch::ResNet18 {
+        Some(4)
+    } else {
+        Some(8)
+    };
+    let r = campaign.method(
+        &format!("{name}-csq-t2"),
         arch,
         Method::Csq {
             target: 2.0,
@@ -69,7 +100,8 @@ fn resnet_rows(arch: Arch, scale: &BenchScale, rows: &mut Vec<TableRow>) {
     );
     rows.push(TableRow::measured(name, &r, Some(csq2.0), Some(csq2.1)));
 
-    let r = run_method(
+    let r = campaign.method(
+        &format!("{name}-csq-t3"),
         arch,
         Method::Csq {
             target: 3.0,
@@ -91,9 +123,10 @@ fn main() {
     scale.epochs = (scale.epochs * 4 / 5).max(4);
     scale.finetune_epochs = (scale.finetune_epochs / 2).max(2);
     eprintln!("table3: ResNet-18/50 / ImageNet-like, scale {scale:?}");
+    let campaign = Campaign::from_args("table3");
     let mut rows = Vec::new();
-    resnet_rows(Arch::ResNet18, &scale, &mut rows);
-    resnet_rows(Arch::ResNet50, &scale, &mut rows);
+    resnet_rows(Arch::ResNet18, &scale, &campaign, &mut rows);
+    resnet_rows(Arch::ResNet50, &scale, &campaign, &mut rows);
     emit_table(
         "table3",
         "Table III: ResNet-18 and ResNet-50 on ImageNet (stand-in); A-Bits column shows the model family (r18/r50)",

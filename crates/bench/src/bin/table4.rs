@@ -7,13 +7,16 @@
 //! `STE-Uniform < CSQ-Uniform < CSQ-MP`.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table4
+//! cargo run -p csq-bench --release --bin table4 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed rows from the campaign cache.
 
-use csq_bench::{emit_table, run_method, Arch, BenchScale, Method, TableRow};
+use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("table4");
     eprintln!("table4: QAT ablation on ResNet-20, scale {scale:?}");
     let act = Some(3);
     let paper: [(usize, f32, f32, f32); 3] = [
@@ -23,11 +26,34 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (bits, ste_acc, uni_acc, mp_acc) in paper {
-        let r = run_method(Arch::ResNet20, Method::SteUniform { bits }, act, &scale);
-        rows.push(TableRow::measured(&bits.to_string(), &r, None, Some(ste_acc)));
-        let r = run_method(Arch::ResNet20, Method::CsqUniform { bits }, act, &scale);
-        rows.push(TableRow::measured(&bits.to_string(), &r, None, Some(uni_acc)));
-        let r = run_method(
+        let r = campaign.method(
+            &format!("w{bits}-ste"),
+            Arch::ResNet20,
+            Method::SteUniform { bits },
+            act,
+            &scale,
+        );
+        rows.push(TableRow::measured(
+            &bits.to_string(),
+            &r,
+            None,
+            Some(ste_acc),
+        ));
+        let r = campaign.method(
+            &format!("w{bits}-csq-uniform"),
+            Arch::ResNet20,
+            Method::CsqUniform { bits },
+            act,
+            &scale,
+        );
+        rows.push(TableRow::measured(
+            &bits.to_string(),
+            &r,
+            None,
+            Some(uni_acc),
+        ));
+        let r = campaign.method(
+            &format!("w{bits}-csq-mp"),
             Arch::ResNet20,
             Method::Csq {
                 target: bits as f32,
@@ -62,7 +88,11 @@ fn main() {
         let ok = s <= u && u <= m + 1.0; // small tolerance on the top pair
         println!(
             "W={bits}: STE {s:.2} <= CSQ-Uniform {u:.2} <= CSQ-MP {m:.2}  -> {}",
-            if ok { "ordering holds" } else { "ordering VIOLATED" }
+            if ok {
+                "ordering holds"
+            } else {
+                "ordering VIOLATED"
+            }
         );
     }
 }

@@ -7,10 +7,12 @@
 //! monotonically (and gently) as the target shrinks.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table5
+//! cargo run -p csq-bench --release --bin table5 [-- --resume]
 //! ```
+//!
+//! `--resume` reuses completed rows from the campaign cache.
 
-use csq_bench::{run_method, write_results, Arch, BenchScale, Method};
+use csq_bench::{write_results, Arch, BenchScale, Campaign, Method};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -26,6 +28,7 @@ struct TradeoffRow {
 
 fn main() {
     let scale = BenchScale::from_env();
+    let campaign = Campaign::from_args("table5");
     eprintln!("table5: accuracy-size trade-off, scale {scale:?}");
     let paper: [(f32, f32, f32, f32); 5] = [
         (1.0, 1.00, 32.00, 90.33),
@@ -36,7 +39,8 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (target, p_prec, p_comp, p_acc) in paper {
-        let r = run_method(
+        let r = campaign.method(
+            &format!("csq-t{target}"),
             Arch::ResNet20,
             Method::Csq {
                 target,
@@ -55,7 +59,7 @@ fn main() {
             meas_acc: Some(r.accuracy * 100.0),
         });
     }
-    let fp = run_method(Arch::ResNet20, Method::Fp, Some(3), &scale);
+    let fp = campaign.method("fp", Arch::ResNet20, Method::Fp, Some(3), &scale);
     rows.push(TradeoffRow {
         target: "FP".into(),
         paper_avg_prec: 32.0,

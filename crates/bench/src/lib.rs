@@ -31,7 +31,8 @@ use csq_nn::activation::ActMode;
 use csq_nn::models::{resnet18, resnet50, resnet_cifar, vgg19bn, ModelConfig};
 use csq_nn::weight::float_factory;
 use csq_nn::{Layer, Sequential};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Scale parameters shared by every experiment binary.
 #[derive(Debug, Clone, Copy)]
@@ -211,7 +212,7 @@ impl Method {
 }
 
 /// Outcome of one training run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Method label.
     pub method: String,
@@ -297,7 +298,10 @@ pub fn run_method_once(
             if finetune {
                 cfg = cfg.with_finetune(scale.finetune_epochs);
             }
-            let report = CsqTrainer::new(cfg).train(&mut model, &data);
+            let report = match CsqTrainer::new(cfg).train(&mut model, &data) {
+                Ok(r) => r,
+                Err(e) => panic!("{} training failed: {e}", method.label()),
+            };
             RunResult {
                 method: method.label(),
                 w_bits: method.w_bits_label(),
@@ -329,11 +333,13 @@ pub fn run_method_once(
             // Continuous-sparsification parameterizations need the
             // temperature schedule; STE-based ones ignore it.
             if matches!(method, Method::CsqUniform { .. }) {
-                cfg.beta = Some(
-                    TemperatureSchedule::paper_default(scale.epochs).with_saturation(0.75),
-                );
+                cfg.beta =
+                    Some(TemperatureSchedule::paper_default(scale.epochs).with_saturation(0.75));
             }
-            let history = fit(&mut model, &data, &cfg, false);
+            let history = match fit(&mut model, &data, &cfg, false) {
+                Ok(h) => h,
+                Err(e) => panic!("{} training failed: {e}", method.label()),
+            };
             model.visit_weight_sources(&mut |src| src.finalize());
             let (_, acc) = csq_core::trainer::evaluate(&mut model, &data.test, cfg.batch_size);
             let stats = model_precision(&mut model);
@@ -456,6 +462,100 @@ pub fn write_results<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Run-granularity resume for experiment campaigns.
+///
+/// Every completed [`run_method`] result is persisted to
+/// `bench_results/.campaign/<binary>/<key>.json` through the same
+/// atomic-write + CRC32 framing as training snapshots. When a binary is
+/// relaunched with `--resume`, cached runs are returned instantly and
+/// only the missing ones are retrained — so a campaign killed after row
+/// 7 of 12 restarts at row 8, and a truncated or bit-flipped cache file
+/// is silently retrained rather than trusted.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    dir: PathBuf,
+    resume: bool,
+}
+
+impl Campaign {
+    /// A campaign cache for the binary `name`, resuming when `resume`.
+    pub fn new(name: &str, resume: bool) -> Campaign {
+        Campaign {
+            dir: PathBuf::from("bench_results").join(".campaign").join(name),
+            resume,
+        }
+    }
+
+    /// Builds from the process arguments of the binary `name`: passing
+    /// `--resume` reuses cached runs, anything else starts fresh (the
+    /// cache is still written either way).
+    pub fn from_args(name: &str) -> Campaign {
+        let resume = std::env::args().skip(1).any(|a| a == "--resume");
+        let c = Campaign::new(name, resume);
+        if resume {
+            println!("[campaign {name}: resuming from {}]", c.dir.display());
+        }
+        c
+    }
+
+    /// Whether `--resume` (or `new(.., true)`) is in effect.
+    pub fn resuming(&self) -> bool {
+        self.resume
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        let safe: String = key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{safe}.json"))
+    }
+
+    /// Returns the cached value for `key` when resuming, otherwise runs
+    /// `f` and caches its result. Cache failures are non-fatal: an
+    /// unreadable or corrupt entry just means the run is redone.
+    pub fn run<T>(&self, key: &str, f: impl FnOnce() -> T) -> T
+    where
+        T: Serialize + serde::de::DeserializeOwned,
+    {
+        let path = self.path_for(key);
+        if self.resume {
+            if let Ok(payload) = csq_nn::persist::read_checksummed(&path) {
+                if let Ok(cached) = serde_json::from_slice::<T>(&payload) {
+                    println!("[cached {key}]");
+                    return cached;
+                }
+            }
+        }
+        let result = f();
+        if std::fs::create_dir_all(&self.dir).is_ok() {
+            if let Ok(payload) = serde_json::to_vec(&result) {
+                let _ = csq_nn::persist::write_checksummed(&path, &payload);
+            }
+        }
+        result
+    }
+
+    /// [`run_method`] through the cache: the common case for table
+    /// binaries.
+    pub fn method(
+        &self,
+        key: &str,
+        arch: Arch,
+        method: Method,
+        act_bits: Option<u32>,
+        scale: &BenchScale,
+    ) -> RunResult {
+        self.run(key, || run_method(arch, method, act_bits, scale))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,7 +593,12 @@ mod tests {
             seed: 0,
             seeds: 1,
         };
-        for arch in [Arch::ResNet20, Arch::Vgg19Bn, Arch::ResNet18, Arch::ResNet50] {
+        for arch in [
+            Arch::ResNet20,
+            Arch::Vgg19Bn,
+            Arch::ResNet18,
+            Arch::ResNet50,
+        ] {
             let mut fac = float_factory();
             let mut boxed: Box<dyn FnMut(csq_tensor::Tensor) -> Box<dyn csq_nn::WeightSource>> =
                 Box::new(&mut fac);
@@ -502,6 +607,43 @@ mod tests {
             let d = arch.dataset(&scale);
             assert!(!d.train.is_empty());
         }
+    }
+
+    #[test]
+    fn campaign_cache_round_trips() {
+        let name = "test-campaign-cache";
+        let mk = |acc: f32| RunResult {
+            method: "FP".into(),
+            w_bits: "32".into(),
+            avg_bits: 32.0,
+            compression: 1.0,
+            accuracy: acc,
+            bits_history: vec![1.0, 2.0],
+            layer_bits: vec![8.0],
+            seconds: 0.0,
+        };
+        let c = Campaign::new(name, false);
+        assert!(!c.resuming());
+        assert_eq!(c.run("row a/b", || mk(0.5)).accuracy, 0.5);
+        // Not resuming: the closure runs again and refreshes the cache.
+        assert_eq!(c.run("row a/b", || mk(0.7)).accuracy, 0.7);
+        // Resuming: the cached value wins over the closure.
+        let resumed = Campaign::new(name, true).run("row a/b", || mk(0.9));
+        assert_eq!(resumed.accuracy, 0.7);
+        assert_eq!(resumed.bits_history, vec![1.0, 2.0]);
+        // A corrupted cache entry is retrained, not trusted.
+        let path = Campaign::new(name, true).path_for("row a/b");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            Campaign::new(name, true)
+                .run("row a/b", || mk(0.9))
+                .accuracy,
+            0.9
+        );
+        std::fs::remove_dir_all(PathBuf::from("bench_results").join(".campaign").join(name)).ok();
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl SearchedActQuant {
         assert!(target_bits > 0.0, "target must be positive");
         assert!(lambda >= 0.0, "lambda must be non-negative");
         SearchedActQuant {
-            m_a: Tensor::from_vec(
-                (0..bits).map(|b| 0.05 + 0.03 * b as f32).collect(),
-                &[bits],
-            ),
+            m_a: Tensor::from_vec((0..bits).map(|b| 0.05 + 0.03 * b as f32).collect(), &[bits]),
             grad_a: Tensor::zeros(&[bits]),
             bits,
             beta: 1.0,
@@ -100,10 +97,7 @@ impl SearchedActQuant {
         if self.hard {
             return self.hard_precision();
         }
-        self.m_a
-            .iter()
-            .map(|&m| temp_sigmoid(m, self.beta))
-            .sum()
+        self.m_a.iter().map(|&m| temp_sigmoid(m, self.beta)).sum()
     }
 
     /// Hard bit count `Σ_b [m_A ≥ 0]` (at least 1 — a 0-bit activation
@@ -177,10 +171,10 @@ impl Layer for SearchedActQuant {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("SearchedActQuant::backward called before a training forward");
+        let cache = match self.cache.take() {
+            Some(c) => c,
+            None => panic!("SearchedActQuant::backward called before a training forward"),
+        };
         assert_eq!(cache.pass.len(), grad_output.numel(), "grad shape mismatch");
 
         // STE toward the input, clipped.

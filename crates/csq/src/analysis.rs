@@ -41,7 +41,11 @@ impl GateStats {
         }
         GateStats {
             count,
-            mean_softness: if count == 0 { 0.0 } else { (sum / count as f64) as f32 },
+            mean_softness: if count == 0 {
+                0.0
+            } else {
+                (sum / count as f64) as f32
+            },
             max_softness: max,
             frac_discrete: if count == 0 {
                 1.0

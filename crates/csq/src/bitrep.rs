@@ -347,12 +347,7 @@ impl WeightSource for BitQuantizer {
             .enumerate()
             .map(|(i, &v)| v * self.s.data()[i / chunk] / levels)
             .collect();
-        self.cache = Some(Cache {
-            gp,
-            gn,
-            gb,
-            bitsum,
-        });
+        self.cache = Some(Cache { gp, gn, gb, bitsum });
         Tensor::from_vec(w, &self.dims)
     }
 
@@ -362,10 +357,10 @@ impl WeightSource for BitQuantizer {
             self.dims.as_slice(),
             "grad_weight shape mismatch"
         );
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("BitQuantizer::backward called before materialize");
+        let cache = match self.cache.as_ref() {
+            Some(c) => c,
+            None => panic!("BitQuantizer::backward called before materialize"),
+        };
         let levels = ((1u32 << self.bits) - 1) as f32;
         let chunk = self.scale_chunk();
         let numel = self.numel;
@@ -698,7 +693,10 @@ mod tests {
             let lm = q.materialize().dot(&gy);
             q.s.data_mut()[0] += eps;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "s: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "s: {num} vs {ana}"
+            );
         }
         // m_p gradients (sample a few).
         for &idx in &[0usize, 7, 13, 23] {
@@ -957,7 +955,10 @@ mod tests {
         let lm = q.materialize().dot(&gy);
         q.m_p.data_mut()[idx] += eps;
         let num = (lp - lm) / (2.0 * eps);
-        assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "{num} vs {ana}");
+        assert!(
+            (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+            "{num} vs {ana}"
+        );
     }
 
     #[test]

@@ -225,7 +225,10 @@ mod tests {
             });
         });
         assert!(!grads.is_empty());
-        assert!(grads.iter().all(|&g| g > 0.0), "pruning pressure: {grads:?}");
+        assert!(
+            grads.iter().all(|&g| g > 0.0),
+            "pruning pressure: {grads:?}"
+        );
     }
 
     #[test]

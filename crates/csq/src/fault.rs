@@ -1,0 +1,200 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of failures the
+//! trainer consults at fixed points in its loop:
+//!
+//! * **NaN loss at step k** — the batch loss is replaced with NaN just
+//!   before the finiteness check, modelling a numerically exploding
+//!   forward pass.
+//! * **NaN gradients at step k** — every parameter gradient is poisoned
+//!   after backward/regularization but before the optimizer step,
+//!   modelling a corrupted backward pass whose damage only shows up in
+//!   *later* losses (a NaN storm).
+//! * **Crash at epoch e** — training aborts right after the epoch-end
+//!   snapshot write, modelling a process kill at an epoch boundary.
+//!
+//! Each injection fires exactly once and is then spent, so a rewound
+//! epoch replays cleanly. File-corruption helpers ([`truncate_file`],
+//! [`flip_bit`]) complete the kit for testing snapshot integrity
+//! checking.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+
+/// A reproducible schedule of injected training faults.
+///
+/// Build one explicitly with [`FaultPlan::new`] plus the `*_at` setters,
+/// or derive a pseudo-random NaN storm from a seed with
+/// [`FaultPlan::seeded_storm`]. Injection points are *global* batch-step
+/// indices (counted across epochs from the start of the phase) or
+/// phase-local epoch indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    nan_loss_steps: Vec<u64>,
+    nan_grad_steps: Vec<u64>,
+    crash_epochs: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan that injects nothing.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Injects a NaN loss at global batch step `step`.
+    #[must_use]
+    pub fn nan_loss_at(mut self, step: u64) -> FaultPlan {
+        self.nan_loss_steps.push(step);
+        self
+    }
+
+    /// Injects NaN gradients at global batch step `step`.
+    #[must_use]
+    pub fn nan_grads_at(mut self, step: u64) -> FaultPlan {
+        self.nan_grad_steps.push(step);
+        self
+    }
+
+    /// Simulates a crash right after epoch `epoch` completes (and after
+    /// its snapshot, if due, has been written).
+    #[must_use]
+    pub fn crash_at_epoch(mut self, epoch: usize) -> FaultPlan {
+        self.crash_epochs.push(epoch);
+        self
+    }
+
+    /// A seeded burst of `count` NaN-loss injections at pseudo-random
+    /// steps in `[start, start + span)`. Deterministic for a given seed.
+    pub fn seeded_storm(seed: u64, start: u64, span: u64, count: usize) -> FaultPlan {
+        assert!(span > 0, "seeded_storm requires a non-empty step range");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let step = start + rng.gen_range(0..span);
+            if !plan.nan_loss_steps.contains(&step) {
+                plan.nan_loss_steps.push(step);
+            }
+        }
+        plan
+    }
+
+    /// True when nothing is left to inject.
+    pub fn is_spent(&self) -> bool {
+        self.nan_loss_steps.is_empty()
+            && self.nan_grad_steps.is_empty()
+            && self.crash_epochs.is_empty()
+    }
+
+    /// Consumes a pending NaN-loss injection for `step`, if any.
+    pub fn take_nan_loss(&mut self, step: u64) -> bool {
+        take(&mut self.nan_loss_steps, &step)
+    }
+
+    /// Consumes a pending NaN-gradient injection for `step`, if any.
+    pub fn take_nan_grads(&mut self, step: u64) -> bool {
+        take(&mut self.nan_grad_steps, &step)
+    }
+
+    /// Consumes a pending crash injection for `epoch`, if any.
+    pub fn take_crash(&mut self, epoch: usize) -> bool {
+        take(&mut self.crash_epochs, &epoch)
+    }
+}
+
+fn take<T: PartialEq>(pending: &mut Vec<T>, key: &T) -> bool {
+    match pending.iter().position(|p| p == key) {
+        Some(i) => {
+            pending.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Truncates the file at `path` by `bytes` bytes (to empty if it is
+/// shorter), simulating a write cut short by a crash.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn truncate_file(path: &Path, bytes: u64) -> std::io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len.saturating_sub(bytes))?;
+    file.sync_all()
+}
+
+/// Flips one bit of the file at `path` (bit `bit` of byte `byte_index`),
+/// simulating silent on-disk corruption.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; fails with `InvalidInput` when
+/// `byte_index` is out of range or `bit > 7`.
+pub fn flip_bit(path: &Path, byte_index: u64, bit: u8) -> std::io::Result<()> {
+    if bit > 7 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("bit index {bit} out of range (0..=7)"),
+        ));
+    }
+    let mut bytes = std::fs::read(path)?;
+    let idx = usize::try_from(byte_index).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "byte index does not fit usize",
+        )
+    })?;
+    match bytes.get_mut(idx) {
+        Some(b) => *b ^= 1u8 << bit,
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("byte index {byte_index} beyond file length {}", bytes.len()),
+            ))
+        }
+    }
+    std::fs::write(path, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_fire_once() {
+        let mut plan = FaultPlan::new()
+            .nan_loss_at(3)
+            .nan_grads_at(5)
+            .crash_at_epoch(1);
+        assert!(!plan.take_nan_loss(2));
+        assert!(plan.take_nan_loss(3));
+        assert!(!plan.take_nan_loss(3), "spent after first hit");
+        assert!(plan.take_nan_grads(5));
+        assert!(plan.take_crash(1));
+        assert!(plan.is_spent());
+    }
+
+    #[test]
+    fn seeded_storm_is_deterministic() {
+        let a = FaultPlan::seeded_storm(9, 10, 20, 4);
+        let b = FaultPlan::seeded_storm(9, 10, 20, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_spent());
+    }
+
+    #[test]
+    fn truncate_and_flip_corrupt_files() {
+        let path = std::env::temp_dir().join("csq_fault_corrupt.bin");
+        std::fs::write(&path, b"hello world").unwrap();
+        flip_bit(&path, 0, 0).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[0], b'h' ^ 1);
+        truncate_file(&path, 6).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 5);
+        truncate_file(&path, 100).unwrap();
+        assert!(std::fs::read(&path).unwrap().is_empty());
+        assert!(flip_bit(&path, 0, 0).is_err(), "empty file has no byte 0");
+        std::fs::remove_file(&path).ok();
+    }
+}

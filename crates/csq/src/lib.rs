@@ -17,7 +17,10 @@
 //!   mask-frozen finetuning phase with temperature rewind, along with the
 //!   generic QAT training loop shared with the baselines;
 //! * [`scheme`] — extraction, accounting and serialization of the final
-//!   mixed-precision quantization scheme.
+//!   mixed-precision quantization scheme;
+//! * [`resume`] and [`fault`] — fault tolerance: versioned, checksummed
+//!   training snapshots with exact resume, NaN-storm recovery policies,
+//!   and a deterministic fault injector for testing them.
 //!
 //! # Example
 //!
@@ -33,19 +36,25 @@
 //! let mut factory = csq_factory(8);
 //! let model_cfg = ModelConfig::cifar_like(8, Some(3), 0);
 //! let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-//! let report = CsqTrainer::new(cfg).train(&mut model, &data);
+//! let report = CsqTrainer::new(cfg).train(&mut model, &data).unwrap();
 //! println!("final accuracy {:.2}%", report.final_test_accuracy * 100.0);
 //! ```
 
 #![deny(missing_docs)]
+// Library code must surface failures as structured errors (or documented
+// contract panics via `panic!`/`assert!`), never ad-hoc unwraps. Tests and
+// doctests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod act_search;
 pub mod analysis;
 pub mod bitrep;
 pub mod budget;
+pub mod fault;
 pub mod gate;
 pub mod pack;
 pub mod qinfer;
+pub mod resume;
 pub mod scheme;
 pub mod trainer;
 
@@ -56,17 +65,27 @@ pub use bitrep::{
     ScaleGranularity,
 };
 pub use budget::{model_precision, BudgetRegularizer, PrecisionStats};
+pub use fault::FaultPlan;
 pub use gate::{temp_sigmoid, temp_sigmoid_grad, TemperatureSchedule};
 pub use pack::{PackedModel, PackedWeight};
 pub use qinfer::{conv2d_integer, linear_integer, QuantizedActivations};
+pub use resume::{SnapshotError, TrainPhase, TrainSnapshot};
 pub use scheme::{LayerScheme, QuantScheme};
-pub use trainer::{fit, CsqConfig, CsqTrainer, EpochStats, FitConfig, TrainReport};
+pub use trainer::{
+    fit, fit_with, CsqConfig, CsqTrainer, EpochStats, FitConfig, FitOptions, RecoveryPolicy,
+    SnapshotPolicy, TrainError, TrainReport,
+};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::bitrep::{csq_factory, csq_uniform_factory, BitQuantizer, QuantMode};
     pub use crate::budget::{model_precision, BudgetRegularizer, PrecisionStats};
+    pub use crate::fault::FaultPlan;
     pub use crate::gate::{temp_sigmoid, TemperatureSchedule};
+    pub use crate::resume::{TrainPhase, TrainSnapshot};
     pub use crate::scheme::{LayerScheme, QuantScheme};
-    pub use crate::trainer::{fit, CsqConfig, CsqTrainer, FitConfig, TrainReport};
+    pub use crate::trainer::{
+        fit, CsqConfig, CsqTrainer, FitConfig, RecoveryPolicy, SnapshotPolicy, TrainError,
+        TrainReport,
+    };
 }

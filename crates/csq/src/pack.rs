@@ -34,7 +34,10 @@ impl std::fmt::Display for PackError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PackError::NotQuantized { layer } => {
-                write!(f, "layer {layer} has no quantization grid (finalize the model first)")
+                write!(
+                    f,
+                    "layer {layer} has no quantization grid (finalize the model first)"
+                )
             }
             PackError::OffGrid { layer, value, step } => write!(
                 f,
@@ -240,10 +243,7 @@ mod tests {
         };
         // 300 bits -> 38 bytes + 4 scale.
         assert_eq!(pw.size_bytes(), 42);
-        assert_eq!(
-            PackedModel { layers: vec![pw] }.fp32_size_bytes(),
-            400
-        );
+        assert_eq!(PackedModel { layers: vec![pw] }.fp32_size_bytes(), 400);
     }
 
     #[test]

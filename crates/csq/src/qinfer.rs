@@ -99,8 +99,7 @@ pub fn conv2d_integer(x: &QuantizedActivations, w: &PackedWeight, spec: ConvSpec
                                 continue;
                             }
                             for kj in 0..kw {
-                                let jj =
-                                    (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
                                 if jj < 0 || jj >= wd as isize {
                                     continue;
                                 }

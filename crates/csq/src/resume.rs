@@ -1,0 +1,403 @@
+//! Crash-safe training snapshots.
+//!
+//! A [`TrainSnapshot`] captures everything Algorithm 1 needs to continue
+//! mid-run as if it had never stopped:
+//!
+//! * model parameters in visitation order — for CSQ sources that includes
+//!   the scales `s` and the gate logits `m_p`, `m_n`, `m_B` (the whole
+//!   bi-level relaxation state),
+//! * non-parameter layer state ([`csq_nn::Layer::visit_state`]):
+//!   BatchNorm running statistics and activation-range EMAs,
+//! * optimizer moments ([`csq_nn::OptimState`]),
+//! * the phase ([`TrainPhase`]), epochs completed within it, and the full
+//!   [`EpochStats`](crate::EpochStats) history so far,
+//! * the recovery learning-rate scale and the loader seed.
+//!
+//! Deliberately *not* stored (recomputed deterministically instead):
+//! the temperature β (a pure function of the epoch index via
+//! [`crate::TemperatureSchedule`]), the frozen bit mask (recomputed from
+//! the `m_B` logits by `freeze_mask`), and the data loader RNG position
+//! (replayed with [`csq_data::DataLoader::fast_forward`]).
+//!
+//! Snapshots are persisted through [`csq_nn::persist`]: an atomic
+//! temp-file → fsync → rename write framed with a CRC32 header, so a
+//! crash mid-save leaves the previous snapshot intact and a truncated or
+//! bit-flipped file is rejected with a checksum error instead of being
+//! deserialized into garbage.
+
+use crate::trainer::EpochStats;
+use csq_nn::checkpoint::RestoreError;
+use csq_nn::optim::OptimStateError;
+use csq_nn::persist::{self, PersistError};
+use csq_nn::{Checkpoint, Layer, OptimState};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Which phase of Algorithm 1 a snapshot was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainPhase {
+    /// Phase 1: CSQ training with β scheduling and the budget regularizer.
+    Csq,
+    /// Phase 2: mask-frozen finetuning with the temperature rewound.
+    Finetune,
+}
+
+/// Error saving, loading or restoring a [`TrainSnapshot`].
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem or integrity (checksum/truncation) failure.
+    Persist(PersistError),
+    /// The payload is not a valid snapshot document.
+    Json(serde_json::Error),
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The snapshot does not fit the model architecture.
+    Restore(RestoreError),
+    /// The snapshot's non-parameter layer state does not fit the model.
+    StateMismatch {
+        /// State buffers in the snapshot.
+        expected: usize,
+        /// State buffers in the model.
+        actual: usize,
+    },
+    /// The snapshot's optimizer state does not fit the configured
+    /// optimizer.
+    Optim(OptimStateError),
+    /// The snapshot belongs to a different training configuration.
+    ConfigMismatch {
+        /// Human-readable description of the disagreeing field.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Persist(e) => write!(f, "snapshot file error: {e}"),
+            SnapshotError::Json(e) => write!(f, "snapshot payload is not valid: {e}"),
+            SnapshotError::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            SnapshotError::Restore(e) => write!(f, "snapshot does not fit the model: {e}"),
+            SnapshotError::StateMismatch { expected, actual } => write!(
+                f,
+                "snapshot has {expected} layer-state buffers but the model has {actual}"
+            ),
+            SnapshotError::Optim(e) => write!(f, "snapshot optimizer state mismatch: {e}"),
+            SnapshotError::ConfigMismatch { what } => {
+                write!(
+                    f,
+                    "snapshot was taken under a different configuration: {what}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Persist(e) => Some(e),
+            SnapshotError::Json(e) => Some(e),
+            SnapshotError::Restore(e) => Some(e),
+            SnapshotError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for SnapshotError {
+    fn from(e: PersistError) -> Self {
+        SnapshotError::Persist(e)
+    }
+}
+
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+
+impl From<RestoreError> for SnapshotError {
+    fn from(e: RestoreError) -> Self {
+        SnapshotError::Restore(e)
+    }
+}
+
+impl From<OptimStateError> for SnapshotError {
+    fn from(e: OptimStateError) -> Self {
+        SnapshotError::Optim(e)
+    }
+}
+
+/// A versioned, self-contained capture of a training run in flight.
+///
+/// See the module docs for what is stored versus recomputed. Snapshots
+/// round-trip bit-exactly: every field is either an integer or an `f32`
+/// whose JSON encoding (via `f64`) is lossless, so a resumed run
+/// reproduces the interrupted run's trajectory exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSnapshot {
+    /// Format version ([`TrainSnapshot::VERSION`]).
+    pub version: u32,
+    /// Phase the run was in.
+    pub phase: TrainPhase,
+    /// Epochs completed *within this phase*.
+    pub epochs_done: usize,
+    /// Total epochs configured for this phase.
+    pub total_epochs: usize,
+    /// Temperature β of the last completed epoch (informational — β is
+    /// recomputed from the schedule on resume).
+    pub beta: f32,
+    /// Recovery learning-rate scale in effect (1.0 unless a NaN storm
+    /// forced a backoff).
+    pub lr_scale: f32,
+    /// Loader shuffle seed of this phase.
+    pub seed: u64,
+    /// Whether the bit mask was frozen (true from the finetune phase on).
+    pub mask_frozen: bool,
+    /// Budget regularizer strength λ, when the phase uses one.
+    pub lambda: Option<f32>,
+    /// Budget target precision, when the phase uses one.
+    pub target_bits: Option<f32>,
+    /// Full per-epoch history up to the snapshot (all phases).
+    pub history: Vec<EpochStats>,
+    /// Model parameters in visitation order (includes quantizer scales
+    /// and gate logits).
+    pub params: Checkpoint,
+    /// Non-parameter layer state in visitation order (BatchNorm running
+    /// statistics, activation-range EMAs).
+    pub layer_state: Vec<Vec<f32>>,
+    /// Optimizer moments.
+    pub optim: OptimState,
+}
+
+/// Collects every non-parameter state buffer of `model` in visitation
+/// order.
+pub fn capture_layer_state(model: &mut dyn Layer) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    model.visit_state(&mut |s| out.push(s.to_vec()));
+    out
+}
+
+/// Writes `state` (captured by [`capture_layer_state`]) back into
+/// `model`.
+///
+/// # Errors
+///
+/// [`SnapshotError::StateMismatch`] when the buffer count or any buffer
+/// length disagrees; the model is left unchanged in that case.
+pub fn restore_layer_state(model: &mut dyn Layer, state: &[Vec<f32>]) -> Result<(), SnapshotError> {
+    // Validate first so a failed restore never half-applies.
+    let mut count = 0usize;
+    let mut bad_len = false;
+    model.visit_state(&mut |s| {
+        if let Some(saved) = state.get(count) {
+            if saved.len() != s.len() {
+                bad_len = true;
+            }
+        }
+        count += 1;
+    });
+    if count != state.len() || bad_len {
+        return Err(SnapshotError::StateMismatch {
+            expected: state.len(),
+            actual: count,
+        });
+    }
+    let mut idx = 0usize;
+    model.visit_state(&mut |s| {
+        s.copy_from_slice(&state[idx]);
+        idx += 1;
+    });
+    Ok(())
+}
+
+impl TrainSnapshot {
+    /// The snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Restores the snapshot's parameters and layer state into `model`.
+    /// Does *not* re-freeze the bit mask — the trainer does that from the
+    /// restored `m_B` logits when [`TrainSnapshot::mask_frozen`] says so.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the snapshot does not fit the model.
+    pub fn restore_model(&self, model: &mut dyn Layer) -> Result<(), SnapshotError> {
+        self.params.restore(model)?;
+        restore_layer_state(model, &self.layer_state)
+    }
+
+    /// Serializes and writes the snapshot to `path` atomically with a
+    /// CRC32 integrity header.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on serialization or filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let payload = serde_json::to_vec(self)?;
+        persist::write_checksummed(path, &payload).map_err(PersistError::Io)?;
+        Ok(())
+    }
+
+    /// Reads, verifies and parses a snapshot written by
+    /// [`TrainSnapshot::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Persist`] on i/o failure, missing framing,
+    /// truncation or checksum mismatch; [`SnapshotError::Json`] on a
+    /// malformed payload; [`SnapshotError::VersionMismatch`] on a
+    /// future/foreign format version.
+    pub fn load(path: &Path) -> Result<TrainSnapshot, SnapshotError> {
+        let payload = persist::read_checksummed(path)?;
+        let snap: TrainSnapshot = serde_json::from_slice(&payload)?;
+        if snap.version != Self::VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: snap.version,
+                supported: Self::VERSION,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_nn::{BatchNorm2d, Layer, Linear, Sequential};
+    use csq_tensor::Tensor;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::with_float_weights(3, 4, 0)) as Box<dyn Layer>,
+            Box::new(Linear::with_float_weights(4, 2, 1)),
+        ])
+    }
+
+    fn snapshot_for(m: &mut dyn Layer) -> TrainSnapshot {
+        TrainSnapshot {
+            version: TrainSnapshot::VERSION,
+            phase: TrainPhase::Csq,
+            epochs_done: 3,
+            total_epochs: 10,
+            beta: 4.5,
+            lr_scale: 1.0,
+            seed: 7,
+            mask_frozen: false,
+            lambda: Some(0.3),
+            target_bits: Some(3.0),
+            history: Vec::new(),
+            params: Checkpoint::capture(m),
+            layer_state: capture_layer_state(m),
+            optim: OptimState::Sgd { buffers: vec![] },
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_is_exact() {
+        let mut m = model();
+        let snap = snapshot_for(&mut m);
+        let path = std::env::temp_dir().join("csq_resume_roundtrip.snap");
+        snap.save(&path).unwrap();
+        let back = TrainSnapshot::load(&path).unwrap();
+        assert_eq!(back, snap, "bit-exact round trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let mut m = model();
+        let snap = snapshot_for(&mut m);
+        let path = std::env::temp_dir().join("csq_resume_corrupt.snap");
+        snap.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TrainSnapshot::load(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Persist(PersistError::ChecksumMismatch { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let mut m = model();
+        let snap = snapshot_for(&mut m);
+        let path = std::env::temp_dir().join("csq_resume_trunc.snap");
+        snap.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        let err = TrainSnapshot::load(&path).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Persist(PersistError::Truncated { .. })),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_gate_rejects_future_formats() {
+        let mut m = model();
+        let mut snap = snapshot_for(&mut m);
+        snap.version = 99;
+        let path = std::env::temp_dir().join("csq_resume_version.snap");
+        snap.save(&path).unwrap();
+        let err = TrainSnapshot::load(&path).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::VersionMismatch { found: 99, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn layer_state_round_trips_running_stats() {
+        let mut bn = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        bn.forward(&Tensor::ones(&[2, 2, 3, 3]), true);
+        let state = capture_layer_state(&mut bn);
+        assert_eq!(state.len(), 2, "running mean + running var");
+        let mut fresh = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        restore_layer_state(&mut fresh, &state).unwrap();
+        assert_eq!(capture_layer_state(&mut fresh), state);
+    }
+
+    #[test]
+    fn layer_state_restore_rejects_mismatch() {
+        let mut bn = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        let err = restore_layer_state(&mut bn, &[vec![0.0; 2]]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::StateMismatch {
+                    expected: 1,
+                    actual: 2
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn restore_model_applies_params() {
+        let mut a = model();
+        let snap = snapshot_for(&mut a);
+        let mut b = model();
+        // Perturb b so restore has something to do.
+        b.visit_params(&mut |p| p.value.fill(0.123));
+        snap.restore_model(&mut b).unwrap();
+        assert_eq!(Checkpoint::capture(&mut b), snap.params);
+    }
+}

@@ -64,7 +64,12 @@ impl QuantScheme {
     ///
     /// Never panics in practice (the type is plain data).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scheme serialization cannot fail")
+        match serde_json::to_string_pretty(self) {
+            Ok(s) => s,
+            // Unreachable for this plain-data type; kept explicit so a
+            // failure would be loud rather than silently truncated.
+            Err(e) => panic!("scheme serialization failed: {e}"),
+        }
     }
 
     /// Parses a scheme from JSON.
@@ -87,7 +92,11 @@ impl std::fmt::Display for QuantScheme {
             self.layers.len()
         )?;
         for l in &self.layers {
-            writeln!(f, "  layer {:>2}: {:>5.1} bits  ({} params)", l.index, l.bits, l.numel)?;
+            writeln!(
+                f,
+                "  layer {:>2}: {:>5.1} bits  ({} params)",
+                l.index, l.bits, l.numel
+            )?;
         }
         Ok(())
     }

@@ -32,7 +32,7 @@ fn sgd_path_trains_float_model() {
     cfg.optim = OptimKind::Sgd;
     cfg.base_lr = 0.05;
     cfg.batch_size = 8;
-    let history = fit(&mut model, &data, &cfg, false);
+    let history = fit(&mut model, &data, &cfg, false).unwrap();
     let first = history.first().unwrap().loss;
     let last = history.last().unwrap().loss;
     assert!(last < first, "SGD should reduce loss: {first} -> {last}");
@@ -46,7 +46,7 @@ fn warmup_ramps_learning_rate() {
     let mut cfg = FitConfig::fast(6);
     cfg.warmup_epochs = 3;
     cfg.batch_size = 8;
-    let history = fit(&mut model, &data, &cfg, false);
+    let history = fit(&mut model, &data, &cfg, false).unwrap();
     let lrs: Vec<f32> = history.iter().map(|h| h.lr).collect();
     assert!(lrs[0] < lrs[1] && lrs[1] < lrs[2], "warmup ramp: {lrs:?}");
     assert!(lrs[3] >= lrs[4], "cosine decay after warmup: {lrs:?}");
@@ -59,7 +59,10 @@ fn paper_config_presets_are_faithful() {
     assert_eq!(cifar.base_lr, 0.1);
     assert_eq!(cifar.lambda, 0.01);
     assert_eq!(cifar.beta_max, 200.0);
-    assert_eq!(cifar.beta_saturate, 1.0, "paper reaches beta_max last epoch");
+    assert_eq!(
+        cifar.beta_saturate, 1.0,
+        "paper reaches beta_max last epoch"
+    );
     assert_eq!(cifar.weight_decay, 5e-4);
     assert!(matches!(cifar.optim, OptimKind::Sgd));
     assert_eq!(cifar.finetune_epochs, 0, "no finetuning on CIFAR");
@@ -81,7 +84,7 @@ fn paper_sgd_pipeline_smoke_test() {
     let mut model = resnet_cifar(model_cfg, &mut fac, 1);
     let mut cfg = CsqConfig::paper_cifar(4.0, 4);
     cfg.batch_size = 8;
-    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    let report = CsqTrainer::new(cfg).train(&mut model, &data).unwrap();
     assert_eq!(report.history.len(), 4);
     assert!(report.final_avg_bits <= 8.0);
     assert!(report.scheme.layers.iter().all(|l| l.bits >= 0.0));
@@ -94,7 +97,7 @@ fn budget_delta_is_logged_in_history() {
     let mut model = resnet_cifar(tiny_model_cfg(), &mut fac, 1);
     let mut cfg = CsqConfig::fast(3.0).with_epochs(6);
     cfg.batch_size = 8;
-    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    let report = CsqTrainer::new(cfg).train(&mut model, &data).unwrap();
     // Early epochs are over budget: Δ_S starts positive.
     assert!(
         report.history[0].delta_s > 0.0,
@@ -114,7 +117,7 @@ fn soft_counting_budget_also_converges() {
     cfg.batch_size = 8;
     cfg.beta = Some(TemperatureSchedule::paper_default(12).with_saturation(0.75));
     cfg.budget = Some(BudgetRegularizer::new(0.3, 3.0).with_soft_counting());
-    fit(&mut model, &data, &cfg, false);
+    fit(&mut model, &data, &cfg, false).unwrap();
     let bits = model_precision(&mut model).avg_bits;
     assert!(
         (bits - 3.0).abs() <= 2.0,

@@ -59,7 +59,23 @@ impl std::fmt::Display for CifarError {
     }
 }
 
-impl std::error::Error for CifarError {}
+impl std::error::Error for CifarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CifarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CifarError> for std::io::Error {
+    fn from(e: CifarError) -> Self {
+        match e {
+            CifarError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other),
+        }
+    }
+}
 
 impl From<std::io::Error> for CifarError {
     fn from(e: std::io::Error) -> Self {

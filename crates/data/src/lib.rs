@@ -28,6 +28,10 @@
 //! ```
 
 #![deny(missing_docs)]
+// Library code must surface failures as structured errors (or documented
+// contract panics via `panic!`/`assert!`), never ad-hoc unwraps. Tests and
+// doctests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod augment;
 pub mod cifar;

@@ -20,10 +20,17 @@ pub struct Batch {
 /// Each call to [`DataLoader::epoch`] produces a freshly shuffled set of
 /// batches (shuffling is seeded, so runs are reproducible); pass
 /// `shuffle = false` for evaluation order.
-#[derive(Debug)]
+///
+/// The loader is `Clone` (the RNG state clones with it) and records how
+/// many epochs it has served, so crash/resume support can reconstruct the
+/// exact shuffle position either by cloning a known-good loader or by
+/// replaying shuffles with [`DataLoader::fast_forward`].
+#[derive(Debug, Clone)]
 pub struct DataLoader {
     batch_size: usize,
     shuffle: bool,
+    seed: u64,
+    epochs_served: u64,
     rng: ChaCha8Rng,
 }
 
@@ -38,7 +45,36 @@ impl DataLoader {
         DataLoader {
             batch_size,
             shuffle,
+            seed,
+            epochs_served: 0,
             rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this loader was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of epochs served so far (counted only for splits of
+    /// `dataset_len` matching the epochs actually drawn).
+    pub fn epochs_served(&self) -> u64 {
+        self.epochs_served
+    }
+
+    /// Advances the shuffle RNG as if `epochs` epochs over a split of
+    /// `dataset_len` samples had already been drawn. Because the RNG is
+    /// consumed only by the per-epoch shuffle (a function of the split
+    /// length alone), a fresh loader fast-forwarded to epoch *k* produces
+    /// byte-identical batches to one that actually served *k* epochs —
+    /// the property snapshot resume relies on.
+    pub fn fast_forward(&mut self, epochs: u64, dataset_len: usize) {
+        for _ in 0..epochs {
+            if self.shuffle {
+                let mut order: Vec<usize> = (0..dataset_len).collect();
+                order.shuffle(&mut self.rng);
+            }
+            self.epochs_served += 1;
         }
     }
 
@@ -50,6 +86,7 @@ impl DataLoader {
         if self.shuffle {
             order.shuffle(&mut self.rng);
         }
+        self.epochs_served += 1;
         let px: usize = split.images.dims()[1..].iter().product();
         let dims_tail = split.images.dims()[1..].to_vec();
         let mut out = Vec::new();
@@ -131,6 +168,33 @@ mod tests {
         };
         let mut loader = DataLoader::new(8, true, 0);
         assert!(loader.epoch(&empty).is_empty());
+    }
+
+    #[test]
+    fn fast_forward_matches_served_epochs() {
+        let d = tiny();
+        let mut served = DataLoader::new(8, true, 42);
+        for _ in 0..3 {
+            served.epoch(&d.train);
+        }
+        let mut ffwd = DataLoader::new(8, true, 42);
+        ffwd.fast_forward(3, d.train.len());
+        assert_eq!(ffwd.epochs_served(), served.epochs_served());
+        let a: Vec<Vec<usize>> = served.epoch(&d.train).iter().map(|b| b.labels.clone()).collect();
+        let b: Vec<Vec<usize>> = ffwd.epoch(&d.train).iter().map(|b| b.labels.clone()).collect();
+        assert_eq!(a, b, "epoch 4 must be identical after fast-forward");
+    }
+
+    #[test]
+    fn cloned_loader_replays_identically() {
+        let d = tiny();
+        let mut loader = DataLoader::new(8, true, 7);
+        loader.epoch(&d.train);
+        let mut snap = loader.clone();
+        let a: Vec<Vec<usize>> = loader.epoch(&d.train).iter().map(|b| b.labels.clone()).collect();
+        let b: Vec<Vec<usize>> = snap.epoch(&d.train).iter().map(|b| b.labels.clone()).collect();
+        assert_eq!(a, b);
+        assert_eq!(loader.seed(), 7);
     }
 
     #[test]

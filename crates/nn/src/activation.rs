@@ -27,10 +27,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .take()
-            .expect("Relu::backward called before a training forward");
+        let mask = crate::layer::take_cache(
+            &mut self.mask,
+            "Relu::backward called before a training forward",
+        );
         assert_eq!(mask.len(), grad_output.numel(), "grad shape mismatch");
         let mut g = grad_output.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(mask.iter()) {
@@ -136,10 +136,10 @@ impl Layer for ActQuant {
         if self.bits.is_none() {
             return grad_output.clone();
         }
-        let mask = self
-            .pass_mask
-            .take()
-            .expect("ActQuant::backward called before a training forward");
+        let mask = crate::layer::take_cache(
+            &mut self.pass_mask,
+            "ActQuant::backward called before a training forward",
+        );
         assert_eq!(mask.len(), grad_output.numel(), "grad shape mismatch");
         let mut g = grad_output.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(mask.iter()) {
@@ -148,6 +148,16 @@ impl Layer for ActQuant {
             }
         }
         g
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        // Copy-in/copy-out so the initialization flag rides along with the
+        // range EMA: a resumed run must not re-seed the range from its
+        // first batch.
+        let mut buf = [self.range, if self.initialized { 1.0 } else { 0.0 }];
+        f(&mut buf);
+        self.range = buf[0];
+        self.initialized = buf[1] != 0.0;
     }
 
     fn kind(&self) -> &'static str {
@@ -243,10 +253,10 @@ impl Layer for Pact {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("Pact::backward called before a training forward");
+        let cache = crate::layer::take_cache(
+            &mut self.cache,
+            "Pact::backward called before a training forward",
+        );
         assert_eq!(cache.region.len(), grad_output.numel(), "grad shape mismatch");
         let mut g = grad_output.clone();
         let mut ga = 0.0f32;

@@ -142,10 +142,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("BatchNorm2d::backward called before a training forward");
+        let cache = crate::layer::take_cache(
+            &mut self.cache,
+            "BatchNorm2d::backward called before a training forward",
+        );
         assert_eq!(grad_output.dims(), cache.dims.as_slice());
         let (n, c, h, w) = (cache.dims[0], cache.dims[1], cache.dims[2], cache.dims[3]);
         let hw = h * w;
@@ -195,6 +195,11 @@ impl Layer for BatchNorm2d {
             grad: &mut self.grad_beta,
             decay: false,
         });
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(self.running_mean.data_mut());
+        f(self.running_var.data_mut());
     }
 
     fn kind(&self) -> &'static str {

@@ -109,7 +109,12 @@ impl Checkpoint {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+        match serde_json::to_string(self) {
+            Ok(s) => s,
+            // Unreachable for this type (plain tensors); kept explicit so
+            // the failure would be loud rather than silently truncated.
+            Err(e) => panic!("checkpoint serialization failed: {e}"),
+        }
     }
 
     /// Parses a checkpoint from JSON.
@@ -121,23 +126,35 @@ impl Checkpoint {
         serde_json::from_str(s)
     }
 
-    /// Writes the checkpoint to a file.
+    /// Writes the checkpoint to a file atomically (temp file → fsync →
+    /// rename) with a CRC32 integrity header, so a crash mid-save or
+    /// later bit rot can never produce a silently-corrupt checkpoint.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::persist::write_checksummed(path, self.to_json().as_bytes())
     }
 
-    /// Reads a checkpoint from a file.
+    /// Reads a checkpoint from a file, verifying the CRC32 framing
+    /// written by [`Checkpoint::save`]. Plain-JSON files from before the
+    /// framing existed are still accepted (legacy fallback); framed files
+    /// that fail verification are rejected.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors; malformed JSON becomes
-    /// `io::ErrorKind::InvalidData`.
+    /// Propagates I/O errors; a corrupt (truncated or bit-flipped) file
+    /// or malformed JSON becomes `io::ErrorKind::InvalidData`.
     pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
-        let text = std::fs::read_to_string(path)?;
+        let bytes = std::fs::read(path)?;
+        let payload: Vec<u8> = if crate::persist::is_checksummed(&bytes) {
+            crate::persist::verify_checksummed(&bytes)?.to_vec()
+        } else {
+            bytes
+        };
+        let text = String::from_utf8(payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         Self::from_json(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
@@ -213,6 +230,36 @@ mod tests {
         let ckpt = Checkpoint::capture(&mut a);
         let path = std::env::temp_dir().join("csq_ckpt_test.json");
         ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saved_file_is_checksummed_and_corruption_rejected() {
+        let mut a = model(4);
+        let ckpt = Checkpoint::capture(&mut a);
+        let path = std::env::temp_dir().join("csq_ckpt_crc_test.json");
+        ckpt.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(crate::persist::is_checksummed(&bytes), "save writes framing");
+        // Flip one payload bit: load must fail with InvalidData, not
+        // deserialize garbage.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_plain_json_still_loads() {
+        let mut a = model(5);
+        let ckpt = Checkpoint::capture(&mut a);
+        let path = std::env::temp_dir().join("csq_ckpt_legacy_test.json");
+        std::fs::write(&path, ckpt.to_json()).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, ckpt);
         std::fs::remove_file(&path).ok();

@@ -116,14 +116,14 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Conv2d::backward called before a training forward");
-        let w = self
-            .cached_weight
-            .take()
-            .expect("Conv2d::backward missing cached weight");
+        let input = crate::layer::take_cache(
+            &mut self.cached_input,
+            "Conv2d::backward called before a training forward",
+        );
+        let w = crate::layer::take_cache(
+            &mut self.cached_weight,
+            "Conv2d::backward missing cached weight",
+        );
         let (grad_input, grad_w) = conv2d_backward(&input, &w, grad_output, self.spec);
         self.weight.backward(&grad_w);
         if let Some((_, gb)) = &mut self.bias {
@@ -302,14 +302,14 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("DepthwiseConv2d::backward called before a training forward");
-        let w = self
-            .cached_weight
-            .take()
-            .expect("DepthwiseConv2d::backward missing cached weight");
+        let input = crate::layer::take_cache(
+            &mut self.cached_input,
+            "DepthwiseConv2d::backward called before a training forward",
+        );
+        let w = crate::layer::take_cache(
+            &mut self.cached_weight,
+            "DepthwiseConv2d::backward missing cached weight",
+        );
         let (grad_input, grad_w) =
             csq_tensor::conv::depthwise_conv2d_backward(&input, &w, grad_output, self.spec);
         self.weight.backward(&grad_w);

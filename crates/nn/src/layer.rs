@@ -52,6 +52,13 @@ pub trait Layer: std::fmt::Debug {
     /// schedule temperatures and account model precision.
     fn visit_weight_sources(&mut self, _f: &mut dyn FnMut(&mut dyn WeightSource)) {}
 
+    /// Visits every non-parameter state buffer the layer mutates while
+    /// training (BatchNorm running statistics, activation-range EMAs) in a
+    /// stable order. Snapshot/resume uses this to capture state that
+    /// `visit_params` does not cover; layers without such state inherit
+    /// the no-op default.
+    fn visit_state(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
     /// Clears all accumulated parameter gradients.
     fn zero_grads(&mut self) {
         self.visit_params(&mut |p| p.grad.fill(0.0));
@@ -59,6 +66,17 @@ pub trait Layer: std::fmt::Debug {
 
     /// Human-readable layer kind, for debugging and scheme printouts.
     fn kind(&self) -> &'static str;
+}
+
+/// Takes a value cached by a training-mode `forward`, panicking with the
+/// layer's documented contract message when absent. Centralizes the
+/// backward-before-forward contract check so layer code stays free of
+/// ad-hoc `expect` calls.
+pub(crate) fn take_cache<T>(cache: &mut Option<T>, msg: &str) -> T {
+    match cache.take() {
+        Some(c) => c,
+        None => panic!("{msg}"),
+    }
 }
 
 /// Counts the trainable scalar parameters reachable from `layer`.

@@ -34,6 +34,10 @@
 //! ```
 
 #![deny(missing_docs)]
+// Library code must surface failures as structured errors (or documented
+// contract panics via `panic!`/`assert!`), never ad-hoc unwraps. Tests and
+// doctests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod activation;
 pub mod batchnorm;
@@ -46,6 +50,7 @@ pub mod loss;
 pub mod metrics;
 pub mod models;
 pub mod optim;
+pub mod persist;
 pub mod pool;
 pub mod residual;
 pub mod sequential;
@@ -61,7 +66,8 @@ pub use linear::Linear;
 pub use loss::softmax_cross_entropy;
 pub use metrics::accuracy;
 pub use activation::Pact;
-pub use optim::{Adam, CosineSchedule, Sgd};
+pub use optim::{Adam, CosineSchedule, OptimState, OptimStateError, Sgd};
+pub use persist::PersistError;
 pub use pool::{AvgPool2d, Flatten, GlobalAvgPool, MaxPool2d};
 pub use residual::Residual;
 pub use sequential::Sequential;

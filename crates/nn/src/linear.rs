@@ -93,14 +93,14 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Linear::backward called before a training forward");
-        let w = self
-            .cached_weight
-            .take()
-            .expect("Linear::backward missing cached weight");
+        let input = crate::layer::take_cache(
+            &mut self.cached_input,
+            "Linear::backward called before a training forward",
+        );
+        let w = crate::layer::take_cache(
+            &mut self.cached_weight,
+            "Linear::backward missing cached weight",
+        );
         // dW = dYᵀ · X ; dX = dY · W ; db = Σ_batch dY
         let grad_w = grad_output.matmul_tn(&input);
         self.weight.backward(&grad_w);

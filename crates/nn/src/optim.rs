@@ -2,6 +2,85 @@
 
 use crate::layer::Layer;
 use csq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A serializable snapshot of an optimizer's internal state (momentum
+/// buffers / Adam moments), keyed — like the live state — by parameter
+/// visitation order. Captured into `TrainSnapshot`s so a resumed run
+/// continues with the exact optimizer trajectory of the original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimState {
+    /// SGD momentum buffers.
+    Sgd {
+        /// One velocity tensor per parameter, in visitation order.
+        buffers: Vec<Tensor>,
+    },
+    /// Adam first/second moments and the bias-correction step counter.
+    Adam {
+        /// Number of steps taken so far (drives bias correction).
+        step_count: u64,
+        /// First-moment estimates, in visitation order.
+        m: Vec<Tensor>,
+        /// Second-moment estimates, in visitation order.
+        v: Vec<Tensor>,
+    },
+}
+
+impl OptimState {
+    /// Short label of the optimizer family this state belongs to.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptimState::Sgd { .. } => "sgd",
+            OptimState::Adam { .. } => "adam",
+        }
+    }
+}
+
+/// Error importing an [`OptimState`] into an optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimStateError {
+    /// The state belongs to a different optimizer family.
+    KindMismatch {
+        /// Family of the state being imported.
+        state: &'static str,
+        /// Family of the optimizer importing it.
+        optimizer: &'static str,
+    },
+    /// A buffer's shape differs from the one already allocated at its
+    /// position (the parameter order changed between capture and import).
+    ShapeMismatch {
+        /// Buffer index (visitation order).
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for OptimStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimStateError::KindMismatch { state, optimizer } => write!(
+                f,
+                "optimizer state is for {state} but the optimizer is {optimizer}"
+            ),
+            OptimStateError::ShapeMismatch { index } => {
+                write!(f, "optimizer buffer {index} has a mismatched shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimStateError {}
+
+/// Validates that every restored buffer matches the shape already
+/// allocated at its position (no-op when the optimizer has not stepped
+/// yet — buffers are lazily allocated on first step).
+fn check_shapes(existing: &[Tensor], incoming: &[Tensor]) -> Result<(), OptimStateError> {
+    for (index, (a, b)) in existing.iter().zip(incoming.iter()).enumerate() {
+        if a.dims() != b.dims() {
+            return Err(OptimStateError::ShapeMismatch { index });
+        }
+    }
+    Ok(())
+}
 
 /// SGD with momentum and (selective) weight decay — the optimizer used for
 /// every experiment in the paper (§IV-A: momentum 0.9, weight decay 5e-4
@@ -79,6 +158,33 @@ impl Sgd {
             }
             idx += 1;
         });
+    }
+
+    /// Captures the momentum buffers for persistence in a snapshot.
+    pub fn export_state(&self) -> OptimState {
+        OptimState::Sgd {
+            buffers: self.buffers.clone(),
+        }
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`OptimStateError`] when the state is for a different optimizer
+    /// family or a buffer shape disagrees with ones already allocated.
+    pub fn import_state(&mut self, state: OptimState) -> Result<(), OptimStateError> {
+        match state {
+            OptimState::Sgd { buffers } => {
+                check_shapes(&self.buffers, &buffers)?;
+                self.buffers = buffers;
+                Ok(())
+            }
+            other => Err(OptimStateError::KindMismatch {
+                state: other.kind(),
+                optimizer: "sgd",
+            }),
+        }
     }
 }
 
@@ -174,6 +280,39 @@ impl Adam {
             }
             idx += 1;
         });
+    }
+
+    /// Captures the moments and step counter for persistence in a
+    /// snapshot.
+    pub fn export_state(&self) -> OptimState {
+        OptimState::Adam {
+            step_count: self.step_count,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`OptimStateError`] when the state is for a different optimizer
+    /// family or a buffer shape disagrees with ones already allocated.
+    pub fn import_state(&mut self, state: OptimState) -> Result<(), OptimStateError> {
+        match state {
+            OptimState::Adam { step_count, m, v } => {
+                check_shapes(&self.m, &m)?;
+                check_shapes(&self.v, &v)?;
+                self.step_count = step_count;
+                self.m = m;
+                self.v = v;
+                Ok(())
+            }
+            other => Err(OptimStateError::KindMismatch {
+                state: other.kind(),
+                optimizer: "adam",
+            }),
+        }
     }
 }
 
@@ -394,5 +533,46 @@ mod tests {
     #[should_panic(expected = "warmup must be shorter")]
     fn bad_warmup_panics() {
         CosineSchedule::new(0.1, 10, 10);
+    }
+
+    #[test]
+    fn optim_state_round_trips_sgd_and_adam() {
+        // Two models stepped identically diverge unless the second one
+        // imports the first one's optimizer state after a desync.
+        let mut layer = Linear::with_float_weights(3, 2, 7);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        layer.visit_params(&mut |p| p.grad.fill(1.0));
+        opt.step(&mut layer);
+        let state = opt.export_state();
+        let mut fresh = Sgd::new(0.1, 0.9, 0.0);
+        fresh.import_state(state.clone()).unwrap();
+        assert_eq!(fresh.export_state(), state);
+
+        let mut adam = Adam::new(0.01, 0.0);
+        layer.visit_params(&mut |p| p.grad.fill(1.0));
+        adam.step(&mut layer);
+        let astate = adam.export_state();
+        let mut fresh_adam = Adam::new(0.01, 0.0);
+        fresh_adam.import_state(astate.clone()).unwrap();
+        assert_eq!(fresh_adam.export_state(), astate);
+
+        // Cross-family import is rejected.
+        let err = fresh_adam.import_state(state).unwrap_err();
+        assert!(matches!(err, OptimStateError::KindMismatch { .. }));
+        assert!(err.to_string().contains("sgd"));
+    }
+
+    #[test]
+    fn optim_state_import_rejects_shape_mismatch() {
+        let mut small = Linear::with_float_weights(2, 2, 8);
+        let mut big = Linear::with_float_weights(5, 5, 9);
+        let mut opt_small = Sgd::new(0.1, 0.9, 0.0);
+        let mut opt_big = Sgd::new(0.1, 0.9, 0.0);
+        small.visit_params(&mut |p| p.grad.fill(1.0));
+        big.visit_params(&mut |p| p.grad.fill(1.0));
+        opt_small.step(&mut small);
+        opt_big.step(&mut big);
+        let err = opt_small.import_state(opt_big.export_state()).unwrap_err();
+        assert_eq!(err, OptimStateError::ShapeMismatch { index: 0 });
     }
 }

@@ -40,10 +40,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let (argmax, dims) = self
-            .cache
-            .take()
-            .expect("MaxPool2d::backward called before a training forward");
+        let (argmax, dims) = crate::layer::take_cache(
+            &mut self.cache,
+            "MaxPool2d::backward called before a training forward",
+        );
         pool::maxpool2d_backward(grad_output, &argmax, &dims)
     }
 
@@ -87,10 +87,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .take()
-            .expect("AvgPool2d::backward called before a training forward");
+        let dims = crate::layer::take_cache(
+            &mut self.input_dims,
+            "AvgPool2d::backward called before a training forward",
+        );
         pool::avgpool2d_backward(grad_output, &dims, self.window, self.stride)
     }
 
@@ -123,10 +123,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .take()
-            .expect("GlobalAvgPool::backward called before a training forward");
+        let dims = crate::layer::take_cache(
+            &mut self.input_dims,
+            "GlobalAvgPool::backward called before a training forward",
+        );
         pool::global_avgpool_backward(grad_output, &dims)
     }
 
@@ -161,10 +161,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .take()
-            .expect("Flatten::backward called before a training forward");
+        let dims = crate::layer::take_cache(
+            &mut self.input_dims,
+            "Flatten::backward called before a training forward",
+        );
         grad_output.reshape(&dims)
     }
 

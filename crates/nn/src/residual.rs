@@ -73,6 +73,14 @@ impl Layer for Residual {
         self.post.visit_weight_sources(f);
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.main.visit_state(f);
+        if let Some(sc) = &mut self.shortcut {
+            sc.visit_state(f);
+        }
+        self.post.visit_state(f);
+    }
+
     fn kind(&self) -> &'static str {
         "residual"
     }

@@ -72,6 +72,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
+
     fn kind(&self) -> &'static str {
         "sequential"
     }

@@ -49,7 +49,7 @@ fn main() {
         if needs_beta {
             cfg.beta = Some(TemperatureSchedule::paper_default(epochs).with_saturation(0.75));
         }
-        fit(&mut model, &data, &cfg, false);
+        fit(&mut model, &data, &cfg, false).expect("baseline training failed");
         model.visit_weight_sources(&mut |src| src.finalize());
         let (_, acc) = evaluate(&mut model, &data.test, 32);
         let stats = model_precision(&mut model);
@@ -67,8 +67,9 @@ fn main() {
         let mut factory = csq_factory(8);
         let model_cfg = ModelConfig::cifar_like(8, Some(3), 0);
         let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-        let report =
-            CsqTrainer::new(CsqConfig::fast(target).with_epochs(epochs)).train(&mut model, &data);
+        let report = CsqTrainer::new(CsqConfig::fast(target).with_epochs(epochs))
+            .train(&mut model, &data)
+            .expect("CSQ training failed");
         println!(
             "{:<14} {:>8.1} {:>11.1}x {:>9.1}%",
             format!("CSQ T{target}"),

@@ -20,12 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut factory = csq_factory(8);
     let model_cfg = ModelConfig::cifar_like(8, Some(3), 5);
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-    let report = CsqTrainer::new(CsqConfig::fast(2.0).with_epochs(12)).train(&mut model, &data);
+    let report = CsqTrainer::new(CsqConfig::fast(2.0).with_epochs(12))
+        .train(&mut model, &data)
+        .expect("CSQ training failed");
     let scheme = &report.scheme;
 
     // A human-readable view: per-layer precision with bar charts and the
     // per-bit keep mask (LSB on the left).
-    println!("layer-wise scheme at {:.2} average bits:\n", scheme.avg_bits);
+    println!(
+        "layer-wise scheme at {:.2} average bits:\n",
+        scheme.avg_bits
+    );
     for layer in &scheme.layers {
         let bar = "#".repeat(layer.bits as usize);
         let mask = layer

@@ -28,7 +28,8 @@ fn main() {
     let mut factory = float_factory();
     let model_cfg = ModelConfig::cifar_like(8, None, 7);
     let mut fp_model = resnet_cifar(model_cfg, &mut factory, 1);
-    let fp_history = fit(&mut fp_model, &data, &FitConfig::fast(12), false);
+    let fp_history =
+        fit(&mut fp_model, &data, &FitConfig::fast(12), false).expect("FP training failed");
     let fp_acc = fp_history.last().map(|h| h.test_acc).unwrap_or(0.0);
     println!("FP reference: {:.2}% accuracy\n", fp_acc * 100.0);
 
@@ -37,9 +38,14 @@ fn main() {
     let model_cfg = ModelConfig::cifar_like(8, Some(4), 7);
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
     let cfg = CsqConfig::fast(2.0).with_epochs(12).with_finetune(6);
-    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    let report = CsqTrainer::new(cfg)
+        .train(&mut model, &data)
+        .expect("CSQ training failed");
 
-    println!("{:<6} {:>5} {:>8} {:>9} {:>9} {:>7} {:>8}", "phase", "epoch", "loss", "trainAcc", "testAcc", "bits", "beta");
+    println!(
+        "{:<6} {:>5} {:>8} {:>9} {:>9} {:>7} {:>8}",
+        "phase", "epoch", "loss", "trainAcc", "testAcc", "bits", "beta"
+    );
     for h in &report.history {
         println!(
             "{:<6} {:>5} {:>8.3} {:>8.1}% {:>8.1}% {:>7.2} {:>8.1}",

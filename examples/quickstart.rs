@@ -36,7 +36,9 @@ fn main() {
         "training with CSQ: {} epochs, lambda {}, target {} bits",
         cfg.epochs, cfg.lambda, cfg.target_bits
     );
-    let report = CsqTrainer::new(cfg).train(&mut model, &data);
+    let report = CsqTrainer::new(cfg)
+        .train(&mut model, &data)
+        .expect("CSQ training failed");
 
     // 4. The finalized model is exactly quantized; the report carries the
     //    discovered mixed-precision scheme.

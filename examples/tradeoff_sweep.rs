@@ -27,7 +27,9 @@ fn main() {
         let model_cfg = ModelConfig::cifar_like(8, Some(3), 3);
         let mut model = resnet_cifar(model_cfg, &mut factory, 1);
         let cfg = CsqConfig::fast(target).with_epochs(12);
-        let report = CsqTrainer::new(cfg).train(&mut model, &data);
+        let report = CsqTrainer::new(cfg)
+            .train(&mut model, &data)
+            .expect("CSQ training failed");
         println!(
             "{:>6}b {:>9.2}b {:>11.1}x {:>9.2}%",
             target,

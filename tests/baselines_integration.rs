@@ -30,7 +30,7 @@ fn train_with(
     let mut model = resnet_cifar(model_cfg, factory, 1);
     let mut cfg = FitConfig::fast(epochs);
     cfg.batch_size = 8;
-    fit(&mut model, &data, &cfg, false);
+    fit(&mut model, &data, &cfg, false).unwrap();
     model.visit_weight_sources(&mut |src| src.finalize());
     let (_, acc) = evaluate(&mut model, &data.test, 8);
     (acc, model)
@@ -88,10 +88,7 @@ fn all_methods_produce_grid_exact_weights_after_finalize() {
                 let w = src.materialize();
                 for &v in w.iter() {
                     let k = v / step;
-                    assert!(
-                        (k - k.round()).abs() < 1e-2,
-                        "{name}: {v} off grid {step}"
-                    );
+                    assert!((k - k.round()).abs() < 1e-2, "{name}: {v} off grid {step}");
                 }
             }
         });

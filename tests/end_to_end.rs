@@ -31,7 +31,7 @@ fn fp_model_learns_the_synthetic_task() {
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
     let mut fit_cfg = FitConfig::fast(12);
     fit_cfg.batch_size = 8;
-    let history = fit(&mut model, &data, &fit_cfg, false);
+    let history = fit(&mut model, &data, &fit_cfg, false).unwrap();
     let final_acc = history.last().unwrap().test_acc;
     assert!(
         final_acc > 0.6,
@@ -46,7 +46,9 @@ fn csq_pipeline_reaches_target_and_quantizes_exactly() {
     let mut model_cfg = ModelConfig::cifar_like(6, Some(3), 0);
     model_cfg.num_classes = 4;
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-    let report = CsqTrainer::new(tiny_cfg(3.0, 15)).train(&mut model, &data);
+    let report = CsqTrainer::new(tiny_cfg(3.0, 15))
+        .train(&mut model, &data)
+        .unwrap();
 
     // Budget reached.
     assert!(
@@ -78,7 +80,9 @@ fn finetune_improves_or_preserves_accuracy_with_fixed_scheme() {
 
     let mut factory = csq_factory(8);
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-    let report = CsqTrainer::new(tiny_cfg(2.0, 10).with_finetune(6)).train(&mut model, &data);
+    let report = CsqTrainer::new(tiny_cfg(2.0, 10).with_finetune(6))
+        .train(&mut model, &data)
+        .unwrap();
 
     let csq_phase_bits: Vec<f32> = report
         .history
@@ -101,14 +105,19 @@ fn deterministic_given_seed() {
         let mut model_cfg = ModelConfig::cifar_like(6, None, 0);
         model_cfg.num_classes = 4;
         let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-        CsqTrainer::new(tiny_cfg(3.0, 6)).train(&mut model, &data)
+        CsqTrainer::new(tiny_cfg(3.0, 6))
+            .train(&mut model, &data)
+            .unwrap()
     };
     let a = run();
     let b = run();
     assert_eq!(a.final_test_accuracy, b.final_test_accuracy);
     assert_eq!(a.final_avg_bits, b.final_avg_bits);
     for (ha, hb) in a.history.iter().zip(b.history.iter()) {
-        assert_eq!(ha.loss, hb.loss, "training must be bit-for-bit reproducible");
+        assert_eq!(
+            ha.loss, hb.loss,
+            "training must be bit-for-bit reproducible"
+        );
     }
 }
 
@@ -119,7 +128,9 @@ fn scheme_json_round_trip_through_disk() {
     let mut model_cfg = ModelConfig::cifar_like(6, None, 0);
     model_cfg.num_classes = 4;
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
-    let report = CsqTrainer::new(tiny_cfg(3.0, 5)).train(&mut model, &data);
+    let report = CsqTrainer::new(tiny_cfg(3.0, 5))
+        .train(&mut model, &data)
+        .unwrap();
 
     let path = std::env::temp_dir().join("csq_e2e_scheme.json");
     std::fs::write(&path, report.scheme.to_json()).unwrap();
@@ -142,7 +153,9 @@ fn budget_grows_precision_from_below() {
     let mut model = resnet_cifar(model_cfg, &mut factory, 1);
     let start_bits = model_precision(&mut model).avg_bits;
     assert!(start_bits < 1.0, "starts below one bit, got {start_bits}");
-    let report = CsqTrainer::new(tiny_cfg(4.0, 12)).train(&mut model, &data);
+    let report = CsqTrainer::new(tiny_cfg(4.0, 12))
+        .train(&mut model, &data)
+        .unwrap();
     assert!(
         report.final_avg_bits > start_bits + 1.0,
         "budget regularizer should grow precision: {start_bits} -> {}",
@@ -160,7 +173,9 @@ fn csq_quantizes_mobilenet_v2() {
     let mut model_cfg = ModelConfig::cifar_like(8, Some(4), 0);
     model_cfg.num_classes = 4;
     let mut model = mobilenet_v2(model_cfg, &mut factory);
-    let report = CsqTrainer::new(tiny_cfg(3.0, 6)).train(&mut model, &data);
+    let report = CsqTrainer::new(tiny_cfg(3.0, 6))
+        .train(&mut model, &data)
+        .unwrap();
     assert!(report.final_avg_bits <= 8.0);
     assert!(
         (report.final_avg_bits - 3.0).abs() <= 2.0,

@@ -1,19 +1,24 @@
-//! Failure-injection tests: corrupted parameters, degenerate configs and
-//! malformed inputs must fail loudly with actionable messages, never
-//! silently produce garbage.
+//! Failure-injection tests: corrupted parameters, degenerate configs,
+//! malformed inputs, simulated crashes and damaged snapshot files must
+//! fail loudly with actionable errors — or recover deterministically —
+//! never silently produce garbage.
 
+use csq_repro::csq::fault::{flip_bit, truncate_file};
 use csq_repro::csq::prelude::*;
+use csq_repro::csq::resume::SnapshotError;
 use csq_repro::data::{Dataset, Split, SyntheticSpec};
 use csq_repro::nn::models::{resnet_cifar, ModelConfig};
 use csq_repro::nn::weight::float_factory;
 use csq_repro::nn::Layer;
 use csq_repro::tensor::Tensor;
+use std::path::PathBuf;
 
 fn tiny_data() -> Dataset {
     Dataset::synthetic(
         &SyntheticSpec::cifar_like(0)
-            .with_samples(4, 2)
-            .with_classes(4),
+            .with_samples(16, 8)
+            .with_classes(4)
+            .with_noise(0.5),
     )
 }
 
@@ -24,9 +29,27 @@ fn tiny_model() -> csq_repro::nn::Sequential {
     resnet_cifar(cfg, &mut factory, 1)
 }
 
+/// A fresh, deterministically initialized CSQ model — two calls produce
+/// bit-identical models, which the resume-equivalence test relies on.
+fn tiny_csq_model() -> csq_repro::nn::Sequential {
+    let mut factory = csq_factory(8);
+    let mut cfg = ModelConfig::cifar_like(4, Some(3), 0);
+    cfg.num_classes = 4;
+    resnet_cifar(cfg, &mut factory, 1)
+}
+
+fn tiny_csq_cfg(epochs: usize) -> CsqConfig {
+    let mut cfg = CsqConfig::fast(3.0).with_epochs(epochs);
+    cfg.batch_size = 8;
+    cfg
+}
+
+fn temp_snapshot(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("csq_fi_{name}_{}.snap", std::process::id()))
+}
+
 #[test]
-#[should_panic(expected = "non-finite loss")]
-fn nan_parameters_abort_training_with_context() {
+fn nan_parameters_yield_structured_divergence_error() {
     let data = tiny_data();
     let mut model = tiny_model();
     // Corrupt the classifier weight (the last parameters visited). A NaN
@@ -44,17 +67,219 @@ fn nan_parameters_abort_training_with_context() {
     });
     let mut cfg = FitConfig::fast(1);
     cfg.batch_size = 8;
-    fit(&mut model, &data, &cfg, false);
+    // Every batch produces a non-finite loss; rewinding restores the same
+    // broken parameters, so the retry budget runs out and `fit` reports
+    // divergence instead of panicking.
+    let err = fit(&mut model, &data, &cfg, false).unwrap_err();
+    assert!(
+        matches!(err, TrainError::Diverged { epoch: 0, .. }),
+        "expected divergence at epoch 0, got: {err}"
+    );
 }
 
 #[test]
-#[should_panic(expected = "fit requires at least one epoch")]
+fn strict_recovery_fails_on_first_bad_batch() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(4))
+        .with_recovery(RecoveryPolicy::strict())
+        .with_faults(FaultPlan::default().nan_loss_at(0))
+        .train(&mut model, &data)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TrainError::Diverged {
+                epoch: 0,
+                rewinds: 0
+            }
+        ),
+        "strict policy must fail fast, got: {err}"
+    );
+}
+
+#[test]
 fn zero_epochs_rejected() {
     let data = tiny_data();
     let mut model = tiny_model();
     let mut cfg = FitConfig::fast(1);
     cfg.epochs = 0;
-    fit(&mut model, &data, &cfg, false);
+    assert!(matches!(
+        fit(&mut model, &data, &cfg, false),
+        Err(TrainError::ZeroEpochs)
+    ));
+}
+
+#[test]
+fn transient_nan_loss_is_skipped_and_training_completes() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let report = CsqTrainer::new(tiny_csq_cfg(4))
+        .with_faults(FaultPlan::default().nan_loss_at(1))
+        .train(&mut model, &data)
+        .unwrap();
+    assert_eq!(report.history.len(), 4);
+    assert_eq!(
+        report.history[0].skipped, 1,
+        "the poisoned batch is skipped, not averaged in"
+    );
+    assert!(report.final_avg_bits.is_finite());
+}
+
+#[test]
+fn nan_grad_storm_rewinds_and_recovers() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    // NaN gradients at step 0 poison the parameters; every later batch
+    // then skips, which the recovery policy classifies as a storm. The
+    // rewind restores the initial state and — the injection now spent —
+    // the retry trains through cleanly with a backed-off learning rate.
+    let report = CsqTrainer::new(tiny_csq_cfg(6))
+        .with_faults(FaultPlan::default().nan_grads_at(0))
+        .train(&mut model, &data)
+        .unwrap();
+    assert_eq!(report.history.len(), 6);
+    assert!(
+        report.history.iter().all(|h| h.skipped == 0),
+        "post-rewind history contains only clean epochs"
+    );
+    assert!(report.final_avg_bits.is_finite());
+}
+
+#[test]
+fn resume_after_crash_matches_uninterrupted_run() {
+    let data = tiny_data();
+    let path = temp_snapshot("equivalence");
+    let epochs = 10;
+
+    // Reference: one uninterrupted run.
+    let mut straight_model = tiny_csq_model();
+    let straight = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .train(&mut straight_model, &data)
+        .unwrap();
+
+    // Crashed run: snapshot every epoch, simulated crash after epoch 4.
+    let mut crashed_model = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .with_snapshots(SnapshotPolicy::every_epochs(1, &path))
+        .with_faults(FaultPlan::default().crash_at_epoch(4))
+        .train(&mut crashed_model, &data)
+        .unwrap_err();
+    assert!(matches!(err, TrainError::InjectedCrash { epoch: 4 }));
+
+    // Restart from the snapshot on a freshly built model (the crashed
+    // process is gone; only the file survives).
+    let mut resumed_model = tiny_csq_model();
+    let resumed = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .resume_from(&path)
+        .train(&mut resumed_model, &data)
+        .unwrap();
+
+    assert_eq!(straight.history.len(), resumed.history.len());
+    for (s, r) in straight.history.iter().zip(resumed.history.iter()) {
+        assert_eq!(s.epoch, r.epoch);
+        assert_eq!(s.loss, r.loss, "epoch {} loss must be bit-exact", s.epoch);
+        assert_eq!(s.avg_bits, r.avg_bits, "epoch {} precision", s.epoch);
+        assert_eq!(s.beta, r.beta, "epoch {} temperature", s.epoch);
+        assert_eq!(s.test_acc, r.test_acc, "epoch {} test accuracy", s.epoch);
+    }
+    assert_eq!(straight.final_avg_bits, resumed.final_avg_bits);
+    assert_eq!(straight.final_test_accuracy, resumed.final_test_accuracy);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_from_missing_snapshot_starts_fresh() {
+    // A first run and a restart share one command line: when the
+    // snapshot file does not exist yet, `resume_from` trains from
+    // scratch instead of erroring.
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let path = temp_snapshot("missing");
+    std::fs::remove_file(&path).ok();
+    let report = CsqTrainer::new(tiny_csq_cfg(3))
+        .resume_from(&path)
+        .train(&mut model, &data)
+        .unwrap();
+    assert_eq!(report.history.len(), 3);
+}
+
+#[test]
+fn bit_flipped_snapshot_is_rejected_on_resume() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let path = temp_snapshot("bitflip");
+    CsqTrainer::new(tiny_csq_cfg(2))
+        .with_snapshots(SnapshotPolicy::every_epochs(1, &path))
+        .train(&mut model, &data)
+        .unwrap();
+
+    // Flip one bit somewhere in the payload: the checksum must catch it.
+    let len = std::fs::metadata(&path).unwrap().len();
+    flip_bit(&path, len / 2, 3).unwrap();
+
+    let mut fresh = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(2))
+        .resume_from(&path)
+        .train(&mut fresh, &data)
+        .unwrap_err();
+    assert!(
+        matches!(err, TrainError::Snapshot(_)),
+        "corruption must surface as a snapshot error, got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_on_resume() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let path = temp_snapshot("truncate");
+    CsqTrainer::new(tiny_csq_cfg(2))
+        .with_snapshots(SnapshotPolicy::every_epochs(1, &path))
+        .train(&mut model, &data)
+        .unwrap();
+
+    // Simulate a partial write (e.g. disk-full during a non-atomic copy).
+    truncate_file(&path, 37).unwrap();
+
+    let mut fresh = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(2))
+        .resume_from(&path)
+        .train(&mut fresh, &data)
+        .unwrap_err();
+    assert!(
+        matches!(err, TrainError::Snapshot(_)),
+        "truncation must surface as a snapshot error, got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_from_mismatched_config_is_rejected() {
+    let data = tiny_data();
+    let mut model = tiny_csq_model();
+    let path = temp_snapshot("mismatch");
+    CsqTrainer::new(tiny_csq_cfg(4))
+        .with_snapshots(SnapshotPolicy::every_epochs(1, &path))
+        .train(&mut model, &data)
+        .unwrap();
+
+    // Same snapshot, different schedule length: silently mixing the two
+    // would corrupt the β schedule, so it must be refused.
+    let mut fresh = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(7))
+        .resume_from(&path)
+        .train(&mut fresh, &data)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TrainError::Snapshot(SnapshotError::ConfigMismatch { .. })
+        ),
+        "config drift must be a structured mismatch, got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
