@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the deterministic parallel runtime at 1, 2 and
+//! 4 worker threads, over the two hot paths it accelerates: a dense
+//! matmul and one full CSQ training step (forward + backward + optimizer,
+//! dominated by bit-level mask materialization and gradients).
+//!
+//! Because the runtime's chunk boundaries and reduction order are fixed
+//! functions of tensor shape, every thread count produces bit-identical
+//! results — these benchmarks measure wall-clock scaling only. On a
+//! single-core host the 2- and 4-thread variants mostly measure pool
+//! overhead; run on a multi-core machine to observe the speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csq_core::prelude::*;
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_nn::{softmax_cross_entropy, Adam, Layer, Sequential, WeightSource};
+use csq_tensor::{init, par, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("matmul_128x256x128");
+    for t in THREAD_COUNTS {
+        group.bench_function(format!("threads_{t}"), |bench| {
+            bench.iter(|| par::with_threads(t, || black_box(a.matmul(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csq_step(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let x = init::uniform(&[8, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+
+    fn step(model: &mut Sequential, opt: &mut Adam, x: &Tensor, labels: &[usize]) -> f32 {
+        model.zero_grads();
+        let logits = model.forward(x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        model.backward(&grad);
+        opt.step(model);
+        loss
+    }
+
+    let cfg = ModelConfig::cifar_like(8, Some(3), 0);
+    let mut group = c.benchmark_group("csq_train_step_resnet8");
+    for t in THREAD_COUNTS {
+        let mut factory = csq_factory(8);
+        let mut model = resnet_cifar(cfg, &mut factory, 1);
+        model.visit_weight_sources(&mut |s| s.set_beta(14.0));
+        let mut opt = Adam::new(1e-2, 5e-4);
+        let budget = BudgetRegularizer::new(0.3, 3.0);
+        group.bench_function(format!("threads_{t}"), |bench| {
+            bench.iter(|| {
+                par::with_threads(t, || {
+                    let loss = step(&mut model, &mut opt, &x, &labels);
+                    budget.apply(&mut model);
+                    black_box(loss)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = parallel_scaling;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_csq_step
+}
+criterion_main!(parallel_scaling);

@@ -1,0 +1,109 @@
+//! Measures the wall-clock scaling of the deterministic parallel runtime
+//! at 1, 2 and 4 worker threads over the two hot paths it accelerates —
+//! a dense matmul and one full CSQ training step — and writes the rows to
+//! `bench_results/BENCH_parallel.json`.
+//!
+//! The runtime's chunk boundaries and reduction order are fixed functions
+//! of tensor shape, so every thread count produces bit-identical numbers;
+//! only the wall-clock changes. On a single-core host the multi-thread
+//! rows mostly measure pool overhead.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin parallel
+//! ```
+
+use csq_bench::write_results;
+use csq_core::prelude::*;
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_nn::{softmax_cross_entropy, Adam, Layer, Sequential, WeightSource};
+use csq_tensor::{init, par};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Debug, Serialize)]
+struct ParallelRow {
+    workload: String,
+    threads: usize,
+    seconds_per_iter: f32,
+    speedup_vs_serial: f32,
+}
+
+/// Times `f` over `iters` iterations after one warm-up call.
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f32 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f32() / iters as f32
+}
+
+fn bench_workload(name: &str, iters: usize, mut iter: impl FnMut(), rows: &mut Vec<ParallelRow>) {
+    let mut serial = 0.0f32;
+    for t in THREAD_COUNTS {
+        let secs = par::with_threads(t, || time_per_iter(iters, &mut iter));
+        if t == 1 {
+            serial = secs;
+        }
+        let speedup = if secs > 0.0 { serial / secs } else { 0.0 };
+        println!("{name:<24} threads={t}  {secs:.6} s/iter  speedup {speedup:.2}x");
+        rows.push(ParallelRow {
+            workload: name.to_string(),
+            threads: t,
+            seconds_per_iter: secs,
+            speedup_vs_serial: speedup,
+        });
+    }
+}
+
+fn main() {
+    println!("=== Parallel runtime scaling (host has {} worker thread(s) by default) ===", par::current_threads());
+    let mut rows = Vec::new();
+
+    // Workload 1: dense matmul, the row-parallel kernel.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
+    let b = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
+    bench_workload(
+        "matmul_128x256x128",
+        50,
+        || {
+            black_box(a.matmul(&b));
+        },
+        &mut rows,
+    );
+
+    // Workload 2: one full CSQ training step (forward + backward +
+    // optimizer), dominated by bit-level materialization and gradients.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let x = init::uniform(&[8, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let cfg = ModelConfig::cifar_like(8, Some(3), 0);
+    let mut factory = csq_factory(8);
+    let mut model = resnet_cifar(cfg, &mut factory, 1);
+    model.visit_weight_sources(&mut |s| s.set_beta(14.0));
+    let mut opt = Adam::new(1e-2, 5e-4);
+    let budget = BudgetRegularizer::new(0.3, 3.0);
+    let step = |model: &mut Sequential, opt: &mut Adam| {
+        model.zero_grads();
+        let logits = model.forward(&x, true);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        model.backward(&grad);
+        opt.step(model);
+        budget.apply(model);
+        black_box(loss);
+    };
+    bench_workload(
+        "csq_train_step_resnet8",
+        5,
+        || step(&mut model, &mut opt),
+        &mut rows,
+    );
+
+    write_results("BENCH_parallel", &rows);
+}

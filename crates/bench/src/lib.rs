@@ -54,6 +54,9 @@ pub struct BenchScale {
     /// Independent repetitions per table cell (results are averaged;
     /// reduces the single-run variance that dominates at reduced scale).
     pub seeds: usize,
+    /// Worker threads of the deterministic parallel runtime (resolved
+    /// from `CSQ_THREADS`; results are identical at any value).
+    pub threads: usize,
 }
 
 impl BenchScale {
@@ -61,6 +64,8 @@ impl BenchScale {
     /// single-core-friendly defaults:
     /// `CSQ_EPOCHS`, `CSQ_FT_EPOCHS`, `CSQ_TRAIN_PER_CLASS`,
     /// `CSQ_TEST_PER_CLASS`, `CSQ_WIDTH`, `CSQ_NOISE`, `CSQ_SEED`.
+    /// `CSQ_THREADS` sets the worker-thread count (wall-clock only —
+    /// every result is bit-identical at any thread count).
     pub fn from_env() -> Self {
         fn env<T: std::str::FromStr>(key: &str, default: T) -> T {
             std::env::var(key)
@@ -77,6 +82,7 @@ impl BenchScale {
             noise: env("CSQ_NOISE", 0.8),
             seed: env("CSQ_SEED", 0),
             seeds: env("CSQ_SEEDS", 2),
+            threads: csq_tensor::par::current_threads(),
         }
     }
 }
@@ -592,6 +598,7 @@ mod tests {
             noise: 0.5,
             seed: 0,
             seeds: 1,
+            threads: 1,
         };
         for arch in [
             Arch::ResNet20,
@@ -657,6 +664,7 @@ mod tests {
             noise: 0.5,
             seed: 0,
             seeds: 1,
+            threads: 1,
         };
         let r = run_method(Arch::ResNet20, Method::Fp, None, &scale);
         assert_eq!(r.method, "FP");

@@ -22,7 +22,7 @@
 
 use crate::gate::{hard_gate, temp_sigmoid, temp_sigmoid_grad};
 use csq_nn::{ParamMut, WeightSource};
-use csq_tensor::Tensor;
+use csq_tensor::{par, Tensor};
 
 /// Whether the bit mask is searched (full CSQ) or fixed (the CSQ-Uniform
 /// ablation of Table IV, Eq. 3: all configured bits always on).
@@ -282,14 +282,6 @@ impl BitQuantizer {
         }
     }
 
-    fn gate(&self, x: f32) -> f32 {
-        if self.hard {
-            hard_gate(x)
-        } else {
-            temp_sigmoid(x, self.beta)
-        }
-    }
-
     fn mask_gate(&self, b: usize) -> f32 {
         match self.mode {
             QuantMode::Uniform => 1.0,
@@ -320,33 +312,84 @@ impl WeightSource for BitQuantizer {
         let levels = ((1u32 << self.bits) - 1) as f32;
         let chunk = self.scale_chunk();
         let numel = self.numel;
+        let bits = self.bits;
 
-        let mut gp = vec![0.0f32; self.bits * numel];
-        let mut gn = vec![0.0f32; self.bits * numel];
-        let mut gb = vec![0.0f32; self.bits];
-        let mut bitsum = vec![0.0f32; numel];
-
-        for b in 0..self.bits {
-            gb[b] = self.mask_gate(b);
-            let mp = &self.m_p.data()[b * numel..(b + 1) * numel];
-            let mn = &self.m_n.data()[b * numel..(b + 1) * numel];
-            let gpb = &mut gp[b * numel..(b + 1) * numel];
-            let gnb = &mut gn[b * numel..(b + 1) * numel];
-            let pow = (1u32 << b) as f32 * gb[b];
-            for i in 0..numel {
-                let p = self.gate(mp[i]);
-                let n = self.gate(mn[i]);
-                gpb[i] = p;
-                gnb[i] = n;
-                bitsum[i] += (p - n) * pow;
-            }
+        // Reuse the previous step's cache buffers (every element is
+        // rewritten below), so steady-state training allocates only the
+        // output tensor.
+        let (mut gp, mut gn, mut gb, mut bitsum) = match self.cache.take() {
+            Some(c) if c.gp.len() == bits * numel => (c.gp, c.gn, c.gb, c.bitsum),
+            _ => (
+                vec![0.0f32; bits * numel],
+                vec![0.0f32; bits * numel],
+                vec![0.0f32; bits],
+                vec![0.0f32; numel],
+            ),
+        };
+        // Mask gates: one temperature sigmoid per *bit*, hoisted out of
+        // the per-element loops below.
+        for (b, g) in gb.iter_mut().enumerate() {
+            *g = self.mask_gate(b);
         }
 
-        let w: Vec<f32> = bitsum
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * self.s.data()[i / chunk] / levels)
-            .collect();
+        let hard = self.hard;
+        let beta = self.beta;
+        let mp_all = self.m_p.data();
+        let mn_all = self.m_n.data();
+        let scales = self.s.data();
+        let gb_ro: &[f32] = &gb;
+
+        // Element-chunk × bit-plane partition: each task owns a fixed
+        // element range across every bit plane, accumulating its bitsum
+        // in ascending-bit order — the serial accumulation order, hence
+        // bit-identical results at any thread count.
+        let mut w = vec![0.0f32; numel];
+        let elem_chunk = par::chunk_len(numel, 8 * bits);
+        let n_tasks = numel.div_ceil(elem_chunk);
+        let gp_sh = par::SharedSliceMut::new(&mut gp);
+        let gn_sh = par::SharedSliceMut::new(&mut gn);
+        let bs_sh = par::SharedSliceMut::new(&mut bitsum);
+        let w_sh = par::SharedSliceMut::new(&mut w);
+        par::for_each_task(n_tasks, |t| {
+            let e0 = t * elem_chunk;
+            let len = elem_chunk.min(numel - e0);
+            // SAFETY: element range e0..e0+len belongs to task t alone,
+            // in the flat buffers and in every bit plane.
+            let bs = unsafe { bs_sh.slice_mut(e0, len) };
+            let ws = unsafe { w_sh.slice_mut(e0, len) };
+            bs.fill(0.0);
+            for b in 0..bits {
+                let base = b * numel + e0;
+                let mp = &mp_all[base..base + len];
+                let mn = &mn_all[base..base + len];
+                // SAFETY: same disjoint element range, plane b.
+                let gpb = unsafe { gp_sh.slice_mut(base, len) };
+                let gnb = unsafe { gn_sh.slice_mut(base, len) };
+                let pow = (1u32 << b) as f32 * gb_ro[b];
+                // The hard/soft gate branch is hoisted out of the
+                // element loop (it is constant for a whole step).
+                if hard {
+                    for i in 0..len {
+                        let p = hard_gate(mp[i]);
+                        let n = hard_gate(mn[i]);
+                        gpb[i] = p;
+                        gnb[i] = n;
+                        bs[i] += (p - n) * pow;
+                    }
+                } else {
+                    for i in 0..len {
+                        let p = temp_sigmoid(mp[i], beta);
+                        let n = temp_sigmoid(mn[i], beta);
+                        gpb[i] = p;
+                        gnb[i] = n;
+                        bs[i] += (p - n) * pow;
+                    }
+                }
+            }
+            for i in 0..len {
+                ws[i] = bs[i] * scales[(e0 + i) / chunk] / levels;
+            }
+        });
         self.cache = Some(Cache { gp, gn, gb, bitsum });
         Tensor::from_vec(w, &self.dims)
     }
@@ -385,27 +428,52 @@ impl WeightSource for BitQuantizer {
 
         let beta = self.beta;
         let mask_trainable = self.mask_trainable();
-        let scales = self.s.data().to_vec();
-        for b in 0..self.bits {
-            let gb = cache.gb[b];
-            let pow = (1u32 << b) as f32;
-            let gpb = &cache.gp[b * numel..(b + 1) * numel];
-            let gnb = &cache.gn[b * numel..(b + 1) * numel];
-            let grad_pb = &mut self.grad_p.data_mut()[b * numel..(b + 1) * numel];
-            let grad_nb = &mut self.grad_n.data_mut()[b * numel..(b + 1) * numel];
-            let mut mask_acc = 0.0f32;
-            for i in 0..numel {
-                let common = scales[i / chunk] / levels * pow;
-                let g = dw[i] * common;
-                // d/dm_p: s/(2^n−1)·2^b·gb·β·σ'(m_p)
-                grad_pb[i] += g * gb * temp_sigmoid_grad(gpb[i], beta);
-                grad_nb[i] -= g * gb * temp_sigmoid_grad(gnb[i], beta);
+        let bits = self.bits;
+        let scales = self.s.data();
+        let grad_p_sh = par::SharedSliceMut::new(self.grad_p.data_mut());
+        let grad_n_sh = par::SharedSliceMut::new(self.grad_n.data_mut());
+
+        // Same element-chunk partition as materialize. Logit gradients
+        // go to disjoint ranges; each task returns one mask-gradient
+        // partial per bit, and the partials are folded in ascending task
+        // order — a fixed, thread-count-independent reduction order.
+        let elem_chunk = par::chunk_len(numel, 10 * bits);
+        let n_tasks = numel.div_ceil(elem_chunk);
+        let partials = par::par_map_collect(n_tasks, |t| {
+            let e0 = t * elem_chunk;
+            let len = elem_chunk.min(numel - e0);
+            let mut mask_partial = vec![0.0f32; if mask_trainable { bits } else { 0 }];
+            for b in 0..bits {
+                let gb = cache.gb[b];
+                let pow = (1u32 << b) as f32;
+                let base = b * numel + e0;
+                let gpb = &cache.gp[base..base + len];
+                let gnb = &cache.gn[base..base + len];
+                // SAFETY: element range e0..e0+len of plane b belongs to
+                // task t alone.
+                let grad_pb = unsafe { grad_p_sh.slice_mut(base, len) };
+                let grad_nb = unsafe { grad_n_sh.slice_mut(base, len) };
+                let mut mask_acc = 0.0f32;
+                for i in 0..len {
+                    let common = scales[(e0 + i) / chunk] / levels * pow;
+                    let g = dw[e0 + i] * common;
+                    // d/dm_p: s/(2^n−1)·2^b·gb·β·σ'(m_p)
+                    grad_pb[i] += g * gb * temp_sigmoid_grad(gpb[i], beta);
+                    grad_nb[i] -= g * gb * temp_sigmoid_grad(gnb[i], beta);
+                    if mask_trainable {
+                        mask_acc += g * (gpb[i] - gnb[i]);
+                    }
+                }
                 if mask_trainable {
-                    mask_acc += g * (gpb[i] - gnb[i]);
+                    mask_partial[b] = mask_acc;
                 }
             }
-            if mask_trainable {
-                self.grad_b.data_mut()[b] += mask_acc * temp_sigmoid_grad(gb, beta);
+            mask_partial
+        });
+        if mask_trainable {
+            for b in 0..bits {
+                let total: f32 = partials.iter().map(|p| p[b]).sum();
+                self.grad_b.data_mut()[b] += total * temp_sigmoid_grad(cache.gb[b], beta);
             }
         }
     }
@@ -740,6 +808,39 @@ mod tests {
                 "m_B[{b}]: {num} vs {ana}"
             );
         }
+    }
+
+    /// Materialize + backward are bit-identical at 1 and 4 threads, and
+    /// cache-buffer reuse across repeated steps does not perturb results.
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let w = rand_w(40, &[4, 64]);
+        let gy = rand_w(41, &[4, 64]);
+        let run = || {
+            let mut q = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
+            q.set_beta(3.0);
+            let mut outs = Vec::new();
+            for _ in 0..3 {
+                outs.push(q.materialize());
+                q.backward(&gy);
+            }
+            (
+                outs,
+                q.grad_s.data().to_vec(),
+                q.grad_p.data().to_vec(),
+                q.grad_n.data().to_vec(),
+                q.grad_b.data().to_vec(),
+            )
+        };
+        let serial = par::with_threads(1, run);
+        let parallel = par::with_threads(4, run);
+        for (a, b) in serial.0.iter().zip(parallel.0.iter()) {
+            assert_eq!(a.data(), b.data());
+        }
+        assert_eq!(serial.1, parallel.1);
+        assert_eq!(serial.2, parallel.2);
+        assert_eq!(serial.3, parallel.3);
+        assert_eq!(serial.4, parallel.4);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * optimizer moments ([`csq_nn::OptimState`]),
 //! * the phase ([`TrainPhase`]), epochs completed within it, and the full
 //!   [`EpochStats`](crate::EpochStats) history so far,
-//! * the recovery learning-rate scale and the loader seed.
+//! * the recovery learning-rate scale and the loader seed,
+//! * the worker-thread count of the writing process (informational:
+//!   the deterministic parallel runtime makes resuming under a
+//!   different `CSQ_THREADS` bit-exact, so a mismatch only warns).
 //!
 //! Deliberately *not* stored (recomputed deterministically instead):
 //! the temperature β (a pure function of the epoch index via
@@ -176,6 +179,12 @@ pub struct TrainSnapshot {
     pub layer_state: Vec<Vec<f32>>,
     /// Optimizer moments.
     pub optim: OptimState,
+    /// Worker-thread count of the writing process (0 when unknown, e.g.
+    /// a snapshot from an older format). Informational: the parallel
+    /// runtime is deterministic, so resuming under a different count is
+    /// safe and only triggers a warning.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 /// Collects every non-parameter state buffer of `model` in visitation
@@ -298,6 +307,7 @@ mod tests {
             params: Checkpoint::capture(m),
             layer_state: capture_layer_state(m),
             optim: OptimState::Sgd { buffers: vec![] },
+            threads: 1,
         }
     }
 

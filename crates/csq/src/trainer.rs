@@ -555,6 +555,7 @@ pub fn fit_with(
                     params: Checkpoint::capture(model),
                     layer_state: capture_layer_state(model),
                     optim: opt.export_state(),
+                    threads: csq_tensor::par::current_threads(),
                 };
                 snap.save(&policy.path)?;
             }
@@ -887,6 +888,19 @@ impl CsqTrainer {
         if let Some(path) = self.resume.as_deref().filter(|p: &&Path| p.exists()) {
             let snap = TrainSnapshot::load(path)?;
             Self::validate_snapshot(&snap, cfg)?;
+            // Thread-count drift is safe (the parallel runtime is
+            // bit-deterministic at any width) — warn, don't fail.
+            if snap.threads != 0 {
+                let now = csq_tensor::par::current_threads();
+                if snap.threads != now {
+                    eprintln!(
+                        "warning: snapshot was written with {} worker thread(s), resuming with \
+                         {now}; trajectories remain bit-identical under the deterministic \
+                         parallel runtime",
+                        snap.threads
+                    );
+                }
+            }
             snap.restore_model(model)?;
             history = snap.history.clone();
             match snap.phase {

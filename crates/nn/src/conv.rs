@@ -2,7 +2,8 @@
 
 use crate::layer::{Layer, ParamMut};
 use crate::weight::{FloatWeight, WeightSource};
-use csq_tensor::conv::{conv2d, conv2d_backward, ConvSpec};
+use csq_tensor::conv::{conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec};
+use csq_tensor::par::ScratchPool;
 use csq_tensor::{init, reduce, Tensor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,6 +23,8 @@ pub struct Conv2d {
     out_channels: usize,
     cached_input: Option<Tensor>,
     cached_weight: Option<Tensor>,
+    // im2col / gradient workspaces, reused across training steps.
+    scratch: ScratchPool,
 }
 
 impl Conv2d {
@@ -51,6 +54,7 @@ impl Conv2d {
             out_channels,
             cached_input: None,
             cached_weight: None,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -101,7 +105,7 @@ impl Layer for Conv2d {
             "conv input channel mismatch"
         );
         let w = self.weight.materialize();
-        let mut y = conv2d(input, &w, self.spec);
+        let mut y = conv2d_with_scratch(input, &w, self.spec, &self.scratch);
         if let Some((b, _)) = &self.bias {
             y = y.add_channel_bias(b);
         }
@@ -124,7 +128,8 @@ impl Layer for Conv2d {
             &mut self.cached_weight,
             "Conv2d::backward missing cached weight",
         );
-        let (grad_input, grad_w) = conv2d_backward(&input, &w, grad_output, self.spec);
+        let (grad_input, grad_w) =
+            conv2d_backward_with_scratch(&input, &w, grad_output, self.spec, &self.scratch);
         self.weight.backward(&grad_w);
         if let Some((_, gb)) = &mut self.bias {
             gb.add_assign_t(&reduce::sum_channels(grad_output));

@@ -102,12 +102,17 @@ impl Layer for Linear {
             "Linear::backward missing cached weight",
         );
         // dW = dYᵀ · X ; dX = dY · W ; db = Σ_batch dY
-        let grad_w = grad_output.matmul_tn(&input);
+        // The two matmuls are independent — run them as a deterministic
+        // fork/join pair (each side is itself row-parallel).
+        let (grad_w, grad_input) = csq_tensor::par::par_join(
+            || grad_output.matmul_tn(&input),
+            || grad_output.matmul(&w),
+        );
         self.weight.backward(&grad_w);
         if let Some((_, gb)) = &mut self.bias {
             gb.add_assign_t(&reduce::sum_rows(grad_output));
         }
-        grad_output.matmul(&w)
+        grad_input
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {

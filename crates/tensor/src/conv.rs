@@ -11,7 +11,18 @@
 //! gradients are exact to floating-point rounding — there is no
 //! approximation anywhere, which is what the CSQ training pipeline
 //! requires.
+//!
+//! Both passes parallelize over samples through [`crate::par`]: each
+//! sample writes a disjoint output range, and per-sample weight-gradient
+//! partials are folded in ascending sample order, so results are
+//! bit-identical at any thread count. Column matrices and gradient
+//! partials come from a caller-supplied [`ScratchPool`] so steady-state
+//! training allocates nothing per batch ([`conv2d_with_scratch`],
+//! [`conv2d_backward_with_scratch`]); the pool-less entry points exist
+//! for one-off calls and tests.
 
+use crate::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+use crate::par::{self, ScratchPool, SharedSliceMut};
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
@@ -66,15 +77,9 @@ impl ConvSpec {
 }
 
 /// Lowers one `[C, H, W]` sample (given as a flat slice) to a column matrix
-/// `[C·KH·KW, OH·OW]` stored row-major in `cols`.
-fn im2col_sample(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: ConvSpec,
-    cols: &mut [f32],
-) {
+/// `[C·KH·KW, OH·OW]` stored row-major in `cols`. Every element of `cols`
+/// is written, so the buffer's previous contents don't matter.
+fn im2col_sample(input: &[f32], c: usize, h: usize, w: usize, spec: ConvSpec, cols: &mut [f32]) {
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
     let n_spatial = oh * ow;
@@ -114,14 +119,7 @@ fn im2col_sample(
 
 /// Adjoint of [`im2col_sample`]: scatters a column matrix back into a
 /// `[C, H, W]` gradient buffer, accumulating overlaps.
-fn col2im_sample(
-    cols: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    spec: ConvSpec,
-    grad_input: &mut [f32],
-) {
+fn col2im_sample(cols: &[f32], c: usize, h: usize, w: usize, spec: ConvSpec, grad_input: &mut [f32]) {
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
     let n_spatial = oh * ow;
@@ -156,13 +154,31 @@ fn col2im_sample(
 /// Forward 2-D convolution.
 ///
 /// `input` is `[N, IC, H, W]`, `weight` is `[OC, IC, KH, KW]`; returns
-/// `[N, OC, OH, OW]`.
+/// `[N, OC, OH, OW]`. Allocates its column workspace per call; layers
+/// that run every step should use [`conv2d_with_scratch`].
 ///
 /// # Panics
 ///
 /// Panics on rank or channel mismatches, or when the padded input is
 /// smaller than the kernel.
 pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    conv2d_with_scratch(input, weight, spec, &ScratchPool::new())
+}
+
+/// [`conv2d`] with a caller-owned [`ScratchPool`] for the per-sample
+/// column matrices, so repeated calls (one per training step) reuse the
+/// same workspaces instead of reallocating. Samples run in parallel;
+/// results are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &ScratchPool,
+) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be NCHW");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [OC, IC, KH, KW]");
     let (n, ic, h, w) = (
@@ -185,23 +201,34 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
     let kdim = ic * kh * kw;
     let n_spatial = oh * ow;
     let w_mat = weight.reshape(&[oc, kdim]);
+    let wm = w_mat.data();
+    let in_data = input.data();
+    let sample_in = ic * h * w;
 
     let mut out = vec![0.0f32; n * oc * n_spatial];
-    let mut cols = vec![0.0f32; kdim * n_spatial];
-    for ni in 0..n {
-        let sample = &input.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
-        im2col_sample(sample, ic, h, w, spec, &mut cols);
-        let col_t = Tensor::from_vec(cols.clone(), &[kdim, n_spatial]);
-        let y = w_mat.matmul(&col_t); // [oc, n_spatial]
-        out[ni * oc * n_spatial..(ni + 1) * oc * n_spatial].copy_from_slice(y.data());
-    }
+    // One task per sample; each writes its own [oc, n_spatial] block. The
+    // inner matmul stays serial — the sample fan-out already saturates.
+    par::par_chunks_mut(&mut out, oc * n_spatial, |ni, _start, out_s| {
+        let mut cols = scratch.take(kdim * n_spatial);
+        im2col_sample(
+            &in_data[ni * sample_in..(ni + 1) * sample_in],
+            ic,
+            h,
+            w,
+            spec,
+            &mut cols,
+        );
+        matmul_into(wm, &cols, oc, kdim, n_spatial, out_s);
+        scratch.give(cols);
+    });
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
 /// Gradients of [`conv2d`] with respect to its input and weight.
 ///
 /// Returned as `(grad_input, grad_weight)` with the same shapes as `input`
-/// and `weight`.
+/// and `weight`. Allocates workspaces per call; training layers should
+/// use [`conv2d_backward_with_scratch`].
 ///
 /// # Panics
 ///
@@ -211,6 +238,25 @@ pub fn conv2d_backward(
     weight: &Tensor,
     grad_output: &Tensor,
     spec: ConvSpec,
+) -> (Tensor, Tensor) {
+    conv2d_backward_with_scratch(input, weight, grad_output, spec, &ScratchPool::new())
+}
+
+/// [`conv2d_backward`] with a caller-owned [`ScratchPool`]. Samples run
+/// in parallel: input gradients go to disjoint per-sample ranges, and
+/// per-sample weight-gradient partials are folded in ascending sample
+/// order — the same accumulation order as a serial loop, hence
+/// bit-identical results at any thread count.
+///
+/// # Panics
+///
+/// Same conditions as [`conv2d_backward`].
+pub fn conv2d_backward_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: ConvSpec,
+    scratch: &ScratchPool,
 ) -> (Tensor, Tensor) {
     let (n, ic, h, w) = (
         input.dims()[0],
@@ -229,27 +275,51 @@ pub fn conv2d_backward(
     let kdim = ic * spec.kernel * spec.kernel;
     let n_spatial = oh * ow;
     let w_mat = weight.reshape(&[oc, kdim]);
+    let wm = w_mat.data();
+    let in_data = input.data();
+    let go_data = grad_output.data();
+    let sample_in = ic * h * w;
+    let sample_out = oc * n_spatial;
 
     let mut grad_input = Tensor::zeros(input.dims());
-    let mut grad_w_mat = Tensor::zeros(&[oc, kdim]);
-    let mut cols = vec![0.0f32; kdim * n_spatial];
-
-    for ni in 0..n {
-        let sample = &input.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
-        im2col_sample(sample, ic, h, w, spec, &mut cols);
-        let col_t = Tensor::from_vec(cols.clone(), &[kdim, n_spatial]);
-        let go = Tensor::from_vec(
-            grad_output.data()[ni * oc * n_spatial..(ni + 1) * oc * n_spatial].to_vec(),
-            &[oc, n_spatial],
+    let gi = SharedSliceMut::new(grad_input.data_mut());
+    let partials = par::par_map_collect(n, |ni| {
+        let mut cols = scratch.take(kdim * n_spatial);
+        im2col_sample(
+            &in_data[ni * sample_in..(ni + 1) * sample_in],
+            ic,
+            h,
+            w,
+            spec,
+            &mut cols,
         );
-        // dW += dY · colᵀ
-        grad_w_mat.add_assign_t(&go.matmul_nt(&col_t));
-        // dcol = Wᵀ · dY, then scatter back.
-        let grad_cols = w_mat.matmul_tn(&go);
-        let gi = &mut grad_input.data_mut()[ni * ic * h * w..(ni + 1) * ic * h * w];
-        col2im_sample(grad_cols.data(), ic, h, w, spec, gi);
+        let go = &go_data[ni * sample_out..(ni + 1) * sample_out];
+        // dW partial for this sample: dY · colᵀ (fully overwritten).
+        let mut gw = scratch.take(oc * kdim);
+        matmul_nt_into(go, &cols, oc, n_spatial, kdim, &mut gw);
+        // dcol = Wᵀ · dY, then scatter back into this sample's range.
+        let mut gcols = scratch.take(kdim * n_spatial);
+        matmul_tn_into(wm, go, oc, kdim, n_spatial, &mut gcols);
+        // SAFETY: sample `ni` exclusively owns its input-gradient range.
+        let gi_s = unsafe { gi.slice_mut(ni * sample_in, sample_in) };
+        col2im_sample(&gcols, ic, h, w, spec, gi_s);
+        scratch.give(cols);
+        scratch.give(gcols);
+        gw
+    });
+
+    // In-order fold: identical accumulation order to the serial loop.
+    let mut grad_w = vec![0.0f32; oc * kdim];
+    for p in partials {
+        for (acc, &v) in grad_w.iter_mut().zip(p.iter()) {
+            *acc += v;
+        }
+        scratch.give(p);
     }
-    (grad_input, grad_w_mat.reshape(weight.dims()))
+    (
+        grad_input,
+        Tensor::from_vec(grad_w, &[oc, kdim]).reshape(weight.dims()),
+    )
 }
 
 /// Reference (direct-loop) convolution used to validate the im2col path.
@@ -395,6 +465,33 @@ mod tests {
         );
     }
 
+    /// Forward and backward are bit-identical at 1 and 4 threads, and
+    /// scratch reuse across calls does not perturb results.
+    #[test]
+    fn parallel_and_scratch_reuse_bitexact() {
+        let x = rand_t(&[4, 3, 8, 8], 20);
+        let w = rand_t(&[5, 3, 3, 3], 21);
+        let spec = ConvSpec::new(3, 1, 1);
+        let y = conv2d(&x, &w, spec);
+        let gy = rand_t(y.dims(), 22);
+
+        let pool = ScratchPool::new();
+        let run = || {
+            let y = conv2d_with_scratch(&x, &w, spec, &pool);
+            let (gx, gw) = conv2d_backward_with_scratch(&x, &w, &gy, spec, &pool);
+            (y, gx, gw)
+        };
+        let serial = par::with_threads(1, run);
+        for _ in 0..3 {
+            // Repeated calls exercise dirty pooled buffers.
+            let parallel = par::with_threads(4, run);
+            assert_eq!(serial.0.data(), parallel.0.data());
+            assert_eq!(serial.1.data(), parallel.1.data());
+            assert_eq!(serial.2.data(), parallel.2.data());
+        }
+        assert!(pool.idle() > 0, "workspaces returned to the pool");
+    }
+
     #[test]
     #[should_panic(expected = "channel mismatch")]
     fn conv_channel_mismatch_panics() {
@@ -409,7 +506,8 @@ mod tests {
 /// `groups == channels` that MobileNet-family models are built from).
 ///
 /// `input` is `[N, C, H, W]`, `weight` is `[C, 1, KH, KW]`; returns
-/// `[N, C, OH, OW]`.
+/// `[N, C, OH, OW]`. Parallel over `(sample, channel)` pairs, each of
+/// which owns a disjoint output plane.
 ///
 /// # Panics
 ///
@@ -424,43 +522,54 @@ pub fn depthwise_conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tens
         input.dims()[3],
     );
     assert_eq!(weight.dims()[0], c, "depthwise channel mismatch");
-    assert_eq!(weight.dims()[1], 1, "depthwise weight must have one input channel");
+    assert_eq!(
+        weight.dims()[1],
+        1,
+        "depthwise weight must have one input channel"
+    );
     assert_eq!(weight.dims()[2], spec.kernel, "kernel mismatch");
     assert_eq!(weight.dims()[3], spec.kernel, "kernel mismatch");
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
+    let in_data = input.data();
+    let w_data = weight.data();
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut oidx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
-            let chan = &input.data()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-            let filt = &weight.data()[ci * k * k..(ci + 1) * k * k];
-            for oi in 0..oh {
-                for oj in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ki in 0..k {
-                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                        if ii < 0 || ii >= h as isize {
-                            continue;
-                        }
-                        for kj in 0..k {
-                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                            if jj >= 0 && jj < w as isize {
-                                acc += chan[ii as usize * w + jj as usize] * filt[ki * k + kj];
-                            }
+    par::par_chunks_mut(out.data_mut(), oh * ow, |t, _start, out_s| {
+        let (ni, ci) = (t / c, t % c);
+        let chan = &in_data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+        let filt = &w_data[ci * k * k..(ci + 1) * k * k];
+        let mut oidx = 0usize;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                let mut acc = 0.0f32;
+                for ki in 0..k {
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..k {
+                        let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                        if jj >= 0 && jj < w as isize {
+                            acc += chan[ii as usize * w + jj as usize] * filt[ki * k + kj];
                         }
                     }
-                    out.data_mut()[oidx] = acc;
-                    oidx += 1;
                 }
+                out_s[oidx] = acc;
+                oidx += 1;
             }
         }
-    }
+    });
     out
 }
 
 /// Gradients of [`depthwise_conv2d`] with respect to input and weight,
 /// returned as `(grad_input, grad_weight)`.
+///
+/// Parallel over channels: channel `ci` exclusively owns its filter
+/// gradient and the `(·, ci)` planes of the input gradient, and its
+/// per-element accumulation order (samples ascending, then output
+/// positions) matches the historical serial loop — bit-identical at any
+/// thread count.
 ///
 /// # Panics
 ///
@@ -484,16 +593,26 @@ pub fn depthwise_conv2d_backward(
         "grad_output shape mismatch"
     );
     let k = spec.kernel;
+    let in_data = input.data();
+    let w_data = weight.data();
+    let go_data = grad_output.data();
     let mut grad_input = Tensor::zeros(input.dims());
     let mut grad_weight = Tensor::zeros(weight.dims());
-    let mut oidx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
+    let gi = SharedSliceMut::new(grad_input.data_mut());
+    let gw = SharedSliceMut::new(grad_weight.data_mut());
+    par::for_each_task(c, |ci| {
+        let filt = &w_data[ci * k * k..(ci + 1) * k * k];
+        // SAFETY: channel `ci` exclusively owns its filter-gradient range.
+        let gw_s = unsafe { gw.slice_mut(ci * k * k, k * k) };
+        for ni in 0..n {
             let chan_base = (ni * c + ci) * h * w;
-            let filt = &weight.data()[ci * k * k..(ci + 1) * k * k];
+            let chan_in = &in_data[chan_base..chan_base + h * w];
+            // SAFETY: the (ni, ci) plane belongs to this channel task only.
+            let gi_s = unsafe { gi.slice_mut(chan_base, h * w) };
+            let mut oidx = (ni * c + ci) * oh * ow;
             for oi in 0..oh {
                 for oj in 0..ow {
-                    let g = grad_output.data()[oidx];
+                    let g = go_data[oidx];
                     oidx += 1;
                     if g == 0.0 {
                         continue;
@@ -508,16 +627,15 @@ pub fn depthwise_conv2d_backward(
                             if jj < 0 || jj >= w as isize {
                                 continue;
                             }
-                            let at = chan_base + ii as usize * w + jj as usize;
-                            grad_input.data_mut()[at] += g * filt[ki * k + kj];
-                            grad_weight.data_mut()[ci * k * k + ki * k + kj] +=
-                                g * input.data()[at];
+                            let at = ii as usize * w + jj as usize;
+                            gi_s[at] += g * filt[ki * k + kj];
+                            gw_s[ki * k + kj] += g * chan_in[at];
                         }
                     }
                 }
             }
         }
-    }
+    });
     (grad_input, grad_weight)
 }
 
@@ -548,10 +666,7 @@ mod depthwise_tests {
                     xc.data_mut()[ni * 36 + i] = x.data()[(ni * 3 + ci) * 36 + i];
                 }
             }
-            let wc = Tensor::from_vec(
-                w.data()[ci * 9..(ci + 1) * 9].to_vec(),
-                &[1, 1, 3, 3],
-            );
+            let wc = Tensor::from_vec(w.data()[ci * 9..(ci + 1) * 9].to_vec(), &[1, 1, 3, 3]);
             let yc = conv2d(&xc, &wc, spec);
             for ni in 0..2 {
                 for i in 0..36 {
@@ -592,6 +707,26 @@ mod depthwise_tests {
             - depthwise_conv2d(&x, &wm, spec).dot(&gy))
             / (2.0 * eps);
         assert!((num - gw.dot(&dw)).abs() < 2e-2 * (1.0 + num.abs()));
+    }
+
+    /// Depthwise forward/backward are bit-identical at 1 and 4 threads.
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let x = rand_t(&[3, 5, 7, 7], 8);
+        let w = rand_t(&[5, 1, 3, 3], 9);
+        let spec = ConvSpec::new(3, 1, 1);
+        let y = depthwise_conv2d(&x, &w, spec);
+        let gy = rand_t(y.dims(), 10);
+        let run = || {
+            let y = depthwise_conv2d(&x, &w, spec);
+            let (gx, gw) = depthwise_conv2d_backward(&x, &w, &gy, spec);
+            (y, gx, gw)
+        };
+        let serial = par::with_threads(1, run);
+        let parallel = par::with_threads(4, run);
+        assert_eq!(serial.0.data(), parallel.0.data());
+        assert_eq!(serial.1.data(), parallel.1.data());
+        assert_eq!(serial.2.data(), parallel.2.data());
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! has a hand-derived adjoint in `csq-nn` that is verified against finite
 //! differences.
 //!
+//! Hot kernels fan out over the deterministic worker pool in [`par`]:
+//! results are bit-identical to serial execution at any thread count
+//! (see the `CSQ_THREADS` environment variable).
+//!
 //! # Example
 //!
 //! ```
@@ -28,6 +32,7 @@
 pub mod conv;
 pub mod init;
 pub mod matmul;
+pub mod par;
 pub mod pool;
 pub mod reduce;
 mod shape;

@@ -7,11 +7,123 @@
 //! * [`Tensor::matmul_tn`] — `C = Aᵀ · B` (weight-gradient shape)
 //! * [`Tensor::matmul_nt`] — `C = A · Bᵀ` (input-gradient shape)
 //!
-//! All use an `i-k-j` loop order so the innermost loop streams contiguous
-//! rows of the right operand, which is the main thing that matters for a
-//! single-core f32 kernel at the sizes this workspace uses.
+//! All three parallelize over output rows through [`crate::par`]: rows are
+//! disjoint, so any thread count produces bit-identical results. Within a
+//! task the inner kernel blocks the shared `k` axis ([`KC`]) so a stripe
+//! of the right operand stays cache-resident across the task's rows; the
+//! per-element accumulation order stays `p`-ascending, so blocking does
+//! not change results either.
+//!
+//! `matmul_tn` keeps a `0.0` skip on the left operand: its main caller is
+//! the bit-plane adjoint where entire planes are gated to zero, so the
+//! branch pays for itself. The dense `matmul`/`matmul_nt` paths carry no
+//! such branch (it mispredicts on dense data).
 
-use crate::Tensor;
+use crate::{par, Tensor};
+
+/// k-axis block size for the inner kernels: `KC` rows of the right
+/// operand (`KC × n` floats) stay hot while a task sweeps its rows.
+const KC: usize = 64;
+
+/// `out[i0..i0+rows] += a[i0..i0+rows] · b`, serial, with `out` holding
+/// exactly `rows * n` pre-zeroed elements. Accumulation per element is
+/// `p`-ascending regardless of blocking.
+fn matmul_rows(a: &[f32], b: &[f32], i0: usize, rows: usize, k: usize, n: usize, out: &mut [f32]) {
+    for p0 in (0..k).step_by(KC) {
+        let pe = (p0 + KC).min(k);
+        for i in 0..rows {
+            let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for p in p0..pe {
+                let a_ip = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_ip * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out[i0..i0+rows] = a[i0..i0+rows] · bᵀ` for `b` of shape `[n, k]`,
+/// serial; `out` holds exactly `rows * n` elements (overwritten).
+fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    for i in 0..rows {
+        let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
+        let c_row = &mut out[i * n..(i + 1) * n];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+}
+
+/// `out[i0..i0+rows] += (aᵀ)[i0..i0+rows] · b` for `a` of shape `[k, m]`,
+/// serial, `out` pre-zeroed. Reads of `a` are column-strided, but the
+/// `0.0` skip (bit-plane sparsity) makes this the cheaper layout for the
+/// quantized adjoint. Accumulation per element is `p`-ascending — the
+/// same order as the historical `p`-outer serial kernel.
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    for i in 0..rows {
+        let c_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a_pi = a[p * m + i0 + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *c += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// Serial `out = a · b` into a caller-provided buffer (`a` `[m, k]`,
+/// `b` `[k, n]`, `out` `m * n`). Used inside already-parallel regions
+/// (per-sample conv tasks) where nesting another fan-out would only
+/// oversubscribe.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    matmul_rows(a, b, 0, m, k, n, out);
+}
+
+/// Serial `out = a · bᵀ` into a caller-provided buffer (`a` `[m, k]`,
+/// `b` `[n, k]`, `out` `m * n`).
+pub(crate) fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    matmul_nt_rows(a, b, 0, m, k, n, out);
+}
+
+/// Serial `out = aᵀ · b` into a caller-provided buffer (`a` `[k, m]`,
+/// `b` `[k, n]`, `out` `m * n`, pre-zeroed here).
+pub(crate) fn matmul_tn_into(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    matmul_tn_rows(a, b, 0, m, k, m, n, out);
+}
 
 impl Tensor {
     /// Matrix product `self · other` for rank-2 tensors.
@@ -38,19 +150,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a_ip) in a_row.iter().enumerate() {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_ip * bv;
-                }
-            }
-        }
+        let rows_per_task = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
+            matmul_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -69,21 +172,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // Loop over the shared k axis outermost: each iteration is a rank-1
-        // update with contiguous reads from both operands.
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &a_pi) in a_row.iter().enumerate() {
-                if a_pi == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out[i * n..(i + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_pi * bv;
-                }
-            }
-        }
+        let rows_per_task = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
+            matmul_tn_rows(a, b, start / n, chunk.len() / n, k, m, n, chunk);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -102,18 +194,10 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (j, c) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in a_row.iter().zip(b_row.iter()) {
-                    acc += av * bv;
-                }
-                *c = acc;
-            }
-        }
+        let rows_per_task = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
+            matmul_nt_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -203,5 +287,44 @@ mod tests {
     #[should_panic(expected = "inner dims mismatch")]
     fn matmul_dim_mismatch_panics() {
         let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    /// The determinism contract: every variant produces bit-identical
+    /// output at 1 and 4 threads, on shapes big enough to actually split.
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let a = arange(&[33, 47]);
+        let b = arange(&[47, 29]);
+        let at = arange(&[47, 33]);
+        let bt = arange(&[29, 47]);
+        let serial = par::with_threads(1, || {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+        });
+        let parallel = par::with_threads(4, || {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+        });
+        assert_eq!(serial.0.data(), parallel.0.data());
+        assert_eq!(serial.1.data(), parallel.1.data());
+        assert_eq!(serial.2.data(), parallel.2.data());
+    }
+
+    /// Into-variants (used by conv) agree with the public methods.
+    #[test]
+    fn into_variants_match_public_methods() {
+        let a = arange(&[5, 8]);
+        let b = arange(&[8, 6]);
+        let mut out = vec![1.0f32; 5 * 6];
+        matmul_into(a.data(), b.data(), 5, 8, 6, &mut out);
+        assert_eq!(out, a.matmul(&b).data());
+
+        let at = arange(&[8, 5]);
+        let mut out_tn = vec![1.0f32; 5 * 6];
+        matmul_tn_into(at.data(), b.data(), 8, 5, 6, &mut out_tn);
+        assert_eq!(out_tn, at.matmul_tn(&b).data());
+
+        let bt = arange(&[6, 8]);
+        let mut out_nt = vec![1.0f32; 5 * 6];
+        matmul_nt_into(a.data(), bt.data(), 5, 8, 6, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&bt).data());
     }
 }

@@ -1,6 +1,10 @@
 //! Reductions and row-wise transforms used by losses and metrics.
+//!
+//! The row-wise transforms and the channel reduction fan out over
+//! [`crate::par`]; rows (and channels) are independent, so results are
+//! bit-identical at any thread count.
 
-use crate::Tensor;
+use crate::{par, Tensor};
 
 /// Row-wise softmax of a `[rows, cols]` matrix, computed with the usual
 /// max-subtraction for numerical stability.
@@ -12,18 +16,23 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.rank(), 2, "softmax_rows requires a matrix");
     let (r, c) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.clone();
-    for i in 0..r {
-        let row = &mut out.data_mut()[i * c..(i + 1) * c];
-        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let mut z = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            z += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= z;
-        }
+    if c == 0 {
+        return out;
     }
+    let rows_per_task = par::chunk_len(r, 4 * c);
+    par::par_chunks_mut(out.data_mut(), rows_per_task * c, |_t, _start, chunk| {
+        for row in chunk.chunks_exact_mut(c) {
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+        }
+    });
     out
 }
 
@@ -36,15 +45,20 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.rank(), 2, "log_softmax_rows requires a matrix");
     let (r, c) = (logits.dims()[0], logits.dims()[1]);
     let mut out = logits.clone();
-    for i in 0..r {
-        let row = &mut out.data_mut()[i * c..(i + 1) * c];
-        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
-        let log_z = z.ln() + m;
-        for v in row.iter_mut() {
-            *v -= log_z;
-        }
+    if c == 0 {
+        return out;
     }
+    let rows_per_task = par::chunk_len(r, 4 * c);
+    par::par_chunks_mut(out.data_mut(), rows_per_task * c, |_t, _start, chunk| {
+        for row in chunk.chunks_exact_mut(c) {
+            let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let z: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            let log_z = z.ln() + m;
+            for v in row.iter_mut() {
+                *v -= log_z;
+            }
+        }
+    });
     out
 }
 
@@ -100,15 +114,19 @@ pub fn sum_channels(t: &Tensor) -> Tensor {
     assert_eq!(t.rank(), 4, "sum_channels requires NCHW input");
     let (n, c, h, w) = (t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]);
     let hw = h * w;
-    let mut out = Tensor::zeros(&[c]);
-    for ni in 0..n {
-        for ci in 0..c {
+    let data = t.data();
+    // One task per channel; each folds its per-sample plane sums in
+    // ascending sample order — the serial accumulation order exactly.
+    let vals = par::par_map_collect(c, |ci| {
+        let mut acc = 0.0f32;
+        for ni in 0..n {
             let base = (ni * c + ci) * hw;
-            let s: f32 = t.data()[base..base + hw].iter().sum();
-            out.data_mut()[ci] += s;
+            let s: f32 = data[base..base + hw].iter().sum();
+            acc += s;
         }
-    }
-    out
+        acc
+    });
+    Tensor::from_vec(vals, &[c])
 }
 
 #[cfg(test)]
@@ -162,5 +180,30 @@ mod tests {
         assert_eq!(sum_rows(&m).data(), &[4.0, 6.0]);
         let t = Tensor::ones(&[2, 3, 2, 2]);
         assert_eq!(sum_channels(&t).data(), &[8.0, 8.0, 8.0]);
+    }
+
+    /// Parallel reductions are bit-identical at 1 and 4 threads.
+    #[test]
+    fn parallel_matches_serial_bitexact() {
+        let logits = Tensor::from_vec(
+            (0..64 * 10).map(|i| ((i * 37) % 23) as f32 * 0.3 - 3.0).collect(),
+            &[64, 10],
+        );
+        let nchw = Tensor::from_vec(
+            (0..4 * 6 * 5 * 5).map(|i| (i as f32) * 0.01 - 1.5).collect(),
+            &[4, 6, 5, 5],
+        );
+        let run = || {
+            (
+                softmax_rows(&logits),
+                log_softmax_rows(&logits),
+                sum_channels(&nchw),
+            )
+        };
+        let serial = crate::par::with_threads(1, run);
+        let parallel = crate::par::with_threads(4, run);
+        assert_eq!(serial.0.data(), parallel.0.data());
+        assert_eq!(serial.1.data(), parallel.1.data());
+        assert_eq!(serial.2.data(), parallel.2.data());
     }
 }

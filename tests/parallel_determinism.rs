@@ -1,0 +1,143 @@
+//! Determinism tests for the data-parallel compute runtime: every result
+//! must be bit-identical regardless of worker-thread count, because chunk
+//! boundaries and reduction order are fixed functions of tensor shape —
+//! never of `CSQ_THREADS`.
+//!
+//! The headline test trains the same CSQ model twice, once on 1 thread
+//! and once on 4, and asserts the *entire training trajectory* — losses,
+//! precision schedule, accuracies and every final parameter — is
+//! bit-exact. The property tests then pin the individual kernels.
+
+use csq_repro::csq::prelude::*;
+use csq_repro::csq::{BitQuantizer, QuantMode};
+use csq_repro::data::{Dataset, SyntheticSpec};
+use csq_repro::nn::models::{resnet_cifar, ModelConfig};
+use csq_repro::nn::{Checkpoint, WeightSource};
+use csq_repro::tensor::conv::{conv2d, ConvSpec};
+use csq_repro::tensor::{init, par, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_data() -> Dataset {
+    Dataset::synthetic(
+        &SyntheticSpec::cifar_like(0)
+            .with_samples(16, 8)
+            .with_classes(4)
+            .with_noise(0.5),
+    )
+}
+
+fn tiny_csq_model() -> csq_repro::nn::Sequential {
+    let mut factory = csq_factory(8);
+    let mut cfg = ModelConfig::cifar_like(4, Some(3), 0);
+    cfg.num_classes = 4;
+    resnet_cifar(cfg, &mut factory, 1)
+}
+
+fn tiny_csq_cfg(epochs: usize) -> CsqConfig {
+    let mut cfg = CsqConfig::fast(3.0).with_epochs(epochs);
+    cfg.batch_size = 8;
+    cfg
+}
+
+/// Trains a fresh tiny CSQ model under `threads` workers and returns the
+/// full report plus a snapshot of every final parameter.
+fn train_with_threads(threads: usize, epochs: usize) -> (TrainReport, Checkpoint) {
+    par::with_threads(threads, || {
+        let data = tiny_data();
+        let mut model = tiny_csq_model();
+        let report = CsqTrainer::new(tiny_csq_cfg(epochs))
+            .train(&mut model, &data)
+            .unwrap();
+        let ckpt = Checkpoint::capture(&mut model);
+        (report, ckpt)
+    })
+}
+
+#[test]
+fn training_trajectory_identical_at_1_and_4_threads() {
+    let epochs = 4;
+    let (serial, serial_ckpt) = train_with_threads(1, epochs);
+    let (parallel, parallel_ckpt) = train_with_threads(4, epochs);
+
+    assert_eq!(serial.history.len(), parallel.history.len());
+    for (s, p) in serial.history.iter().zip(parallel.history.iter()) {
+        assert_eq!(s.epoch, p.epoch);
+        assert_eq!(s.loss, p.loss, "epoch {} loss must be bit-exact", s.epoch);
+        assert_eq!(s.avg_bits, p.avg_bits, "epoch {} precision", s.epoch);
+        assert_eq!(s.beta, p.beta, "epoch {} temperature", s.epoch);
+        assert_eq!(s.test_acc, p.test_acc, "epoch {} test accuracy", s.epoch);
+    }
+    assert_eq!(serial.final_avg_bits, parallel.final_avg_bits);
+    assert_eq!(serial.final_test_accuracy, parallel.final_test_accuracy);
+    assert_eq!(
+        serial_ckpt, parallel_ckpt,
+        "every final parameter must be bit-identical across thread counts"
+    );
+}
+
+fn rand_t(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    init::uniform(dims, -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three matmul variants are bit-exact across thread counts for
+    /// arbitrary (small) shapes and seeds.
+    #[test]
+    fn matmul_variants_thread_count_invariant(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        let a = rand_t(seed, &[m, k]);
+        let b = rand_t(seed + 1, &[k, n]);
+        let bt = rand_t(seed + 1, &[n, k]);
+        let at = rand_t(seed, &[k, m]);
+        for threads in [2usize, 4, 8] {
+            let (s, p) = (
+                par::with_threads(1, || (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b))),
+                par::with_threads(threads, || (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b))),
+            );
+            prop_assert_eq!(s.0.data(), p.0.data());
+            prop_assert_eq!(s.1.data(), p.1.data());
+            prop_assert_eq!(s.2.data(), p.2.data());
+        }
+    }
+
+    /// The im2col convolution forward is bit-exact across thread counts.
+    #[test]
+    fn conv2d_thread_count_invariant(
+        n in 1usize..4, ic in 1usize..4, oc in 1usize..5,
+        hw in 4usize..9, kernel in 1usize..4, seed in 0u64..1000
+    ) {
+        let spec = ConvSpec::new(kernel, 1, kernel / 2);
+        let x = rand_t(seed, &[n, ic, hw, hw]);
+        let w = rand_t(seed + 7, &[oc, ic, kernel, kernel]);
+        let s = par::with_threads(1, || conv2d(&x, &w, spec));
+        let p = par::with_threads(4, || conv2d(&x, &w, spec));
+        prop_assert_eq!(s.data(), p.data());
+    }
+
+    /// Bit-level CSQ weight materialization — the per-bit-plane gated sum
+    /// — is bit-exact across thread counts.
+    #[test]
+    fn bit_materialize_thread_count_invariant(
+        w in proptest::collection::vec(-2.0f32..2.0, 4..96),
+        bits in 1usize..9, beta in 0.5f32..30.0
+    ) {
+        let t = Tensor::from_slice(&w);
+        let s = par::with_threads(1, || {
+            let mut q = BitQuantizer::from_float(&t, bits, QuantMode::Csq);
+            q.set_beta(beta);
+            q.materialize()
+        });
+        let p = par::with_threads(4, || {
+            let mut q = BitQuantizer::from_float(&t, bits, QuantMode::Csq);
+            q.set_beta(beta);
+            q.materialize()
+        });
+        prop_assert_eq!(s.data(), p.data());
+    }
+}
