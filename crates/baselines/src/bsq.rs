@@ -17,7 +17,7 @@
 //! precision adjustment are exactly the two instabilities CSQ's
 //! continuous sparsification removes.
 
-use csq_nn::{ParamMut, WeightSource};
+use csq_nn::{ParamMut, ParamPath, ParamRole, WeightSource};
 use csq_tensor::Tensor;
 
 /// BSQ bit-level weight parameterization.
@@ -189,21 +189,30 @@ impl WeightSource for BsqWeight {
         }
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.s,
-            grad: &mut self.grad_s,
-            decay: false,
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("s", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::QuantScale,
+                &mut self.s,
+                &mut self.grad_s,
+            ))
         });
-        f(ParamMut {
-            value: &mut self.bp,
-            grad: &mut self.grad_bp,
-            decay: false,
+        path.scoped("b_p", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BitLogit,
+                &mut self.bp,
+                &mut self.grad_bp,
+            ))
         });
-        f(ParamMut {
-            value: &mut self.bn,
-            grad: &mut self.grad_bn,
-            decay: false,
+        path.scoped("b_n", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BitLogit,
+                &mut self.bn,
+                &mut self.grad_bn,
+            ))
         });
     }
 

@@ -14,7 +14,7 @@
 //! implementation). PACT uses this weight path together with the
 //! learnable-clip activation quantizer [`csq_nn::activation::Pact`].
 
-use csq_nn::{ParamMut, WeightSource};
+use csq_nn::{ParamMut, ParamPath, ParamRole, WeightSource};
 use csq_tensor::Tensor;
 
 /// DoReFa weight parameterization.
@@ -80,12 +80,13 @@ impl WeightSource for DorefaWeight {
         }
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.latent,
-            grad: &mut self.grad,
-            decay: true,
-        });
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut::new(
+            path.as_str(),
+            ParamRole::Weight,
+            &mut self.latent,
+            &mut self.grad,
+        ));
     }
 
     fn precision(&self) -> Option<f32> {

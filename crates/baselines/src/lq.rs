@@ -14,7 +14,7 @@
 //! The non-uniform grid is what lets LQ-Nets beat uniform quantizers in
 //! the paper's tables.
 
-use csq_nn::{ParamMut, WeightSource};
+use csq_nn::{ParamMut, ParamPath, ParamRole, WeightSource};
 use csq_tensor::Tensor;
 
 /// LQ-Nets learned-basis weight parameterization.
@@ -179,12 +179,13 @@ impl WeightSource for LqWeight {
         self.grad.add_assign_t(grad_weight);
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.latent,
-            grad: &mut self.grad,
-            decay: true,
-        });
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut::new(
+            path.as_str(),
+            ParamRole::Weight,
+            &mut self.latent,
+            &mut self.grad,
+        ));
     }
 
     fn precision(&self) -> Option<f32> {

@@ -7,7 +7,7 @@
 //! approximation). This is exactly the scheme CSQ's Table IV ablation
 //! compares continuous sparsification against.
 
-use csq_nn::{ParamMut, WeightSource};
+use csq_nn::{ParamMut, ParamPath, ParamRole, WeightSource};
 use csq_tensor::Tensor;
 
 /// Latent-float weight with linear symmetric fake quantization and an
@@ -65,12 +65,13 @@ impl WeightSource for SteUniformWeight {
         self.grad.add_assign_t(grad_weight);
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.latent,
-            grad: &mut self.grad,
-            decay: true,
-        });
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut::new(
+            path.as_str(),
+            ParamRole::Weight,
+            &mut self.latent,
+            &mut self.grad,
+        ));
     }
 
     fn precision(&self) -> Option<f32> {

@@ -22,6 +22,10 @@ use serde::{Deserialize, Serialize};
 struct LayerwiseScheme {
     target: f32,
     layer_bits: Vec<f32>,
+    /// Layer paths matching `layer_bits` column-for-column (empty for
+    /// cache entries written before paths existed).
+    #[serde(default)]
+    layer_paths: Vec<String>,
     avg_bits: f32,
 }
 
@@ -49,6 +53,7 @@ fn main() {
             LayerwiseScheme {
                 target,
                 layer_bits: report.scheme.layer_bits(),
+                layer_paths: report.scheme.layers.iter().map(|l| l.path.clone()).collect(),
                 avg_bits: report.final_avg_bits,
             }
         });
@@ -68,6 +73,12 @@ fn main() {
             print!("{:>4.0}", b);
         }
         println!("   (avg {:.2})", s.avg_bits);
+    }
+    if !schemes[0].layer_paths.is_empty() {
+        println!("columns:");
+        for (i, p) in schemes[0].layer_paths.iter().enumerate() {
+            println!("  {i:>3} = {p}");
+        }
     }
 
     // Consistency check across targets: rank correlation between the

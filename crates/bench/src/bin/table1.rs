@@ -8,18 +8,21 @@
 //! efficiency–accuracy frontier at every activation precision.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table1 [-- --resume]
+//! cargo run -p csq-bench --release --bin table1 [-- --resume] [-- --summary]
 //! ```
 //!
 //! `--resume` reuses completed rows from the campaign cache, so an
-//! interrupted table restarts at the first missing row.
+//! interrupted table restarts at the first missing row. `--summary`
+//! prints a per-layer model map (path, kind, params, roles, bits)
+//! before the campaign starts.
 
-use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
+use csq_bench::{emit_table, print_model_summaries, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
     let campaign = Campaign::from_args("table1");
     eprintln!("table1: ResNet-20 / CIFAR-like, scale {scale:?}");
+    print_model_summaries(&[Arch::ResNet20], &scale);
     let mut rows = Vec::new();
     let csq = |target| Method::Csq {
         target,

@@ -6,17 +6,19 @@
 //! GP search); their rows are echoed as `paper-reported`.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table2 [-- --resume]
+//! cargo run -p csq-bench --release --bin table2 [-- --resume] [-- --summary]
 //! ```
 //!
-//! `--resume` reuses completed rows from the campaign cache.
+//! `--resume` reuses completed rows from the campaign cache. `--summary`
+//! prints a per-layer model map (path, kind, params, roles, bits) first.
 
-use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
+use csq_bench::{emit_table, print_model_summaries, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
     let campaign = Campaign::from_args("table2");
     eprintln!("table2: VGG19BN / CIFAR-like, scale {scale:?}");
+    print_model_summaries(&[Arch::Vgg19Bn], &scale);
     let mut rows = Vec::new();
     let csq = |target| Method::Csq {
         target,

@@ -8,12 +8,13 @@
 //! activations for the ImageNet CSQ models (4-bit for the T2 ResNet-18).
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table3 [-- --resume]
+//! cargo run -p csq-bench --release --bin table3 [-- --resume] [-- --summary]
 //! ```
 //!
-//! `--resume` reuses completed rows from the campaign cache.
+//! `--resume` reuses completed rows from the campaign cache. `--summary`
+//! prints a per-layer model map (path, kind, params, roles, bits) first.
 
-use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
+use csq_bench::{emit_table, print_model_summaries, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn resnet_rows(arch: Arch, scale: &BenchScale, campaign: &Campaign, rows: &mut Vec<TableRow>) {
     let name = if arch == Arch::ResNet18 { "r18" } else { "r50" };
@@ -123,6 +124,7 @@ fn main() {
     scale.epochs = (scale.epochs * 4 / 5).max(4);
     scale.finetune_epochs = (scale.finetune_epochs / 2).max(2);
     eprintln!("table3: ResNet-18/50 / ImageNet-like, scale {scale:?}");
+    print_model_summaries(&[Arch::ResNet18, Arch::ResNet50], &scale);
     let campaign = Campaign::from_args("table3");
     let mut rows = Vec::new();
     resnet_rows(Arch::ResNet18, &scale, &campaign, &mut rows);

@@ -7,17 +7,19 @@
 //! `STE-Uniform < CSQ-Uniform < CSQ-MP`.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table4 [-- --resume]
+//! cargo run -p csq-bench --release --bin table4 [-- --resume] [-- --summary]
 //! ```
 //!
-//! `--resume` reuses completed rows from the campaign cache.
+//! `--resume` reuses completed rows from the campaign cache. `--summary`
+//! prints a per-layer model map (path, kind, params, roles, bits) first.
 
-use csq_bench::{emit_table, Arch, BenchScale, Campaign, Method, TableRow};
+use csq_bench::{emit_table, print_model_summaries, Arch, BenchScale, Campaign, Method, TableRow};
 
 fn main() {
     let scale = BenchScale::from_env();
     let campaign = Campaign::from_args("table4");
     eprintln!("table4: QAT ablation on ResNet-20, scale {scale:?}");
+    print_model_summaries(&[Arch::ResNet20], &scale);
     let act = Some(3);
     let paper: [(usize, f32, f32, f32); 3] = [
         (4, 88.89, 91.93, 92.68),

@@ -7,12 +7,13 @@
 //! monotonically (and gently) as the target shrinks.
 //!
 //! ```text
-//! cargo run -p csq-bench --release --bin table5 [-- --resume]
+//! cargo run -p csq-bench --release --bin table5 [-- --resume] [-- --summary]
 //! ```
 //!
-//! `--resume` reuses completed rows from the campaign cache.
+//! `--resume` reuses completed rows from the campaign cache. `--summary`
+//! prints a per-layer model map (path, kind, params, roles, bits) first.
 
-use csq_bench::{write_results, Arch, BenchScale, Campaign, Method};
+use csq_bench::{print_model_summaries, write_results, Arch, BenchScale, Campaign, Method};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -30,6 +31,7 @@ fn main() {
     let scale = BenchScale::from_env();
     let campaign = Campaign::from_args("table5");
     eprintln!("table5: accuracy-size trade-off, scale {scale:?}");
+    print_model_summaries(&[Arch::ResNet20], &scale);
     let paper: [(f32, f32, f32, f32); 5] = [
         (1.0, 1.00, 32.00, 90.33),
         (2.0, 1.97, 16.24, 91.70),

@@ -238,6 +238,28 @@ pub struct RunResult {
     pub seconds: f32,
 }
 
+/// True when the binary was launched with `--summary`: table binaries
+/// then print a per-layer model map before running their campaign.
+pub fn summary_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--summary")
+}
+
+/// When `--summary` was passed, prints [`csq_core::model_summary`] — one
+/// table per architecture (layer path, kind, parameter count, role
+/// breakdown, current hard-counted bits) — at this campaign's scale,
+/// using the harness's starting parameterization (8-bit CSQ sources).
+pub fn print_model_summaries(archs: &[Arch], scale: &BenchScale) {
+    if !summary_requested() {
+        return;
+    }
+    for arch in archs {
+        let mut factory = csq_factory(8);
+        let mut model = arch.build(scale, None, ActMode::Uniform, &mut factory);
+        println!("\n=== {arch:?} per-layer summary (width {}) ===", scale.width);
+        println!("{}", model_summary(&mut model));
+    }
+}
+
 /// BSQ hyperparameters used by the harness (L1 strength tuned so pruning
 /// engages at reduced scale; pruning period from the BSQ paper's spirit).
 const BSQ_L1: f32 = 1e-3;
@@ -651,6 +673,45 @@ mod tests {
             0.9
         );
         std::fs::remove_dir_all(PathBuf::from("bench_results").join(".campaign").join(name)).ok();
+    }
+
+    #[test]
+    fn summary_is_opt_in() {
+        // The test harness is never launched with `--summary`, so the
+        // helper must be a cheap no-op.
+        assert!(!summary_requested());
+        let scale = BenchScale {
+            epochs: 1,
+            finetune_epochs: 0,
+            train_per_class: 2,
+            test_per_class: 1,
+            width: 4,
+            noise: 0.5,
+            seed: 0,
+            seeds: 1,
+            threads: 1,
+        };
+        print_model_summaries(&[Arch::ResNet20], &scale);
+    }
+
+    #[test]
+    fn model_summary_uses_paths_for_bench_archs() {
+        let scale = BenchScale {
+            epochs: 1,
+            finetune_epochs: 0,
+            train_per_class: 2,
+            test_per_class: 1,
+            width: 4,
+            noise: 0.5,
+            seed: 0,
+            seeds: 1,
+            threads: 1,
+        };
+        let mut factory = csq_factory(8);
+        let mut model = Arch::ResNet20.build(&scale, None, ActMode::Uniform, &mut factory);
+        let text = model_summary(&mut model).to_string();
+        assert!(text.contains("0 "), "stem row: {text}");
+        assert!(text.contains(".main."), "block rows keyed by path: {text}");
     }
 
     #[test]

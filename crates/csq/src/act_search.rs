@@ -27,7 +27,7 @@
 //! benchmark tables all use the paper's fixed uniform activations.
 
 use crate::gate::{temp_sigmoid, temp_sigmoid_grad};
-use csq_nn::{Layer, ParamMut};
+use csq_nn::{Layer, ParamMut, ParamPath, ParamRole};
 use csq_tensor::Tensor;
 
 /// Activation quantizer with searched precision (see module docs).
@@ -209,11 +209,14 @@ impl Layer for SearchedActQuant {
         g
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.m_a,
-            grad: &mut self.grad_a,
-            decay: false,
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("m_a", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::GateLogit,
+                &mut self.m_a,
+                &mut self.grad_a,
+            ))
         });
     }
 

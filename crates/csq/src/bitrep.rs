@@ -21,7 +21,7 @@
 //! snaps the gates to hard steps at the end of training.
 
 use crate::gate::{hard_gate, temp_sigmoid, temp_sigmoid_grad};
-use csq_nn::{ParamMut, WeightSource};
+use csq_nn::{ParamMut, ParamPath, ParamRole, WeightSource};
 use csq_tensor::{par, Tensor};
 
 /// Whether the bit mask is searched (full CSQ) or fixed (the CSQ-Uniform
@@ -478,30 +478,42 @@ impl WeightSource for BitQuantizer {
         }
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.s,
-            grad: &mut self.grad_s,
-            decay: false,
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("s", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::QuantScale,
+                &mut self.s,
+                &mut self.grad_s,
+            ))
         });
-        f(ParamMut {
-            value: &mut self.m_p,
-            grad: &mut self.grad_p,
-            decay: false,
+        path.scoped("m_p", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BitLogit,
+                &mut self.m_p,
+                &mut self.grad_p,
+            ))
         });
-        f(ParamMut {
-            value: &mut self.m_n,
-            grad: &mut self.grad_n,
-            decay: false,
+        path.scoped("m_n", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BitLogit,
+                &mut self.m_n,
+                &mut self.grad_n,
+            ))
         });
         if self.mode == QuantMode::Csq {
             // Always visited (stable parameter ordering for the
             // optimizer); gradients stay zero once the mask is frozen, so
             // a fresh optimizer leaves the logits untouched.
-            f(ParamMut {
-                value: &mut self.m_b,
-                grad: &mut self.grad_b,
-                decay: false,
+            path.scoped("m_b", |p| {
+                f(ParamMut::new(
+                    p.as_str(),
+                    ParamRole::GateLogit,
+                    &mut self.m_b,
+                    &mut self.grad_b,
+                ))
             });
         }
     }

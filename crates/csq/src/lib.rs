@@ -59,7 +59,9 @@ pub mod scheme;
 pub mod trainer;
 
 pub use act_search::SearchedActQuant;
-pub use analysis::{logit_gate_stats, mask_gate_stats, GateStats};
+pub use analysis::{
+    logit_gate_stats, mask_gate_stats, model_summary, GateStats, LayerSummary, ModelSummary,
+};
 pub use bitrep::{
     csq_factory, csq_factory_per_channel, csq_uniform_factory, BitQuantizer, QuantMode,
     ScaleGranularity,
@@ -78,6 +80,7 @@ pub use trainer::{
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
+    pub use crate::analysis::{model_summary, ModelSummary};
     pub use crate::bitrep::{csq_factory, csq_uniform_factory, BitQuantizer, QuantMode};
     pub use crate::budget::{model_precision, BudgetRegularizer, PrecisionStats};
     pub use crate::fault::FaultPlan;

@@ -15,14 +15,14 @@ use serde::{Deserialize, Serialize};
 pub enum PackError {
     /// A weight source exposes no quantization grid (e.g. a float layer).
     NotQuantized {
-        /// Index of the offending weight tensor.
-        layer: usize,
+        /// Path of the offending weight tensor (e.g. `"4.main.0.weight"`).
+        layer: String,
     },
     /// A weight is not an exact integer multiple of the grid step — the
     /// model was not finalized.
     OffGrid {
-        /// Index of the offending weight tensor.
-        layer: usize,
+        /// Path of the offending weight tensor.
+        layer: String,
         /// The offending value.
         value: f32,
         /// The layer's grid step.
@@ -36,12 +36,12 @@ impl std::fmt::Display for PackError {
             PackError::NotQuantized { layer } => {
                 write!(
                     f,
-                    "layer {layer} has no quantization grid (finalize the model first)"
+                    "layer `{layer}` has no quantization grid (finalize the model first)"
                 )
             }
             PackError::OffGrid { layer, value, step } => write!(
                 f,
-                "layer {layer} weight {value} is not a multiple of step {step}"
+                "layer `{layer}` weight {value} is not a multiple of step {step}"
             ),
         }
     }
@@ -53,6 +53,10 @@ impl std::error::Error for PackError {}
 /// that reconstructs floats as `code · step`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PackedWeight {
+    /// Stable path of the source weight tensor. Empty in models packed
+    /// before paths existed.
+    #[serde(default)]
+    pub path: String,
     /// Signed integer codes, one per weight element (row-major).
     pub codes: Vec<i32>,
     /// Grid step: `float = code · step`.
@@ -116,15 +120,14 @@ impl PackedModel {
     pub fn pack(model: &mut dyn Layer) -> Result<PackedModel, PackError> {
         let mut layers = Vec::new();
         let mut failure: Option<PackError> = None;
-        let mut index = 0usize;
-        model.visit_weight_sources(&mut |src| {
+        model.visit_weight_sources_named(&mut csq_nn::ParamPath::root(), &mut |path, src| {
             if failure.is_some() {
                 return;
             }
-            let layer = index;
-            index += 1;
             let Some(step) = src.quant_step() else {
-                failure = Some(PackError::NotQuantized { layer });
+                failure = Some(PackError::NotQuantized {
+                    layer: path.to_string(),
+                });
                 return;
             };
             let bits = src.precision().unwrap_or(32.0);
@@ -134,7 +137,7 @@ impl PackedModel {
                 let k = v / step;
                 if (k - k.round()).abs() > 1e-2 {
                     failure = Some(PackError::OffGrid {
-                        layer,
+                        layer: path.to_string(),
                         value: v,
                         step,
                     });
@@ -143,6 +146,7 @@ impl PackedModel {
                 codes.push(k.round() as i32);
             }
             layers.push(PackedWeight {
+                path: path.to_string(),
                 codes,
                 step,
                 dims: w.dims().to_vec(),
@@ -218,8 +222,12 @@ mod tests {
         let mut fac = float_factory();
         let mut m = resnet_cifar(ModelConfig::cifar_like(4, None, 0), &mut fac, 1);
         let err = PackedModel::pack(&mut m).unwrap_err();
-        assert!(matches!(err, PackError::NotQuantized { layer: 0 }));
+        assert!(matches!(
+            err,
+            PackError::NotQuantized { ref layer } if layer == "0.weight"
+        ));
         assert!(err.to_string().contains("finalize"));
+        assert!(err.to_string().contains("0.weight"), "{err}");
     }
 
     #[test]
@@ -230,12 +238,24 @@ mod tests {
         q.set_beta(2.0); // soft gates: weights off-grid
         let mut layer = Linear::new(Box::new(q), 6, 6, false);
         let err = PackedModel::pack(&mut layer).unwrap_err();
-        assert!(matches!(err, PackError::OffGrid { layer: 0, .. }));
+        assert!(matches!(
+            err,
+            PackError::OffGrid { ref layer, .. } if layer == "weight"
+        ));
+    }
+
+    #[test]
+    fn packed_layers_carry_paths() {
+        let mut m = finalized_model();
+        let packed = PackedModel::pack(&mut m).unwrap();
+        assert!(packed.layers.iter().all(|l| !l.path.is_empty()));
+        assert_eq!(packed.layers[0].path, "0.weight");
     }
 
     #[test]
     fn size_accounting_matches_bit_math() {
         let pw = PackedWeight {
+            path: "0.weight".to_string(),
             codes: vec![0; 100],
             step: 0.1,
             dims: vec![100],

@@ -239,6 +239,7 @@ mod tests {
             dims: vec![1, n],
         };
         let pw = PackedWeight {
+            path: "weight".to_string(),
             codes: vec![255i32; n],
             step: 1.0,
             dims: vec![1, n],
@@ -258,6 +259,7 @@ mod tests {
             dims: vec![1, 4],
         };
         let pw = PackedWeight {
+            path: "weight".to_string(),
             codes: vec![0; 6],
             step: 1.0,
             dims: vec![2, 3],

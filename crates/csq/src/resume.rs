@@ -3,11 +3,12 @@
 //! A [`TrainSnapshot`] captures everything Algorithm 1 needs to continue
 //! mid-run as if it had never stopped:
 //!
-//! * model parameters in visitation order — for CSQ sources that includes
-//!   the scales `s` and the gate logits `m_p`, `m_n`, `m_B` (the whole
-//!   bi-level relaxation state),
-//! * non-parameter layer state ([`csq_nn::Layer::visit_state`]):
-//!   BatchNorm running statistics and activation-range EMAs,
+//! * model parameters keyed by their stable hierarchical path — for CSQ
+//!   sources that includes the scales `s` and the gate logits `m_p`,
+//!   `m_n`, `m_B` (the whole bi-level relaxation state),
+//! * non-parameter layer state ([`csq_nn::Layer::visit_state_named`]),
+//!   also keyed by path: BatchNorm running statistics and
+//!   activation-range EMAs,
 //! * optimizer moments ([`csq_nn::OptimState`]),
 //! * the phase ([`TrainPhase`]), epochs completed within it, and the full
 //!   [`EpochStats`](crate::EpochStats) history so far,
@@ -27,6 +28,15 @@
 //! crash mid-save leaves the previous snapshot intact and a truncated or
 //! bit-flipped file is rejected with a checksum error instead of being
 //! deserialized into garbage.
+//!
+//! # Format history
+//!
+//! * **v3** (current): parameters, optimizer buffers and layer state are
+//!   keyed by parameter path (e.g. `"0.weight.m_b"`); restore validates
+//!   paths and shapes and names both sides on a mismatch.
+//! * **v1** (legacy): everything keyed by visitation order. Still loaded
+//!   bit-exactly — unnamed entries are validated and applied
+//!   positionally, and adopt the model's paths on the next save.
 
 use crate::trainer::EpochStats;
 use csq_nn::checkpoint::RestoreError;
@@ -171,12 +181,15 @@ pub struct TrainSnapshot {
     pub target_bits: Option<f32>,
     /// Full per-epoch history up to the snapshot (all phases).
     pub history: Vec<EpochStats>,
-    /// Model parameters in visitation order (includes quantizer scales
-    /// and gate logits).
+    /// Model parameters keyed by path (includes quantizer scales and
+    /// gate logits). Legacy order-keyed entries carry empty paths.
     pub params: Checkpoint,
-    /// Non-parameter layer state in visitation order (BatchNorm running
-    /// statistics, activation-range EMAs).
-    pub layer_state: Vec<Vec<f32>>,
+    /// Non-parameter layer state keyed by path (BatchNorm running
+    /// statistics, activation-range EMAs). Legacy v1 snapshots stored
+    /// bare buffers; those deserialize with empty paths and are applied
+    /// positionally.
+    #[serde(deserialize_with = "de_named_state")]
+    pub layer_state: Vec<(String, Vec<f32>)>,
     /// Optimizer moments.
     pub optim: OptimState,
     /// Worker-thread count of the writing process (0 when unknown, e.g.
@@ -187,29 +200,61 @@ pub struct TrainSnapshot {
     pub threads: usize,
 }
 
-/// Collects every non-parameter state buffer of `model` in visitation
-/// order.
-pub fn capture_layer_state(model: &mut dyn Layer) -> Vec<Vec<f32>> {
+/// Deserializes layer state from either the current named encoding
+/// (`[["0.running_mean", [..]], ..]`) or the legacy v1 encoding of bare
+/// buffers (`[[..], ..]`), which yields empty paths.
+fn de_named_state<'de, D>(d: D) -> Result<Vec<(String, Vec<f32>)>, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    #[derive(Deserialize)]
+    #[serde(untagged)]
+    enum Repr {
+        Named(Vec<(String, Vec<f32>)>),
+        Legacy(Vec<Vec<f32>>),
+    }
+    Ok(match Repr::deserialize(d)? {
+        Repr::Named(v) => v,
+        Repr::Legacy(v) => v.into_iter().map(|s| (String::new(), s)).collect(),
+    })
+}
+
+/// Collects every non-parameter state buffer of `model`, keyed by its
+/// stable parameter path (e.g. `"1.running_mean"`).
+pub fn capture_layer_state(model: &mut dyn Layer) -> Vec<(String, Vec<f32>)> {
     let mut out = Vec::new();
-    model.visit_state(&mut |s| out.push(s.to_vec()));
+    model.visit_state_named(&mut csq_nn::ParamPath::root(), &mut |path, s| {
+        out.push((path.to_string(), s.to_vec()));
+    });
     out
 }
 
 /// Writes `state` (captured by [`capture_layer_state`]) back into
-/// `model`.
+/// `model`. Buffers are applied in visitation order; when a saved entry
+/// carries a path (v3 snapshots) it must match the model's path at that
+/// position, so a renamed or reordered architecture is rejected by name.
 ///
 /// # Errors
 ///
 /// [`SnapshotError::StateMismatch`] when the buffer count or any buffer
-/// length disagrees; the model is left unchanged in that case.
-pub fn restore_layer_state(model: &mut dyn Layer, state: &[Vec<f32>]) -> Result<(), SnapshotError> {
+/// length disagrees; [`SnapshotError::ConfigMismatch`] when a named
+/// buffer's path disagrees with the model. The model is left unchanged
+/// in either case.
+pub fn restore_layer_state(
+    model: &mut dyn Layer,
+    state: &[(String, Vec<f32>)],
+) -> Result<(), SnapshotError> {
     // Validate first so a failed restore never half-applies.
     let mut count = 0usize;
     let mut bad_len = false;
-    model.visit_state(&mut |s| {
-        if let Some(saved) = state.get(count) {
+    let mut bad_path: Option<(String, String)> = None;
+    model.visit_state_named(&mut csq_nn::ParamPath::root(), &mut |path, s| {
+        if let Some((name, saved)) = state.get(count) {
             if saved.len() != s.len() {
                 bad_len = true;
+            }
+            if !name.is_empty() && name != path && bad_path.is_none() {
+                bad_path = Some((name.clone(), path.to_string()));
             }
         }
         count += 1;
@@ -220,17 +265,29 @@ pub fn restore_layer_state(model: &mut dyn Layer, state: &[Vec<f32>]) -> Result<
             actual: count,
         });
     }
+    if let Some((saved, model_path)) = bad_path {
+        return Err(SnapshotError::ConfigMismatch {
+            what: format!(
+                "layer state buffer is `{saved}` in the snapshot but `{model_path}` in the model"
+            ),
+        });
+    }
     let mut idx = 0usize;
     model.visit_state(&mut |s| {
-        s.copy_from_slice(&state[idx]);
+        s.copy_from_slice(&state[idx].1);
         idx += 1;
     });
     Ok(())
 }
 
 impl TrainSnapshot {
-    /// The snapshot format version this build writes and reads.
-    pub const VERSION: u32 = 1;
+    /// The snapshot format version this build writes.
+    pub const VERSION: u32 = 3;
+
+    /// Legacy format versions this build still reads (see the module
+    /// docs' format history). v1 snapshots key everything by visitation
+    /// order and restore bit-exactly through the positional compat path.
+    pub const LEGACY_VERSIONS: &'static [u32] = &[1];
 
     /// Restores the snapshot's parameters and layer state into `model`.
     /// Does *not* re-freeze the bit mask — the trainer does that from the
@@ -268,7 +325,7 @@ impl TrainSnapshot {
     pub fn load(path: &Path) -> Result<TrainSnapshot, SnapshotError> {
         let payload = persist::read_checksummed(path)?;
         let snap: TrainSnapshot = serde_json::from_slice(&payload)?;
-        if snap.version != Self::VERSION {
+        if snap.version != Self::VERSION && !Self::LEGACY_VERSIONS.contains(&snap.version) {
             return Err(SnapshotError::VersionMismatch {
                 found: snap.version,
                 supported: Self::VERSION,
@@ -379,6 +436,8 @@ mod tests {
         bn.forward(&Tensor::ones(&[2, 2, 3, 3]), true);
         let state = capture_layer_state(&mut bn);
         assert_eq!(state.len(), 2, "running mean + running var");
+        assert_eq!(state[0].0, "0.running_mean");
+        assert_eq!(state[1].0, "0.running_var");
         let mut fresh = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
         restore_layer_state(&mut fresh, &state).unwrap();
         assert_eq!(capture_layer_state(&mut fresh), state);
@@ -387,7 +446,9 @@ mod tests {
     #[test]
     fn layer_state_restore_rejects_mismatch() {
         let mut bn = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
-        let err = restore_layer_state(&mut bn, &[vec![0.0; 2]]).unwrap_err();
+        let err =
+            restore_layer_state(&mut bn, &[("0.running_mean".to_string(), vec![0.0; 2])])
+                .unwrap_err();
         assert!(
             matches!(
                 err,
@@ -398,6 +459,73 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn layer_state_restore_rejects_wrong_path() {
+        let mut bn = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        let err = restore_layer_state(
+            &mut bn,
+            &[
+                ("0.running_var".to_string(), vec![0.0; 2]),
+                ("0.running_mean".to_string(), vec![0.0; 2]),
+            ],
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(err, SnapshotError::ConfigMismatch { .. }),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("0.running_var") && msg.contains("0.running_mean"),
+            "mismatch names both sides: {msg}"
+        );
+    }
+
+    #[test]
+    fn legacy_unnamed_layer_state_restores_positionally() {
+        let mut bn = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        bn.forward(&Tensor::ones(&[2, 2, 3, 3]), true);
+        let named = capture_layer_state(&mut bn);
+        let legacy: Vec<(String, Vec<f32>)> = named
+            .iter()
+            .map(|(_, s)| (String::new(), s.clone()))
+            .collect();
+        let mut fresh = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn Layer>]);
+        restore_layer_state(&mut fresh, &legacy).unwrap();
+        assert_eq!(capture_layer_state(&mut fresh), named);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_json_still_loads() {
+        let mut m = model();
+        let snap = snapshot_for(&mut m);
+        // Rewrite the document into the v1 order-keyed shape: version 1,
+        // bare state buffers, unnamed checkpoint entries under "params".
+        let mut doc = serde_json::to_value(&snap).unwrap();
+        doc["version"] = serde_json::json!(1);
+        let state: Vec<serde_json::Value> = doc["layer_state"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|pair| pair[1].clone())
+            .collect();
+        doc["layer_state"] = serde_json::Value::Array(state);
+        let tensors: Vec<serde_json::Value> = doc["params"]["entries"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|pair| pair[1].clone())
+            .collect();
+        doc["params"] = serde_json::json!({ "params": tensors });
+        let back: TrainSnapshot = serde_json::from_value(doc).unwrap();
+        assert_eq!(back.version, 1);
+        assert!(TrainSnapshot::LEGACY_VERSIONS.contains(&back.version));
+        let mut fresh = model();
+        fresh.visit_params(&mut |p| p.value.fill(0.5));
+        back.restore_model(&mut fresh).unwrap();
+        assert_eq!(Checkpoint::capture(&mut fresh), snap.params);
     }
 
     #[test]

@@ -11,6 +11,11 @@ use serde::{Deserialize, Serialize};
 pub struct LayerScheme {
     /// Position among the model's weight tensors (construction order).
     pub index: usize,
+    /// Stable hierarchical path of the weight tensor (e.g.
+    /// `"4.main.0.weight"`). Empty in schemes serialized before paths
+    /// existed.
+    #[serde(default)]
+    pub path: String,
     /// Number of weight elements.
     pub numel: usize,
     /// Assigned precision in bits.
@@ -35,9 +40,10 @@ impl QuantScheme {
     pub fn extract(model: &mut dyn Layer) -> QuantScheme {
         let mut layers = Vec::new();
         let mut index = 0usize;
-        model.visit_weight_sources(&mut |src| {
+        model.visit_weight_sources_named(&mut csq_nn::ParamPath::root(), &mut |path, src| {
             layers.push(LayerScheme {
                 index,
+                path: path.to_string(),
                 numel: src.numel(),
                 bits: src.precision().unwrap_or(32.0),
                 mask: src.bit_mask(),
@@ -91,11 +97,25 @@ impl std::fmt::Display for QuantScheme {
             self.compression,
             self.layers.len()
         )?;
+        let width = self
+            .layers
+            .iter()
+            .map(|l| l.path.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
         for l in &self.layers {
+            // Fall back to the positional index for schemes that predate
+            // layer paths.
+            let name = if l.path.is_empty() {
+                format!("layer {}", l.index)
+            } else {
+                l.path.clone()
+            };
             writeln!(
                 f,
-                "  layer {:>2}: {:>5.1} bits  ({} params)",
-                l.index, l.bits, l.numel
+                "  {name:<width$}  {:>5.1} bits  ({} params)",
+                l.bits, l.numel
             )?;
         }
         Ok(())
@@ -148,5 +168,37 @@ mod tests {
         let s = QuantScheme::extract(&mut m).to_string();
         assert!(s.contains("compression"));
         assert!(s.lines().count() > 5);
+    }
+
+    #[test]
+    fn extract_records_layer_paths() {
+        let mut m = tiny_model();
+        let scheme = QuantScheme::extract(&mut m);
+        assert!(scheme.layers.iter().all(|l| !l.path.is_empty()));
+        assert_eq!(scheme.layers[0].path, "0.weight", "stem conv");
+        // Residual-block convs carry their branch in the path.
+        assert!(
+            scheme.layers.iter().any(|l| l.path.contains(".main.")),
+            "{:?}",
+            scheme.layers.iter().map(|l| &l.path).collect::<Vec<_>>()
+        );
+        let display = scheme.to_string();
+        assert!(display.contains("0.weight"), "{display}");
+    }
+
+    #[test]
+    fn legacy_scheme_json_without_paths_parses() {
+        let mut m = tiny_model();
+        let scheme = QuantScheme::extract(&mut m);
+        // Simulate a scheme serialized before paths existed.
+        let mut doc: serde_json::Value = serde_json::from_str(&scheme.to_json()).unwrap();
+        for layer in doc["layers"].as_array_mut().unwrap() {
+            layer.as_object_mut().unwrap().remove("path");
+        }
+        let back = QuantScheme::from_json(&doc.to_string()).unwrap();
+        assert!(back.layers.iter().all(|l| l.path.is_empty()));
+        assert_eq!(back.layer_bits(), scheme.layer_bits());
+        // Pathless schemes fall back to positional labels in Display.
+        assert!(back.to_string().contains("layer 0"));
     }
 }

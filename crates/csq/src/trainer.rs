@@ -22,7 +22,7 @@ use crate::scheme::QuantScheme;
 use csq_data::{DataLoader, Dataset, Split};
 use csq_nn::{
     accuracy, softmax_cross_entropy, Adam, Checkpoint, CosineSchedule, Layer, OptimState,
-    OptimStateError, Sgd,
+    OptimStateError, ParamRole, Sgd,
 };
 use std::path::{Path, PathBuf};
 
@@ -63,10 +63,10 @@ impl Optimizer {
         }
     }
 
-    fn step(&mut self, model: &mut dyn Layer) {
+    fn step(&mut self, model: &mut dyn Layer, frozen: &[ParamRole]) {
         match self {
-            Optimizer::Sgd(o) => o.step(model),
-            Optimizer::Adam(o) => o.step(model),
+            Optimizer::Sgd(o) => o.step_with_frozen(model, frozen),
+            Optimizer::Adam(o) => o.step_with_frozen(model, frozen),
         }
     }
 
@@ -264,6 +264,10 @@ pub struct FitOptions<'a> {
     /// the completed part of this one); embedded into snapshots so a
     /// resumed run's snapshot is indistinguishable from a straight run's.
     pub prior_history: &'a [EpochStats],
+    /// Parameter roles the optimizer must not update this phase. The CSQ
+    /// finetune phase freezes [`ParamRole::GateLogit`] so the discovered
+    /// bit scheme cannot drift, complementing the hard mask freeze.
+    pub frozen_roles: &'a [ParamRole],
 }
 
 impl Default for FitOptions<'_> {
@@ -277,6 +281,7 @@ impl Default for FitOptions<'_> {
             init_optim: None,
             lr_scale: 1.0,
             prior_history: &[],
+            frozen_roles: &[],
         }
     }
 }
@@ -285,7 +290,7 @@ impl Default for FitOptions<'_> {
 #[derive(Debug)]
 struct GoodState {
     params: Checkpoint,
-    layer_state: Vec<Vec<f32>>,
+    layer_state: Vec<(String, Vec<f32>)>,
     optim: OptimState,
     loader: DataLoader,
     /// Next epoch to run after restoring.
@@ -429,6 +434,7 @@ pub fn fit_with(
     loader.fast_forward(opts.start_epoch as u64, data.train.len());
 
     let recovery = opts.recovery;
+    let frozen = opts.frozen_roles;
     let mut fault = opts.fault;
     let mut lr_scale = opts.lr_scale;
     let mut history: Vec<EpochStats> = Vec::with_capacity(cfg.epochs - opts.start_epoch);
@@ -485,7 +491,7 @@ pub fn fit_with(
             if fault.as_deref_mut().is_some_and(|f| f.take_nan_grads(step)) {
                 model.visit_params(&mut |p| p.grad.fill(f32::NAN));
             }
-            opt.step(model);
+            opt.step(model, frozen);
             let b = batch.labels.len();
             loss_sum += loss as f64 * b as f64;
             acc_sum += acc as f64 * b as f64;
@@ -950,6 +956,7 @@ impl CsqTrainer {
                     init_optim: p1_optim,
                     lr_scale: p1_scale,
                     prior_history: &history,
+                    frozen_roles: &[],
                 },
             )?;
             history.extend(ran);
@@ -961,7 +968,9 @@ impl CsqTrainer {
 
         // Phase 2 (optional): finetune bit representations with the
         // temperature rewound to β₀ and re-annealed over T' epochs. No
-        // budget regularization — the scheme is frozen.
+        // budget regularization — the scheme is frozen, and the gate
+        // logits (`ParamRole::GateLogit`) are excluded from optimizer
+        // updates by role so the mask freeze cannot be undone.
         if cfg.finetune_epochs > 0 && p2_start < cfg.finetune_epochs {
             let phase2 = FitConfig {
                 epochs: cfg.finetune_epochs,
@@ -992,6 +1001,7 @@ impl CsqTrainer {
                     init_optim: p2_optim,
                     lr_scale: p2_scale,
                     prior_history: &history,
+                    frozen_roles: &[ParamRole::GateLogit],
                 },
             )?;
             history.extend(ran);

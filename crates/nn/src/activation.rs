@@ -1,6 +1,6 @@
 //! Activation functions and uniform activation fake-quantization.
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath, ParamRole};
 use csq_tensor::Tensor;
 
 /// Rectified linear unit.
@@ -150,12 +150,12 @@ impl Layer for ActQuant {
         g
     }
 
-    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+    fn visit_state_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &mut [f32])) {
         // Copy-in/copy-out so the initialization flag rides along with the
         // range EMA: a resumed run must not re-seed the range from its
         // first batch.
         let mut buf = [self.range, if self.initialized { 1.0 } else { 0.0 }];
-        f(&mut buf);
+        path.scoped("act_range", |p| f(p.as_str(), &mut buf));
         self.range = buf[0];
         self.initialized = buf[1] != 0.0;
     }
@@ -274,11 +274,19 @@ impl Layer for Pact {
         g
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.alpha,
-            grad: &mut self.grad_alpha,
-            decay: true,
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        // PACT decays α even though it is a scale, not a weight — the
+        // documented exception to the role-derived decay policy.
+        path.scoped("alpha", |p| {
+            f(
+                ParamMut::new(
+                    p.as_str(),
+                    ParamRole::QuantScale,
+                    &mut self.alpha,
+                    &mut self.grad_alpha,
+                )
+                .with_decay(true),
+            )
         });
     }
 

@@ -1,6 +1,6 @@
 //! 2-D batch normalization with exact backward.
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath, ParamRole};
 use csq_tensor::Tensor;
 
 /// Batch normalization over the channel axis of NCHW activations.
@@ -184,22 +184,30 @@ impl Layer for BatchNorm2d {
         grad_input
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.gamma,
-            grad: &mut self.grad_gamma,
-            decay: false,
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("gamma", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BnAffine,
+                &mut self.gamma,
+                &mut self.grad_gamma,
+            ))
         });
-        f(ParamMut {
-            value: &mut self.beta,
-            grad: &mut self.grad_beta,
-            decay: false,
+        path.scoped("beta", |p| {
+            f(ParamMut::new(
+                p.as_str(),
+                ParamRole::BnAffine,
+                &mut self.beta,
+                &mut self.grad_beta,
+            ))
         });
     }
 
-    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
-        f(self.running_mean.data_mut());
-        f(self.running_var.data_mut());
+    fn visit_state_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &mut [f32])) {
+        path.scoped("running_mean", |p| {
+            f(p.as_str(), self.running_mean.data_mut())
+        });
+        path.scoped("running_var", |p| f(p.as_str(), self.running_var.data_mut()));
     }
 
     fn kind(&self) -> &'static str {

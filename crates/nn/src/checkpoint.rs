@@ -1,17 +1,21 @@
 //! Saving and restoring trained parameters.
 //!
-//! A checkpoint is the flat list of a model's parameter tensors in
-//! visitation order — the same stable order the optimizers key their
-//! state by — so any architecturally identical model can restore it.
+//! A checkpoint maps each parameter's stable hierarchical path (e.g.
+//! `4.main.0.weight`) to its tensor, in visitation order — the same paths
+//! the optimizers key their state by — so any architecturally identical
+//! model can restore it and any architectural edit is reported by name.
 //! The format is plain JSON (small models, human-inspectable); weights
 //! quantized by CSQ should instead be deployed via fixed-point packing
-//! (`csq_core::PackedModel`).
+//! (`csq_core::PackedModel`). Legacy order-keyed checkpoints (a bare
+//! tensor list) still deserialize and restore positionally.
 
 use crate::layer::Layer;
 use csq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
-/// A serializable snapshot of every trainable parameter of a model.
+/// A serializable snapshot of every trainable parameter of a model,
+/// keyed by parameter path.
 ///
 /// # Example
 ///
@@ -26,8 +30,14 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
-    /// Parameter tensors in visitation order.
-    pub params: Vec<Tensor>,
+    /// `(path, tensor)` entries in visitation order. Legacy checkpoints
+    /// (schema v1: a bare tensor list under `params`) deserialize with
+    /// empty paths and restore positionally.
+    #[serde(
+        alias = "params",
+        deserialize_with = "crate::optim::de_named_tensors"
+    )]
+    entries: Vec<(String, Tensor)>,
 }
 
 /// Error restoring a checkpoint into a model.
@@ -40,10 +50,25 @@ pub enum RestoreError {
         /// Parameters in the model.
         actual: usize,
     },
-    /// A tensor's shape differs from the model parameter at its position.
+    /// A checkpoint tensor's shape differs from the model parameter with
+    /// the same path.
     ShapeMismatch {
-        /// Parameter index (visitation order).
-        index: usize,
+        /// Path of the mismatched parameter.
+        path: String,
+        /// Shape of the parameter in the model.
+        model: Vec<usize>,
+        /// Shape of the tensor in the checkpoint.
+        checkpoint: Vec<usize>,
+    },
+    /// A model parameter has no entry in the checkpoint.
+    MissingInCheckpoint {
+        /// Path of the parameter without a checkpoint entry.
+        path: String,
+    },
+    /// A checkpoint entry matches no model parameter.
+    UnexpectedInCheckpoint {
+        /// Path of the entry without a model parameter.
+        path: String,
     },
 }
 
@@ -54,9 +79,22 @@ impl std::fmt::Display for RestoreError {
                 f,
                 "checkpoint has {expected} parameter tensors but the model has {actual}"
             ),
-            RestoreError::ShapeMismatch { index } => {
-                write!(f, "parameter {index} has a different shape in the checkpoint")
+            RestoreError::ShapeMismatch {
+                path,
+                model,
+                checkpoint,
+            } => write!(
+                f,
+                "parameter `{path}` has shape {model:?} in the model but {checkpoint:?} \
+                 in the checkpoint"
+            ),
+            RestoreError::MissingInCheckpoint { path } => {
+                write!(f, "model parameter `{path}` is missing from the checkpoint")
             }
+            RestoreError::UnexpectedInCheckpoint { path } => write!(
+                f,
+                "checkpoint entry `{path}` does not match any model parameter"
+            ),
         }
     }
 }
@@ -64,45 +102,114 @@ impl std::fmt::Display for RestoreError {
 impl std::error::Error for RestoreError {}
 
 impl Checkpoint {
-    /// Captures a snapshot of `model`'s parameters.
+    /// Captures a snapshot of `model`'s parameters, keyed by path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two parameters report the same path — a container or
+    /// layer implementation emitting non-unique segments.
     pub fn capture(model: &mut dyn Layer) -> Checkpoint {
-        let mut params = Vec::new();
-        model.visit_params(&mut |p| params.push(p.value.clone()));
-        Checkpoint { params }
+        let mut entries: Vec<(String, Tensor)> = Vec::new();
+        let mut seen = HashSet::new();
+        model.visit_params(&mut |p| {
+            assert!(
+                seen.insert(p.path.to_string()),
+                "duplicate parameter path `{}` — container/layer segments must be unique",
+                p.path
+            );
+            entries.push((p.path.to_string(), p.value.clone()));
+        });
+        Checkpoint { entries }
+    }
+
+    /// Builds a checkpoint from order-keyed tensors without paths.
+    #[deprecated(
+        note = "order-keyed checkpoints cannot detect model edits; use `Checkpoint::capture`"
+    )]
+    pub fn from_params(params: Vec<Tensor>) -> Checkpoint {
+        Checkpoint {
+            entries: params.into_iter().map(|t| (String::new(), t)).collect(),
+        }
+    }
+
+    /// The `(path, tensor)` entries, in visitation order.
+    pub fn entries(&self) -> &[(String, Tensor)] {
+        &self.entries
+    }
+
+    /// The parameter tensors in visitation order (path-agnostic view).
+    pub fn tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.entries.iter().map(|(_, t)| t)
     }
 
     /// Restores the snapshot into `model` (which must have the identical
-    /// architecture).
+    /// architecture). Named checkpoints restore by path; legacy
+    /// checkpoints without paths restore positionally.
     ///
     /// # Errors
     ///
-    /// [`RestoreError`] on parameter count or shape mismatch; the model
-    /// is left unchanged in that case.
+    /// [`RestoreError`] naming the offending parameter on count, path or
+    /// shape mismatch; the model is left unchanged in that case.
     pub fn restore(&self, model: &mut dyn Layer) -> Result<(), RestoreError> {
         // Validate first so a failed restore never half-applies.
-        let mut count = 0usize;
-        let mut shape_err = None;
+        let mut model_params: Vec<(String, Vec<usize>)> = Vec::new();
         model.visit_params(&mut |p| {
-            if let Some(ckpt) = self.params.get(count) {
-                if ckpt.dims() != p.value.dims() && shape_err.is_none() {
-                    shape_err = Some(count);
-                }
-            }
-            count += 1;
+            model_params.push((p.path.to_string(), p.value.dims().to_vec()));
         });
-        if count != self.params.len() {
+        if model_params.len() != self.entries.len() {
             return Err(RestoreError::CountMismatch {
-                expected: self.params.len(),
-                actual: count,
+                expected: self.entries.len(),
+                actual: model_params.len(),
             });
         }
-        if let Some(index) = shape_err {
-            return Err(RestoreError::ShapeMismatch { index });
+
+        let legacy = self.entries.iter().all(|(n, _)| n.is_empty());
+        if legacy {
+            for ((path, dims), (_, t)) in model_params.iter().zip(self.entries.iter()) {
+                if dims.as_slice() != t.dims() {
+                    return Err(RestoreError::ShapeMismatch {
+                        path: path.clone(),
+                        model: dims.clone(),
+                        checkpoint: t.dims().to_vec(),
+                    });
+                }
+            }
+            let mut idx = 0usize;
+            model.visit_params(&mut |p| {
+                *p.value = self.entries[idx].1.clone();
+                idx += 1;
+            });
+            return Ok(());
         }
-        let mut idx = 0usize;
+
+        let by_path: HashMap<&str, &Tensor> =
+            self.entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        for (path, dims) in &model_params {
+            match by_path.get(path.as_str()) {
+                None => {
+                    return Err(RestoreError::MissingInCheckpoint { path: path.clone() });
+                }
+                Some(t) if t.dims() != dims.as_slice() => {
+                    return Err(RestoreError::ShapeMismatch {
+                        path: path.clone(),
+                        model: dims.clone(),
+                        checkpoint: t.dims().to_vec(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        let model_paths: HashSet<&str> = model_params.iter().map(|(p, _)| p.as_str()).collect();
+        for (path, _) in &self.entries {
+            if !model_paths.contains(path.as_str()) {
+                return Err(RestoreError::UnexpectedInCheckpoint { path: path.clone() });
+            }
+        }
+
         model.visit_params(&mut |p| {
-            *p.value = self.params[idx].clone();
-            idx += 1;
+            if let Some(t) = by_path.get(p.path) {
+                *p.value = (*t).clone();
+            }
         });
         Ok(())
     }
@@ -117,7 +224,8 @@ impl Checkpoint {
         }
     }
 
-    /// Parses a checkpoint from JSON.
+    /// Parses a checkpoint from JSON (named entries or the legacy bare
+    /// tensor list).
     ///
     /// # Errors
     ///
@@ -161,7 +269,7 @@ impl Checkpoint {
 
     /// Total number of scalar parameters in the snapshot.
     pub fn numel(&self) -> usize {
-        self.params.iter().map(Tensor::numel).sum()
+        self.entries.iter().map(|(_, t)| t.numel()).sum()
     }
 }
 
@@ -192,6 +300,44 @@ mod tests {
     }
 
     #[test]
+    fn capture_keys_entries_by_path() {
+        let mut a = model(0);
+        let ckpt = Checkpoint::capture(&mut a);
+        let paths: Vec<_> = ckpt.entries().iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["0.weight", "0.bias", "1.weight", "1.bias"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter path")]
+    fn capture_rejects_duplicate_paths() {
+        // A broken container that visits the same child twice under the
+        // same segment produces colliding paths; capture must refuse.
+        #[derive(Debug)]
+        struct DoubleVisit(Linear);
+        impl crate::layer::Layer for DoubleVisit {
+            fn forward(&mut self, input: &T, train: bool) -> T {
+                self.0.forward(input, train)
+            }
+            fn backward(&mut self, g: &T) -> T {
+                self.0.backward(g)
+            }
+            fn visit_params_named(
+                &mut self,
+                path: &mut crate::layer::ParamPath,
+                f: &mut dyn FnMut(crate::layer::ParamMut<'_>),
+            ) {
+                self.0.visit_params_named(path, &mut *f);
+                self.0.visit_params_named(path, &mut *f);
+            }
+            fn kind(&self) -> &'static str {
+                "double_visit"
+            }
+        }
+        let mut broken = DoubleVisit(Linear::with_float_weights(2, 2, 0));
+        let _ = Checkpoint::capture(&mut broken);
+    }
+
+    #[test]
     fn restore_rejects_wrong_architecture() {
         let mut a = model(0);
         let ckpt = Checkpoint::capture(&mut a);
@@ -206,8 +352,81 @@ mod tests {
             Box::new(Linear::with_float_weights(4, 3, 1)),
         ]);
         let err = ckpt.restore(&mut wrong_shape).unwrap_err();
-        assert_eq!(err, RestoreError::ShapeMismatch { index: 2 });
-        assert!(err.to_string().contains("parameter 2"));
+        assert_eq!(
+            err,
+            RestoreError::ShapeMismatch {
+                path: "1.weight".to_string(),
+                model: vec![3, 4],
+                checkpoint: vec![2, 4],
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("1.weight"), "{msg}");
+        assert!(msg.contains("[3, 4]") && msg.contains("[2, 4]"), "{msg}");
+    }
+
+    #[test]
+    fn restore_reports_missing_and_unexpected_paths() {
+        let mut a = model(0);
+        let mut ckpt = Checkpoint::capture(&mut a);
+        // Rename one entry: the model parameter becomes missing and the
+        // renamed entry becomes unexpected.
+        ckpt.entries[2].0 = "9.weight".to_string();
+        let mut b = model(1);
+        let err = ckpt.restore(&mut b).unwrap_err();
+        assert_eq!(
+            err,
+            RestoreError::MissingInCheckpoint {
+                path: "1.weight".to_string()
+            }
+        );
+        assert!(err.to_string().contains("1.weight"));
+
+        // Swap two same-shape entries' names: nothing missing, restore
+        // goes by name, so values land on the right parameters anyway.
+        let ckpt2 = Checkpoint::capture(&mut a);
+        let mut reordered = ckpt2.clone();
+        reordered.entries.swap(0, 2);
+        let mut c = model(2);
+        reordered.restore(&mut c).unwrap();
+        assert_eq!(Checkpoint::capture(&mut c), ckpt2, "by-name restore");
+    }
+
+    #[test]
+    fn unexpected_entry_display_names_path() {
+        let err = RestoreError::UnexpectedInCheckpoint {
+            path: "ghost.weight".to_string(),
+        };
+        assert!(err.to_string().contains("ghost.weight"));
+    }
+
+    #[test]
+    fn legacy_order_keyed_checkpoint_restores_positionally() {
+        let mut a = model(0);
+        let named = Checkpoint::capture(&mut a);
+        #[allow(deprecated)]
+        let legacy =
+            Checkpoint::from_params(named.tensors().cloned().collect());
+        let mut b = model(42);
+        legacy.restore(&mut b).unwrap();
+        assert_eq!(Checkpoint::capture(&mut b), named);
+    }
+
+    #[test]
+    fn legacy_json_without_paths_still_parses() {
+        let mut a = model(3);
+        let named = Checkpoint::capture(&mut a);
+        // Schema v1 serialized the tensors as a bare list under "params".
+        let tensors: Vec<T> = named.tensors().cloned().collect();
+        let legacy_json = format!(
+            "{{\"params\":{}}}",
+            serde_json::to_string(&tensors).unwrap()
+        );
+        let parsed = Checkpoint::from_json(&legacy_json).unwrap();
+        assert!(parsed.entries().iter().all(|(n, _)| n.is_empty()));
+        let mut b = model(44);
+        parsed.restore(&mut b).unwrap();
+        assert_eq!(Checkpoint::capture(&mut b), named);
     }
 
     #[test]

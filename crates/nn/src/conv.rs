@@ -1,6 +1,6 @@
 //! 2-D convolution layer with a pluggable weight parameterization.
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath, ParamRole};
 use crate::weight::{FloatWeight, WeightSource};
 use csq_tensor::conv::{conv2d_backward_with_scratch, conv2d_with_scratch, ConvSpec};
 use csq_tensor::par::ScratchPool;
@@ -137,19 +137,19 @@ impl Layer for Conv2d {
         grad_input
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        self.weight.visit_params(f);
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("weight", |p| self.weight.visit_params_named(p, &mut *f));
         if let Some((b, gb)) = &mut self.bias {
-            f(ParamMut {
-                value: b,
-                grad: gb,
-                decay: false,
-            });
+            path.scoped("bias", |p| f(ParamMut::new(p.as_str(), ParamRole::Bias, b, gb)));
         }
     }
 
-    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
-        f(self.weight.as_mut());
+    fn visit_weight_sources_named(
+        &mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+        path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
     }
 
     fn kind(&self) -> &'static str {
@@ -321,12 +321,16 @@ impl Layer for DepthwiseConv2d {
         grad_input
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        self.weight.visit_params(f);
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("weight", |p| self.weight.visit_params_named(p, &mut *f));
     }
 
-    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
-        f(self.weight.as_mut());
+    fn visit_weight_sources_named(
+        &mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+        path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
     }
 
     fn kind(&self) -> &'static str {
@@ -397,8 +401,8 @@ mod depthwise_tests {
             fn backward(&mut self, g: &Tensor) {
                 self.0.backward(&g.mul_scalar(2.0));
             }
-            fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-                self.0.visit_params(f);
+            fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+                self.0.visit_params_named(path, f);
             }
             fn precision(&self) -> Option<f32> {
                 Some(8.0)

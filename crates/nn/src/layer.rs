@@ -1,23 +1,144 @@
 //! The [`Layer`] trait and parameter-visitor plumbing.
+//!
+//! Every trainable parameter is visited with a stable hierarchical *path*
+//! (assigned by the containers and leaf layers, e.g. `4.main.0.weight.m_b`
+//! for the mask logits of the first conv inside the fourth top-level
+//! layer's main branch) and a [`ParamRole`] describing what the parameter
+//! is. Optimizer policy (weight decay, finetune freezing) derives from the
+//! role; persistence (optimizer state, checkpoints, train snapshots) keys
+//! on the path, so an architectural edit is detected by name instead of
+//! silently corrupting positionally-restored state.
 
 use crate::weight::WeightSource;
 use csq_tensor::Tensor;
 
-/// A mutable view of one trainable parameter handed to a visitor.
+/// The role a trainable parameter plays in its layer.
 ///
-/// The optimizer identifies parameters purely by visitation order, which is
-/// stable because the layer graph is static after construction.
+/// Policy derives from the role instead of per-call-site booleans: weight
+/// decay applies to [`Weight`](ParamRole::Weight) tensors only (with the
+/// PACT clip threshold as a documented exception), and the CSQ finetune
+/// phase freezes [`GateLogit`](ParamRole::GateLogit) parameters by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamRole {
+    /// A (latent) weight tensor of a linear or convolution layer.
+    Weight,
+    /// A bias vector.
+    Bias,
+    /// A BatchNorm affine parameter (γ or β).
+    BnAffine,
+    /// A quantizer scale (CSQ `s`, PACT α).
+    QuantScale,
+    /// Per-element bit-plane logits (CSQ `m_p`/`m_n`, BSQ `b_p`/`b_n`).
+    BitLogit,
+    /// Per-layer selection-gate logits (CSQ `m_B`, searched activation
+    /// precision `m_A`).
+    GateLogit,
+}
+
+impl ParamRole {
+    /// Whether weight decay applies to parameters of this role by default.
+    /// Standard practice (and the paper's baselines): decay weights,
+    /// nothing else.
+    pub fn decays(self) -> bool {
+        matches!(self, ParamRole::Weight)
+    }
+
+    /// Short human-readable label, for summary tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamRole::Weight => "weight",
+            ParamRole::Bias => "bias",
+            ParamRole::BnAffine => "bn",
+            ParamRole::QuantScale => "scale",
+            ParamRole::BitLogit => "bit_logit",
+            ParamRole::GateLogit => "gate_logit",
+        }
+    }
+}
+
+/// A growable hierarchical path buffer threaded through the named
+/// visitors.
+///
+/// Containers push one segment per child ([`Sequential`](crate::Sequential)
+/// uses the child index, [`Residual`](crate::Residual) uses
+/// `main`/`shortcut`/`post`), leaf layers push one segment per parameter
+/// (`weight`, `bias`, `gamma`, …) and weight sources push one per logit
+/// group (`s`, `m_p`, …); segments are joined with `.`.
+#[derive(Debug, Default, Clone)]
+pub struct ParamPath {
+    buf: String,
+}
+
+impl ParamPath {
+    /// An empty path (the model root).
+    pub fn root() -> Self {
+        ParamPath { buf: String::new() }
+    }
+
+    /// The current path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Runs `f` with `segment` appended, restoring the path afterwards.
+    pub fn scoped<R>(&mut self, segment: &str, f: impl FnOnce(&mut ParamPath) -> R) -> R {
+        let keep = self.buf.len();
+        if keep > 0 {
+            self.buf.push('.');
+        }
+        self.buf.push_str(segment);
+        let out = f(self);
+        self.buf.truncate(keep);
+        out
+    }
+
+    /// [`scoped`](ParamPath::scoped) with a numeric segment (container
+    /// child index).
+    pub fn scoped_index<R>(&mut self, index: usize, f: impl FnOnce(&mut ParamPath) -> R) -> R {
+        self.scoped(&index.to_string(), f)
+    }
+}
+
+/// A mutable view of one trainable parameter handed to a visitor.
 #[derive(Debug)]
 pub struct ParamMut<'a> {
+    /// Stable hierarchical path of this parameter (see [`ParamPath`]).
+    pub path: &'a str,
+    /// What the parameter is; drives decay and freeze policy.
+    pub role: ParamRole,
     /// Current parameter value.
     pub value: &'a mut Tensor,
     /// Accumulated gradient (same shape as `value`).
     pub grad: &'a mut Tensor,
-    /// Whether weight decay applies to this parameter. Following standard
-    /// practice (and the paper's baselines), decay applies to weights but
-    /// not to biases, BatchNorm affine parameters, quantizer scales or
-    /// gate logits.
+    /// Whether weight decay applies to this parameter. Derived from
+    /// `role` by [`ParamMut::new`]; overridable for documented exceptions
+    /// via [`ParamMut::with_decay`].
     pub decay: bool,
+}
+
+impl<'a> ParamMut<'a> {
+    /// Creates a parameter view with the role-derived decay policy.
+    pub fn new(
+        path: &'a str,
+        role: ParamRole,
+        value: &'a mut Tensor,
+        grad: &'a mut Tensor,
+    ) -> Self {
+        ParamMut {
+            path,
+            role,
+            decay: role.decays(),
+            value,
+            grad,
+        }
+    }
+
+    /// Overrides the role-derived decay policy (PACT decays its clip
+    /// threshold even though it is a scale, not a weight).
+    pub fn with_decay(mut self, decay: bool) -> Self {
+        self.decay = decay;
+        self
+    }
 }
 
 /// A differentiable network layer with exact, hand-derived adjoints.
@@ -30,6 +151,12 @@ pub struct ParamMut<'a> {
 /// * `backward` receives `dL/d(output)` and returns `dL/d(input)`,
 ///   *accumulating* parameter gradients internally (they are cleared by
 ///   [`Layer::zero_grads`]).
+///
+/// Parameter access goes through the `*_named` visitors, which thread a
+/// [`ParamPath`] so every parameter, weight source and state buffer is
+/// identified by a stable name. The unsuffixed variants are provided
+/// convenience wrappers that start from the model root; implementations
+/// override the `*_named` methods only.
 pub trait Layer: std::fmt::Debug {
     /// Runs the layer. `train` enables behaviours that differ between
     /// training and evaluation (caching for backward, batch statistics,
@@ -44,20 +171,59 @@ pub trait Layer: std::fmt::Debug {
     /// Implementations panic if called before a training-mode `forward`.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
-    /// Visits every trainable parameter in a stable order.
-    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamMut<'_>)) {}
+    /// Visits every trainable parameter in a stable order, handing the
+    /// visitor each parameter's hierarchical path and role. Containers
+    /// override this to scope `path` per child; layers without parameters
+    /// inherit the no-op default.
+    fn visit_params_named(&mut self, _path: &mut ParamPath, _f: &mut dyn FnMut(ParamMut<'_>)) {}
+
+    /// Visits every trainable parameter in a stable order (path-agnostic
+    /// wrapper over [`visit_params_named`](Layer::visit_params_named);
+    /// paths start at the model root).
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        let mut path = ParamPath::root();
+        self.visit_params_named(&mut path, f);
+    }
+
+    /// Visits every [`WeightSource`] in the layer with its hierarchical
+    /// path (the owning layer's weight scope, e.g. `0.weight`), in a
+    /// stable order.
+    fn visit_weight_sources_named(
+        &mut self,
+        _path: &mut ParamPath,
+        _f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+    }
 
     /// Visits every [`WeightSource`] in the layer (quantized weight
     /// parameterizations), in a stable order. Used by the CSQ trainer to
     /// schedule temperatures and account model precision.
-    fn visit_weight_sources(&mut self, _f: &mut dyn FnMut(&mut dyn WeightSource)) {}
+    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
+        let mut path = ParamPath::root();
+        self.visit_weight_sources_named(&mut path, &mut |_, src| f(src));
+    }
 
     /// Visits every non-parameter state buffer the layer mutates while
-    /// training (BatchNorm running statistics, activation-range EMAs) in a
-    /// stable order. Snapshot/resume uses this to capture state that
-    /// `visit_params` does not cover; layers without such state inherit
-    /// the no-op default.
-    fn visit_state(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+    /// training (BatchNorm running statistics, activation-range EMAs)
+    /// with its hierarchical path, in a stable order. Snapshot/resume
+    /// uses this to capture state that the parameter visitors do not
+    /// cover; layers without such state inherit the no-op default.
+    fn visit_state_named(&mut self, _path: &mut ParamPath, _f: &mut dyn FnMut(&str, &mut [f32])) {}
+
+    /// Visits every non-parameter state buffer (path-agnostic wrapper
+    /// over [`visit_state_named`](Layer::visit_state_named)).
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        let mut path = ParamPath::root();
+        self.visit_state_named(&mut path, &mut |_, s| f(s));
+    }
+
+    /// Visits this layer — and, for containers, every nested layer —
+    /// reporting each one's path and kind. The default reports the layer
+    /// itself at the current path; containers override it to recurse with
+    /// scoped child segments.
+    fn visit_kinds(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'static str)) {
+        f(path.as_str(), self.kind());
+    }
 
     /// Clears all accumulated parameter gradients.
     fn zero_grads(&mut self) {
@@ -100,6 +266,13 @@ pub fn collect_values(layer: &mut dyn Layer) -> Vec<f32> {
     out
 }
 
+/// Collects the path of every trainable parameter, in visitation order.
+pub fn collect_param_paths(layer: &mut dyn Layer) -> Vec<String> {
+    let mut out = Vec::new();
+    layer.visit_params(&mut |p| out.push(p.path.to_string()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +294,54 @@ mod tests {
         assert!(collect_grads(&mut l).iter().any(|&g| g != 0.0));
         l.zero_grads();
         assert!(collect_grads(&mut l).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn scoped_appends_and_restores_segments() {
+        let mut p = ParamPath::root();
+        assert_eq!(p.as_str(), "");
+        p.scoped("a", |p| {
+            assert_eq!(p.as_str(), "a");
+            p.scoped_index(3, |p| assert_eq!(p.as_str(), "a.3"));
+            assert_eq!(p.as_str(), "a");
+        });
+        assert_eq!(p.as_str(), "");
+    }
+
+    #[test]
+    fn linear_param_paths_and_roles() {
+        let mut l = Linear::with_float_weights(3, 4, 0);
+        let mut seen = Vec::new();
+        l.visit_params(&mut |p| seen.push((p.path.to_string(), p.role)));
+        assert_eq!(
+            seen,
+            vec![
+                ("weight".to_string(), ParamRole::Weight),
+                ("bias".to_string(), ParamRole::Bias),
+            ]
+        );
+    }
+
+    #[test]
+    fn only_weights_decay_by_role() {
+        assert!(ParamRole::Weight.decays());
+        for role in [
+            ParamRole::Bias,
+            ParamRole::BnAffine,
+            ParamRole::QuantScale,
+            ParamRole::BitLogit,
+            ParamRole::GateLogit,
+        ] {
+            assert!(!role.decays(), "{role:?} must not decay");
+        }
+    }
+
+    #[test]
+    fn with_decay_overrides_role_policy() {
+        let mut v = Tensor::ones(&[1]);
+        let mut g = Tensor::zeros(&[1]);
+        let p = ParamMut::new("x", ParamRole::QuantScale, &mut v, &mut g).with_decay(true);
+        assert!(p.decay);
+        assert_eq!(p.role, ParamRole::QuantScale);
     }
 }

@@ -61,7 +61,7 @@ pub use batchnorm::BatchNorm2d;
 pub use checkpoint::Checkpoint;
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use dropout::Dropout;
-pub use layer::{Layer, ParamMut};
+pub use layer::{Layer, ParamMut, ParamPath, ParamRole};
 pub use linear::Linear;
 pub use loss::softmax_cross_entropy;
 pub use metrics::accuracy;

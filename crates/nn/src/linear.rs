@@ -1,6 +1,6 @@
 //! Fully-connected layer with a pluggable weight parameterization.
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath, ParamRole};
 use crate::weight::{FloatWeight, WeightSource};
 use csq_tensor::{init, reduce, Tensor};
 use rand::SeedableRng;
@@ -115,19 +115,19 @@ impl Layer for Linear {
         grad_input
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        self.weight.visit_params(f);
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("weight", |p| self.weight.visit_params_named(p, &mut *f));
         if let Some((b, gb)) = &mut self.bias {
-            f(ParamMut {
-                value: b,
-                grad: gb,
-                decay: false,
-            });
+            path.scoped("bias", |p| f(ParamMut::new(p.as_str(), ParamRole::Bias, b, gb)));
         }
     }
 
-    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
-        f(self.weight.as_mut());
+    fn visit_weight_sources_named(
+        &mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+        path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
     }
 
     fn kind(&self) -> &'static str {

@@ -1,28 +1,54 @@
 //! Optimizers and learning-rate schedules.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, ParamRole};
 use csq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Deserializes a `path → tensor` buffer list, accepting both the named
+/// format (`[["0.weight", {…}], …]`) and the legacy order-keyed format
+/// (`[{…}, …]`, schema v1) whose entries get empty names filled in on the
+/// first optimizer step after restore.
+pub(crate) fn de_named_tensors<'de, D>(d: D) -> Result<Vec<(String, Tensor)>, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    #[derive(Deserialize)]
+    #[serde(untagged)]
+    enum Repr {
+        Named(Vec<(String, Tensor)>),
+        Legacy(Vec<Tensor>),
+    }
+    Ok(match Repr::deserialize(d)? {
+        Repr::Named(v) => v,
+        Repr::Legacy(v) => v.into_iter().map(|t| (String::new(), t)).collect(),
+    })
+}
+
 /// A serializable snapshot of an optimizer's internal state (momentum
 /// buffers / Adam moments), keyed — like the live state — by parameter
-/// visitation order. Captured into `TrainSnapshot`s so a resumed run
-/// continues with the exact optimizer trajectory of the original.
+/// path. Captured into `TrainSnapshot`s so a resumed run continues with
+/// the exact optimizer trajectory of the original. Legacy order-keyed
+/// state (schema v1) deserializes with empty names and is upgraded in
+/// place on the first step after restore.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum OptimState {
     /// SGD momentum buffers.
     Sgd {
-        /// One velocity tensor per parameter, in visitation order.
-        buffers: Vec<Tensor>,
+        /// One `(path, velocity)` entry per parameter, in visitation
+        /// order.
+        #[serde(deserialize_with = "de_named_tensors")]
+        buffers: Vec<(String, Tensor)>,
     },
     /// Adam first/second moments and the bias-correction step counter.
     Adam {
         /// Number of steps taken so far (drives bias correction).
         step_count: u64,
-        /// First-moment estimates, in visitation order.
-        m: Vec<Tensor>,
-        /// Second-moment estimates, in visitation order.
-        v: Vec<Tensor>,
+        /// First-moment estimates, one `(path, tensor)` per parameter.
+        #[serde(deserialize_with = "de_named_tensors")]
+        m: Vec<(String, Tensor)>,
+        /// Second-moment estimates, one `(path, tensor)` per parameter.
+        #[serde(deserialize_with = "de_named_tensors")]
+        v: Vec<(String, Tensor)>,
     },
 }
 
@@ -32,6 +58,28 @@ impl OptimState {
         match self {
             OptimState::Sgd { .. } => "sgd",
             OptimState::Adam { .. } => "adam",
+        }
+    }
+
+    /// Builds SGD state from order-keyed buffers without parameter names.
+    #[deprecated(
+        note = "order-keyed optimizer state cannot detect model edits; build `OptimState::Sgd` with named buffers instead"
+    )]
+    pub fn sgd_from_buffers(buffers: Vec<Tensor>) -> Self {
+        OptimState::Sgd {
+            buffers: buffers.into_iter().map(|t| (String::new(), t)).collect(),
+        }
+    }
+
+    /// Builds Adam state from order-keyed moments without parameter names.
+    #[deprecated(
+        note = "order-keyed optimizer state cannot detect model edits; build `OptimState::Adam` with named moments instead"
+    )]
+    pub fn adam_from_moments(step_count: u64, m: Vec<Tensor>, v: Vec<Tensor>) -> Self {
+        OptimState::Adam {
+            step_count,
+            m: m.into_iter().map(|t| (String::new(), t)).collect(),
+            v: v.into_iter().map(|t| (String::new(), t)).collect(),
         }
     }
 }
@@ -46,11 +94,27 @@ pub enum OptimStateError {
         /// Family of the optimizer importing it.
         optimizer: &'static str,
     },
-    /// A buffer's shape differs from the one already allocated at its
-    /// position (the parameter order changed between capture and import).
+    /// A buffer's shape differs from the one already allocated for the
+    /// same parameter (the model structure changed between capture and
+    /// import).
     ShapeMismatch {
+        /// Path of the parameter the buffer belongs to (`#index` when the
+        /// state carries no names).
+        path: String,
+        /// Shape already allocated in the optimizer.
+        existing: Vec<usize>,
+        /// Shape carried by the imported state.
+        imported: Vec<usize>,
+    },
+    /// The parameter path recorded at a buffer position differs from the
+    /// one already allocated there (the model structure changed).
+    PathMismatch {
         /// Buffer index (visitation order).
         index: usize,
+        /// Path already allocated in the optimizer.
+        existing: String,
+        /// Path carried by the imported state.
+        imported: String,
     },
 }
 
@@ -61,41 +125,95 @@ impl std::fmt::Display for OptimStateError {
                 f,
                 "optimizer state is for {state} but the optimizer is {optimizer}"
             ),
-            OptimStateError::ShapeMismatch { index } => {
-                write!(f, "optimizer buffer {index} has a mismatched shape")
-            }
+            OptimStateError::ShapeMismatch {
+                path,
+                existing,
+                imported,
+            } => write!(
+                f,
+                "optimizer buffer for `{path}` has shape {imported:?} in the imported state \
+                 but {existing:?} in the optimizer"
+            ),
+            OptimStateError::PathMismatch {
+                index,
+                existing,
+                imported,
+            } => write!(
+                f,
+                "optimizer buffer {index} belongs to `{existing}` in the optimizer but \
+                 `{imported}` in the imported state"
+            ),
         }
     }
 }
 
 impl std::error::Error for OptimStateError {}
 
-/// Validates that every restored buffer matches the shape already
+/// Validates that every restored buffer matches the path and shape already
 /// allocated at its position (no-op when the optimizer has not stepped
-/// yet — buffers are lazily allocated on first step).
-fn check_shapes(existing: &[Tensor], incoming: &[Tensor]) -> Result<(), OptimStateError> {
-    for (index, (a, b)) in existing.iter().zip(incoming.iter()).enumerate() {
+/// yet — buffers are lazily allocated on first step). Entries with empty
+/// names (legacy order-keyed state) are matched positionally.
+fn check_buffers(
+    existing: &[(String, Tensor)],
+    incoming: &[(String, Tensor)],
+) -> Result<(), OptimStateError> {
+    for (index, ((name_a, a), (name_b, b))) in existing.iter().zip(incoming.iter()).enumerate() {
+        if !name_a.is_empty() && !name_b.is_empty() && name_a != name_b {
+            return Err(OptimStateError::PathMismatch {
+                index,
+                existing: name_a.clone(),
+                imported: name_b.clone(),
+            });
+        }
         if a.dims() != b.dims() {
-            return Err(OptimStateError::ShapeMismatch { index });
+            let path = if !name_b.is_empty() {
+                name_b.clone()
+            } else if !name_a.is_empty() {
+                name_a.clone()
+            } else {
+                format!("#{index}")
+            };
+            return Err(OptimStateError::ShapeMismatch {
+                path,
+                existing: a.dims().to_vec(),
+                imported: b.dims().to_vec(),
+            });
         }
     }
     Ok(())
+}
+
+/// Fills empty (legacy) names in `incoming` from the buffers already
+/// allocated at the same positions, so a v1 import into a stepped
+/// optimizer keeps its names.
+fn adopt_names(
+    existing: &[(String, Tensor)],
+    mut incoming: Vec<(String, Tensor)>,
+) -> Vec<(String, Tensor)> {
+    for (entry, (name, _)) in incoming.iter_mut().zip(existing.iter()) {
+        if entry.0.is_empty() {
+            entry.0 = name.clone();
+        }
+    }
+    incoming
 }
 
 /// SGD with momentum and (selective) weight decay — the optimizer used for
 /// every experiment in the paper (§IV-A: momentum 0.9, weight decay 5e-4
 /// on CIFAR-10 / 1e-4 on ImageNet).
 ///
-/// Momentum buffers are keyed by parameter visitation order, which is
-/// stable because the layer graph is fixed after construction. Weight
-/// decay only applies to parameters whose [`ParamMut::decay`](crate::ParamMut) flag is set (weights yes; biases, BN affine
-/// parameters and quantizer gates no).
+/// Momentum buffers are keyed by parameter path, validated against the
+/// visited parameter on every step so a model edit is reported by name
+/// instead of silently corrupting state. Weight decay only applies to
+/// parameters whose [`ParamMut::decay`](crate::ParamMut) flag is set —
+/// derived from the parameter's [`ParamRole`] (weights yes; biases, BN
+/// affine parameters and quantizer gates no).
 #[derive(Debug)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    buffers: Vec<Tensor>,
+    buffers: Vec<(String, Tensor)>,
 }
 
 impl Sgd {
@@ -129,6 +247,13 @@ impl Sgd {
     /// accumulated gradients (gradients are *not* cleared; call
     /// [`Layer::zero_grads`] before the next accumulation).
     pub fn step(&mut self, model: &mut dyn Layer) {
+        self.step_with_frozen(model, &[]);
+    }
+
+    /// Like [`Sgd::step`], but parameters whose role appears in `frozen`
+    /// are left untouched (value and momentum buffer alike). The CSQ
+    /// finetune phase freezes [`ParamRole::GateLogit`] this way.
+    pub fn step_with_frozen(&mut self, model: &mut dyn Layer, frozen: &[ParamRole]) {
         let mut idx = 0usize;
         let lr = self.lr;
         let momentum = self.momentum;
@@ -136,14 +261,29 @@ impl Sgd {
         let buffers = &mut self.buffers;
         model.visit_params(&mut |p| {
             if idx == buffers.len() {
-                buffers.push(Tensor::zeros(p.value.dims()));
+                buffers.push((p.path.to_string(), Tensor::zeros(p.value.dims())));
             }
-            let buf = &mut buffers[idx];
+            let (name, buf) = &mut buffers[idx];
+            if name.is_empty() {
+                // Legacy order-keyed state: adopt the visited path.
+                *name = p.path.to_string();
+            } else {
+                assert_eq!(
+                    name.as_str(),
+                    p.path,
+                    "parameter order changed between steps (buffer {idx})"
+                );
+            }
             assert_eq!(
                 buf.dims(),
                 p.value.dims(),
-                "parameter order changed between steps"
+                "parameter `{}` changed shape between steps",
+                p.path
             );
+            idx += 1;
+            if frozen.contains(&p.role) {
+                return;
+            }
             let decay = if p.decay { wd } else { 0.0 };
             for ((v, g), b) in p
                 .value
@@ -156,7 +296,6 @@ impl Sgd {
                 *b = momentum * *b + eff;
                 *v -= lr * *b;
             }
-            idx += 1;
         });
     }
 
@@ -172,12 +311,13 @@ impl Sgd {
     /// # Errors
     ///
     /// [`OptimStateError`] when the state is for a different optimizer
-    /// family or a buffer shape disagrees with ones already allocated.
+    /// family, or a buffer's path or shape disagrees with ones already
+    /// allocated.
     pub fn import_state(&mut self, state: OptimState) -> Result<(), OptimStateError> {
         match state {
             OptimState::Sgd { buffers } => {
-                check_shapes(&self.buffers, &buffers)?;
-                self.buffers = buffers;
+                check_buffers(&self.buffers, &buffers)?;
+                self.buffers = adopt_names(&self.buffers, buffers);
                 Ok(())
             }
             other => Err(OptimStateError::KindMismatch {
@@ -207,8 +347,8 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     step_count: u64,
-    m: Vec<Tensor>,
-    v: Vec<Tensor>,
+    m: Vec<(String, Tensor)>,
+    v: Vec<(String, Tensor)>,
 }
 
 impl Adam {
@@ -244,6 +384,13 @@ impl Adam {
 
     /// Applies one Adam update to every parameter of `model`.
     pub fn step(&mut self, model: &mut dyn Layer) {
+        self.step_with_frozen(model, &[]);
+    }
+
+    /// Like [`Adam::step`], but parameters whose role appears in `frozen`
+    /// are left untouched (value and moment buffers alike). The CSQ
+    /// finetune phase freezes [`ParamRole::GateLogit`] this way.
+    pub fn step_with_frozen(&mut self, model: &mut dyn Layer, frozen: &[ParamRole]) {
         self.step_count += 1;
         let t = self.step_count as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
@@ -253,17 +400,37 @@ impl Adam {
         let mut idx = 0usize;
         model.visit_params(&mut |p| {
             if idx == ms.len() {
-                ms.push(Tensor::zeros(p.value.dims()));
-                vs.push(Tensor::zeros(p.value.dims()));
+                ms.push((p.path.to_string(), Tensor::zeros(p.value.dims())));
+                vs.push((p.path.to_string(), Tensor::zeros(p.value.dims())));
             }
-            assert_eq!(
-                ms[idx].dims(),
-                p.value.dims(),
-                "parameter order changed between steps"
-            );
+            {
+                let (name, buf) = &mut ms[idx];
+                if name.is_empty() {
+                    // Legacy order-keyed state: adopt the visited path.
+                    *name = p.path.to_string();
+                    vs[idx].0 = p.path.to_string();
+                } else {
+                    assert_eq!(
+                        name.as_str(),
+                        p.path,
+                        "parameter order changed between steps (buffer {idx})"
+                    );
+                }
+                assert_eq!(
+                    buf.dims(),
+                    p.value.dims(),
+                    "parameter `{}` changed shape between steps",
+                    p.path
+                );
+            }
+            let cur = idx;
+            idx += 1;
+            if frozen.contains(&p.role) {
+                return;
+            }
             let decay = if p.decay { wd } else { 0.0 };
-            let m = ms[idx].data_mut();
-            let v = vs[idx].data_mut();
+            let m = ms[cur].1.data_mut();
+            let v = vs[cur].1.data_mut();
             for ((w, &g0), (mi, vi)) in p
                 .value
                 .data_mut()
@@ -278,7 +445,6 @@ impl Adam {
                 let v_hat = *vi / bc2;
                 *w -= lr * m_hat / (v_hat.sqrt() + eps);
             }
-            idx += 1;
         });
     }
 
@@ -297,15 +463,16 @@ impl Adam {
     /// # Errors
     ///
     /// [`OptimStateError`] when the state is for a different optimizer
-    /// family or a buffer shape disagrees with ones already allocated.
+    /// family, or a buffer's path or shape disagrees with ones already
+    /// allocated.
     pub fn import_state(&mut self, state: OptimState) -> Result<(), OptimStateError> {
         match state {
             OptimState::Adam { step_count, m, v } => {
-                check_shapes(&self.m, &m)?;
-                check_shapes(&self.v, &v)?;
+                check_buffers(&self.m, &m)?;
+                check_buffers(&self.v, &v)?;
                 self.step_count = step_count;
-                self.m = m;
-                self.v = v;
+                self.m = adopt_names(&self.m, m);
+                self.v = adopt_names(&self.v, v);
                 Ok(())
             }
             other => Err(OptimStateError::KindMismatch {
@@ -573,6 +740,100 @@ mod tests {
         opt_small.step(&mut small);
         opt_big.step(&mut big);
         let err = opt_small.import_state(opt_big.export_state()).unwrap_err();
-        assert_eq!(err, OptimStateError::ShapeMismatch { index: 0 });
+        assert_eq!(
+            err,
+            OptimStateError::ShapeMismatch {
+                path: "weight".to_string(),
+                existing: vec![2, 2],
+                imported: vec![5, 5],
+            }
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_display_names_parameter_and_both_shapes() {
+        let err = OptimStateError::ShapeMismatch {
+            path: "4.main.0.weight".to_string(),
+            existing: vec![16, 16, 3, 3],
+            imported: vec![32, 16, 3, 3],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("4.main.0.weight"), "{msg}");
+        assert!(msg.contains("[16, 16, 3, 3]"), "{msg}");
+        assert!(msg.contains("[32, 16, 3, 3]"), "{msg}");
+    }
+
+    #[test]
+    fn path_mismatch_display_names_both_paths() {
+        let err = OptimStateError::PathMismatch {
+            index: 3,
+            existing: "0.weight".to_string(),
+            imported: "0.bias".to_string(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("0.weight") && msg.contains("0.bias"), "{msg}");
+    }
+
+    #[test]
+    fn optim_state_import_rejects_path_mismatch() {
+        let mut a = Linear::with_float_weights(2, 2, 8);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        a.visit_params(&mut |p| p.grad.fill(1.0));
+        opt.step(&mut a);
+        let mut renamed = opt.export_state();
+        if let OptimState::Sgd { buffers } = &mut renamed {
+            buffers[0].0 = "somewhere.else".to_string();
+        }
+        let err = opt.import_state(renamed).unwrap_err();
+        assert!(matches!(err, OptimStateError::PathMismatch { index: 0, .. }));
+    }
+
+    #[test]
+    fn legacy_unnamed_state_adopts_paths_on_import_and_step() {
+        use crate::layer::ParamRole;
+        let mut layer = Linear::with_float_weights(2, 2, 8);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        layer.visit_params(&mut |p| p.grad.fill(1.0));
+        opt.step(&mut layer);
+        // Strip names, as a schema-v1 snapshot would deserialize.
+        let legacy = match opt.export_state() {
+            OptimState::Sgd { buffers } => OptimState::Sgd {
+                buffers: buffers.into_iter().map(|(_, t)| (String::new(), t)).collect(),
+            },
+            other => other,
+        };
+        let mut fresh = Sgd::new(0.1, 0.9, 0.0);
+        fresh.import_state(legacy).unwrap();
+        layer.visit_params(&mut |p| p.grad.fill(1.0));
+        fresh.step_with_frozen(&mut layer, &[ParamRole::GateLogit]);
+        match fresh.export_state() {
+            OptimState::Sgd { buffers } => {
+                let names: Vec<_> = buffers.iter().map(|(n, _)| n.clone()).collect();
+                assert_eq!(names, vec!["weight", "bias"]);
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_roles_are_skipped_by_step() {
+        use crate::layer::ParamRole;
+        let mut layer = Linear::with_float_weights(2, 2, 10);
+        layer.visit_params(&mut |p| {
+            p.value.fill(1.0);
+            p.grad.fill(1.0);
+        });
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        // Bias frozen: weight moves, bias stays put.
+        opt.step_with_frozen(&mut layer, &[ParamRole::Bias]);
+        let mut vals = Vec::new();
+        layer.visit_params(&mut |p| vals.push((p.role, p.value.data()[0])));
+        for (role, v) in vals {
+            if role == ParamRole::Bias {
+                assert!((v - 1.0).abs() < 1e-6, "frozen bias moved to {v}");
+            } else {
+                assert!((v - 0.9).abs() < 1e-6, "weight should step to 0.9, got {v}");
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Residual connection container (ResNet basic and bottleneck blocks).
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath};
 use crate::sequential::Sequential;
 use crate::weight::WeightSource;
 use csq_tensor::Tensor;
@@ -57,28 +57,41 @@ impl Layer for Residual {
         g_main.add(&g_short)
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        self.main.visit_params(f);
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        path.scoped("main", |p| self.main.visit_params_named(p, &mut *f));
         if let Some(sc) = &mut self.shortcut {
-            sc.visit_params(f);
+            path.scoped("shortcut", |p| sc.visit_params_named(p, &mut *f));
         }
-        self.post.visit_params(f);
+        path.scoped("post", |p| self.post.visit_params_named(p, &mut *f));
     }
 
-    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
-        self.main.visit_weight_sources(f);
+    fn visit_weight_sources_named(
+        &mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+        path.scoped("main", |p| self.main.visit_weight_sources_named(p, &mut *f));
         if let Some(sc) = &mut self.shortcut {
-            sc.visit_weight_sources(f);
+            path.scoped("shortcut", |p| sc.visit_weight_sources_named(p, &mut *f));
         }
-        self.post.visit_weight_sources(f);
+        path.scoped("post", |p| self.post.visit_weight_sources_named(p, &mut *f));
     }
 
-    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
-        self.main.visit_state(f);
+    fn visit_state_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &mut [f32])) {
+        path.scoped("main", |p| self.main.visit_state_named(p, &mut *f));
         if let Some(sc) = &mut self.shortcut {
-            sc.visit_state(f);
+            path.scoped("shortcut", |p| sc.visit_state_named(p, &mut *f));
         }
-        self.post.visit_state(f);
+        path.scoped("post", |p| self.post.visit_state_named(p, &mut *f));
+    }
+
+    fn visit_kinds(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'static str)) {
+        f(path.as_str(), self.kind());
+        path.scoped("main", |p| self.main.visit_kinds(p, &mut *f));
+        if let Some(sc) = &mut self.shortcut {
+            path.scoped("shortcut", |p| sc.visit_kinds(p, &mut *f));
+        }
+        path.scoped("post", |p| self.post.visit_kinds(p, &mut *f));
     }
 
     fn kind(&self) -> &'static str {
@@ -161,6 +174,23 @@ mod tests {
         let mut block = Residual::new(main, Some(shortcut), post);
         let y = block.forward(&Tensor::ones(&[1, 2, 8, 8]), false);
         assert_eq!(y.dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn param_paths_name_branches() {
+        let mut block = tiny_block();
+        let paths = crate::layer::collect_param_paths(&mut block);
+        assert_eq!(
+            paths,
+            vec![
+                "main.0.weight",
+                "main.1.gamma",
+                "main.1.beta",
+                "main.3.weight",
+                "main.4.gamma",
+                "main.4.beta",
+            ]
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Sequential layer container.
 
-use crate::layer::{Layer, ParamMut};
+use crate::layer::{Layer, ParamMut, ParamPath};
 use crate::weight::WeightSource;
 use csq_tensor::Tensor;
 
@@ -41,6 +41,22 @@ impl Sequential {
     pub fn iter(&self) -> std::slice::Iter<'_, Box<dyn Layer>> {
         self.layers.iter()
     }
+
+    /// Iterates mutably over contained layers, so analysis and summary
+    /// code can traverse without whole-model visitor workarounds.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Box<dyn Layer>> {
+        self.layers.iter_mut()
+    }
+
+    /// Shared access to the layer at `index`, if it exists.
+    pub fn get(&self, index: usize) -> Option<&dyn Layer> {
+        self.layers.get(index).map(|l| l.as_ref())
+    }
+
+    /// Mutable access to the layer at `index`, if it exists.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut dyn Layer> {
+        self.layers.get_mut(index).map(|l| l.as_mut())
+    }
 }
 
 impl Layer for Sequential {
@@ -60,21 +76,32 @@ impl Layer for Sequential {
         g
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        for layer in &mut self.layers {
-            layer.visit_params(f);
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            path.scoped_index(i, |p| layer.visit_params_named(p, &mut *f));
         }
     }
 
-    fn visit_weight_sources(&mut self, f: &mut dyn FnMut(&mut dyn WeightSource)) {
-        for layer in &mut self.layers {
-            layer.visit_weight_sources(f);
+    fn visit_weight_sources_named(
+        &mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &mut dyn WeightSource),
+    ) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            path.scoped_index(i, |p| layer.visit_weight_sources_named(p, &mut *f));
         }
     }
 
-    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
-        for layer in &mut self.layers {
-            layer.visit_state(f);
+    fn visit_state_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &mut [f32])) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            path.scoped_index(i, |p| layer.visit_state_named(p, &mut *f));
+        }
+    }
+
+    fn visit_kinds(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'static str)) {
+        f(path.as_str(), self.kind());
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            path.scoped_index(i, |p| layer.visit_kinds(p, &mut *f));
         }
     }
 
@@ -122,5 +149,48 @@ mod tests {
         let mut count = 0;
         m.visit_params(&mut |_| count += 1);
         assert_eq!(count, 4, "two weights + two biases");
+    }
+
+    #[test]
+    fn params_are_indexed_by_child_position() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 2, 0)),
+            Box::new(Relu::new()),
+            Box::new(Linear::with_float_weights(2, 2, 1)),
+        ]);
+        let paths = crate::layer::collect_param_paths(&mut m);
+        assert_eq!(paths, vec!["0.weight", "0.bias", "2.weight", "2.bias"]);
+    }
+
+    #[test]
+    fn get_mut_and_iter_mut_expose_layers() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 2, 0)),
+            Box::new(Relu::new()),
+        ]);
+        assert_eq!(m.get(0).map(|l| l.kind()), Some("linear"));
+        assert_eq!(m.get_mut(1).map(|l| l.kind()), Some("relu"));
+        assert!(m.get_mut(2).is_none());
+        let kinds: Vec<_> = m.iter_mut().map(|l| l.kind()).collect();
+        assert_eq!(kinds, vec!["linear", "relu"]);
+    }
+
+    #[test]
+    fn visit_kinds_reports_container_and_children() {
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::with_float_weights(2, 2, 0)),
+            Box::new(Relu::new()),
+        ]);
+        let mut seen = Vec::new();
+        let mut path = crate::layer::ParamPath::root();
+        m.visit_kinds(&mut path, &mut |p, k| seen.push((p.to_string(), k)));
+        assert_eq!(
+            seen,
+            vec![
+                (String::new(), "sequential"),
+                ("0".to_string(), "linear"),
+                ("1".to_string(), "relu"),
+            ]
+        );
     }
 }

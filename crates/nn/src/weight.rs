@@ -9,7 +9,7 @@
 //! quantizer implement this same trait in their own crates, so the model
 //! builders and training loop are method-agnostic.
 
-use crate::layer::ParamMut;
+use crate::layer::{ParamMut, ParamPath, ParamRole};
 use csq_tensor::Tensor;
 
 /// A differentiable parameterization of a weight tensor.
@@ -32,8 +32,20 @@ pub trait WeightSource: std::fmt::Debug {
     /// [`materialize`](WeightSource::materialize) or on a shape mismatch.
     fn backward(&mut self, grad_weight: &Tensor);
 
-    /// Visits the underlying trainable parameters in a stable order.
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>));
+    /// Visits the underlying trainable parameters in a stable order,
+    /// handing the visitor each parameter's hierarchical path (scoped
+    /// under `path`, the owning layer's weight scope, e.g. `0.weight`)
+    /// and its [`ParamRole`]. A single latent weight is emitted at `path`
+    /// itself; multi-parameter sources push one segment per parameter.
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>));
+
+    /// Visits the underlying trainable parameters in a stable order
+    /// (path-agnostic wrapper over
+    /// [`visit_params_named`](WeightSource::visit_params_named)).
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
+        let mut path = ParamPath::root();
+        self.visit_params_named(&mut path, f);
+    }
 
     /// Sets the continuous-sparsification gate temperature β. Float and
     /// STE-based parameterizations ignore this.
@@ -122,12 +134,13 @@ impl WeightSource for FloatWeight {
         self.grad.add_assign_t(grad_weight);
     }
 
-    fn visit_params(&mut self, f: &mut dyn FnMut(ParamMut<'_>)) {
-        f(ParamMut {
-            value: &mut self.value,
-            grad: &mut self.grad,
-            decay: true,
-        });
+    fn visit_params_named(&mut self, path: &mut ParamPath, f: &mut dyn FnMut(ParamMut<'_>)) {
+        f(ParamMut::new(
+            path.as_str(),
+            ParamRole::Weight,
+            &mut self.value,
+            &mut self.grad,
+        ));
     }
 
     fn precision(&self) -> Option<f32> {
@@ -178,5 +191,18 @@ mod tests {
         let mut decays = Vec::new();
         fw.visit_params(&mut |p| decays.push(p.decay));
         assert_eq!(decays, vec![true]);
+    }
+
+    #[test]
+    fn float_weight_emits_at_owning_scope() {
+        let mut fw = FloatWeight::new(Tensor::ones(&[2]));
+        let mut seen = Vec::new();
+        let mut path = ParamPath::root();
+        path.scoped("0", |p| {
+            p.scoped("weight", |p| {
+                fw.visit_params_named(p, &mut |q| seen.push((q.path.to_string(), q.role)));
+            })
+        });
+        assert_eq!(seen, vec![("0.weight".to_string(), ParamRole::Weight)]);
     }
 }

@@ -31,6 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "layer-wise scheme at {:.2} average bits:\n",
         scheme.avg_bits
     );
+    let path_width = scheme
+        .layers
+        .iter()
+        .map(|l| l.path.len())
+        .max()
+        .unwrap_or(0);
     for layer in &scheme.layers {
         let bar = "#".repeat(layer.bits as usize);
         let mask = layer
@@ -43,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .unwrap_or_else(|| "-".into());
         println!(
-            "layer {:>2} ({:>6} params): {:<8} {:>2.0} bits  mask(LSB→MSB) {}",
-            layer.index, layer.numel, bar, layer.bits, mask
+            "{:<path_width$} ({:>6} params): {:<8} {:>2.0} bits  mask(LSB→MSB) {}",
+            layer.path, layer.numel, bar, layer.bits, mask
         );
     }
 
@@ -58,8 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         packed.compression()
     );
     // Reconstruction from integer codes is exact.
-    for (layer, pw) in packed.layers.iter().enumerate() {
-        assert!(pw.unpack().all_finite(), "layer {layer} reconstructs");
+    for pw in &packed.layers {
+        assert!(pw.unpack().all_finite(), "layer {} reconstructs", pw.path);
     }
 
     // Round-trip through JSON, as a deployment pipeline would.

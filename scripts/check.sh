@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints (warnings are errors), release build
+# and the full test suite. Run before pushing; CI runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

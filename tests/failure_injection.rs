@@ -328,5 +328,85 @@ fn pack_reports_layer_of_failure() {
     let mut model = tiny_model(); // float weights: no grid
     let err = PackedModel::pack(&mut model).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("layer 0"), "error names the layer: {msg}");
+    assert!(
+        msg.contains("0.weight") && msg.contains("finalize"),
+        "error names the failing layer by path: {msg}"
+    );
+}
+
+#[test]
+fn legacy_v1_snapshot_resumes_bit_exactly() {
+    use csq_repro::nn::persist;
+    let data = tiny_data();
+    let path = temp_snapshot("legacy_v1");
+    let epochs = 8;
+
+    // Reference: one uninterrupted run.
+    let mut straight_model = tiny_csq_model();
+    let straight = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .train(&mut straight_model, &data)
+        .unwrap();
+
+    // Crashed run writing current (v3, path-keyed) snapshots.
+    let mut crashed_model = tiny_csq_model();
+    let err = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .with_snapshots(SnapshotPolicy::every_epochs(1, &path))
+        .with_faults(FaultPlan::default().crash_at_epoch(3))
+        .train(&mut crashed_model, &data)
+        .unwrap_err();
+    assert!(matches!(err, TrainError::InjectedCrash { epoch: 3 }));
+
+    // Rewrite the snapshot file into the pre-path v1 shape a repo from
+    // before the named registry would have produced: version 1, every
+    // path stripped, checkpoint entries under the old "params" key.
+    let payload = persist::read_checksummed(&path).unwrap();
+    let mut doc: serde_json::Value = serde_json::from_slice(&payload).unwrap();
+    doc["version"] = serde_json::json!(1);
+    let strip = |v: &serde_json::Value| -> serde_json::Value {
+        serde_json::Value::Array(
+            v.as_array()
+                .unwrap()
+                .iter()
+                .map(|pair| pair[1].clone())
+                .collect(),
+        )
+    };
+    doc["layer_state"] = strip(&doc["layer_state"]);
+    let tensors = strip(&doc["params"]["entries"]);
+    doc["params"] = serde_json::json!({ "params": tensors });
+    let optim = doc["optim"]
+        .as_object_mut()
+        .expect("optimizer state is an enum map");
+    if let Some(sgd) = optim.get_mut("Sgd") {
+        let buffers = strip(&sgd["buffers"]);
+        sgd["buffers"] = buffers;
+    } else if let Some(adam) = optim.get_mut("Adam") {
+        let m = strip(&adam["m"]);
+        let v = strip(&adam["v"]);
+        adam["m"] = m;
+        adam["v"] = v;
+    } else {
+        panic!("unexpected optimizer encoding: {optim:?}");
+    }
+    let v1 = serde_json::to_vec(&doc).unwrap();
+    persist::write_checksummed(&path, &v1).unwrap();
+
+    // The order-keyed snapshot restores through the compat path and the
+    // resumed run reproduces the uninterrupted trajectory bit-for-bit.
+    let mut resumed_model = tiny_csq_model();
+    let resumed = CsqTrainer::new(tiny_csq_cfg(epochs))
+        .resume_from(&path)
+        .train(&mut resumed_model, &data)
+        .unwrap();
+
+    assert_eq!(straight.history.len(), resumed.history.len());
+    for (s, r) in straight.history.iter().zip(resumed.history.iter()) {
+        assert_eq!(s.epoch, r.epoch);
+        assert_eq!(s.loss, r.loss, "epoch {} loss must be bit-exact", s.epoch);
+        assert_eq!(s.avg_bits, r.avg_bits, "epoch {} precision", s.epoch);
+        assert_eq!(s.test_acc, r.test_acc, "epoch {} test accuracy", s.epoch);
+    }
+    assert_eq!(straight.final_avg_bits, resumed.final_avg_bits);
+    assert_eq!(straight.final_test_accuracy, resumed.final_test_accuracy);
+    std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,84 @@
+//! One-off generator for `snapshot_v1_order_keyed.snap`, the committed
+//! pre-refactor (schema v1, order-keyed) training snapshot that
+//! `tests/legacy_snapshot_fixture.rs` loads through the compat path.
+//!
+//! Standalone on purpose — it reimplements the CSQF1 framing with no
+//! dependency on the workspace, so it keeps producing the bytes a
+//! v1-era build would have written even as the workspace moves on.
+//! Regenerate (from the repo root) with:
+//!
+//! ```text
+//! rustc --edition 2021 tests/fixtures/gen_v1_fixture.rs -o /tmp/gen_v1_fixture
+//! /tmp/gen_v1_fixture tests/fixtures/snapshot_v1_order_keyed.snap
+//! ```
+
+/// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320), matching
+/// `csq_nn::persist::crc32`.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for i in 0..256u32 {
+        let mut c = i;
+        for _ in 0..8 {
+            c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        table[i as usize] = c;
+    }
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Parameter shapes of the fixture model, in visitation order:
+/// `Sequential[Linear(3, 4, bias), Linear(4, 2, bias)]`.
+const SHAPES: [&[usize]; 4] = [&[4, 3], &[4], &[2, 4], &[2]];
+
+fn fmt_list<T: std::fmt::Display>(vals: impl Iterator<Item = T>) -> String {
+    vals.map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn tensor(shape: &[usize], vals: impl Iterator<Item = f32>) -> String {
+    format!(
+        "{{\"data\":[{}],\"shape\":[{}]}}",
+        fmt_list(vals),
+        fmt_list(shape.iter())
+    )
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "snapshot_v1_order_keyed.snap".into());
+    // Deterministic dyadic values (exactly representable in f32 and in
+    // JSON decimal) so the load test can assert bit-exact restoration.
+    // The divisor must match `param_val` / `buffer_val` in the test.
+    let tensors = |scale: f32| -> String {
+        let list: Vec<String> = SHAPES
+            .iter()
+            .enumerate()
+            .map(|(k, shape)| {
+                let numel: usize = shape.iter().product();
+                tensor(
+                    shape,
+                    (0..numel).map(move |i| (k * 100 + i + 1) as f32 / scale),
+                )
+            })
+            .collect();
+        list.join(",")
+    };
+    let payload = format!(
+        "{{\"version\":1,\"phase\":\"Csq\",\"epochs_done\":2,\"total_epochs\":4,\
+         \"beta\":4.5,\"lr_scale\":1,\"seed\":7,\"mask_frozen\":false,\
+         \"lambda\":0.25,\"target_bits\":3,\"history\":[],\
+         \"params\":{{\"params\":[{}]}},\"layer_state\":[],\
+         \"optim\":{{\"Sgd\":{{\"buffers\":[{}]}}}}}}",
+        tensors(64.0),
+        tensors(256.0)
+    );
+    let header = format!("CSQF1 {:08x} {}\n", crc32(payload.as_bytes()), payload.len());
+    let mut framed = header.into_bytes();
+    framed.extend_from_slice(payload.as_bytes());
+    std::fs::write(&out, &framed).expect("write fixture");
+    println!("wrote {out} ({} bytes)", framed.len());
+}

@@ -1,0 +1,86 @@
+//! Backward compatibility against a *committed* pre-refactor snapshot.
+//!
+//! `fixtures/snapshot_v1_order_keyed.snap` is a schema-v1 training
+//! snapshot: everything keyed by visitation order, no parameter paths,
+//! no `threads` field. The bytes are checked in (generated once by
+//! `fixtures/gen_v1_fixture.rs`) so this test keeps failing loudly if a
+//! future format change ever breaks the legacy loader — unlike the
+//! round-trip tests, it cannot silently co-evolve with the code.
+
+use csq_repro::csq::resume::TrainSnapshot;
+use csq_repro::nn::{Layer, Linear, OptimState, Sequential};
+use std::path::Path;
+
+/// The architecture the fixture was captured from:
+/// `Sequential[Linear(3, 4, bias), Linear(4, 2, bias)]`.
+fn fixture_model() -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::with_float_weights(3, 4, 0)) as Box<dyn Layer>,
+        Box::new(Linear::with_float_weights(4, 2, 1)),
+    ])
+}
+
+/// Parameter shapes in visitation order.
+const SHAPES: [&[usize]; 4] = [&[4, 3], &[4], &[2, 4], &[2]];
+
+/// Element `i` of parameter tensor `k`, as the generator wrote it.
+fn param_val(k: usize, i: usize) -> f32 {
+    (k * 100 + i + 1) as f32 / 64.0
+}
+
+/// Element `i` of momentum buffer `k`, as the generator wrote it.
+fn buffer_val(k: usize, i: usize) -> f32 {
+    (k * 100 + i + 1) as f32 / 256.0
+}
+
+#[test]
+fn committed_v1_snapshot_restores_bit_exactly() {
+    let path = Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v1_order_keyed.snap"
+    ));
+    let snap = TrainSnapshot::load(path).expect("committed v1 fixture must stay loadable");
+    assert_eq!(snap.version, 1);
+    assert!(TrainSnapshot::LEGACY_VERSIONS.contains(&snap.version));
+    assert_eq!(snap.epochs_done, 2);
+    assert_eq!(snap.total_epochs, 4);
+    assert_eq!(snap.seed, 7);
+    assert_eq!(snap.beta, 4.5);
+    assert_eq!(snap.lambda, Some(0.25));
+    assert_eq!(snap.threads, 0, "v1 files predate the threads field");
+    assert!(
+        snap.params.entries().iter().all(|(name, _)| name.is_empty()),
+        "order-keyed era entries carry no paths"
+    );
+
+    // Restoring through the positional compat path reproduces every
+    // stored value bit-for-bit.
+    let mut model = fixture_model();
+    snap.restore_model(&mut model)
+        .expect("v1 snapshot must restore into the matching architecture");
+    let mut k = 0usize;
+    model.visit_params(&mut |p| {
+        assert_eq!(p.value.dims(), SHAPES[k], "tensor {k} shape");
+        for (i, &v) in p.value.data().iter().enumerate() {
+            assert_eq!(v, param_val(k, i), "tensor {k} element {i}");
+        }
+        k += 1;
+    });
+    assert_eq!(k, 4, "fixture covers every parameter");
+
+    // The order-keyed optimizer state also survives, names to be adopted
+    // on the first step after import.
+    match &snap.optim {
+        OptimState::Sgd { buffers } => {
+            assert_eq!(buffers.len(), 4);
+            for (kb, (name, t)) in buffers.iter().enumerate() {
+                assert!(name.is_empty(), "v1 buffers carry no paths");
+                assert_eq!(t.dims(), SHAPES[kb], "buffer {kb} shape");
+                for (i, &v) in t.data().iter().enumerate() {
+                    assert_eq!(v, buffer_val(kb, i), "buffer {kb} element {i}");
+                }
+            }
+        }
+        other => panic!("fixture carries SGD state, got {other:?}"),
+    }
+}
