@@ -86,10 +86,10 @@ fn bench_integer_inference(c: &mut Criterion) {
     let mut layer = Conv2d::new(Box::new(q), 16, 16, spec, false);
     let packed = PackedModel::pack(&mut layer).unwrap();
     let pw = packed.layers[0].clone();
-    let xq = QuantizedActivations::quantize(&x);
+    let xq = QuantizedActivations::quantize(&x).unwrap();
 
     c.bench_function("qinfer/conv_integer_16x16x16_k3", |b| {
-        b.iter(|| black_box(conv2d_integer(black_box(&xq), &pw, spec)))
+        b.iter(|| black_box(conv2d_integer(black_box(&xq), &pw, spec).unwrap()))
     });
     c.bench_function("qinfer/conv_float_16x16x16_k3", |b| {
         b.iter(|| black_box(conv2d(black_box(&x), &w, spec)))

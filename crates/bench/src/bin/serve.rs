@@ -1,0 +1,277 @@
+//! Closed-loop load test of the `csq-serve` deployment path and writes
+//! the report to `bench_results/BENCH_serve.json`.
+//!
+//! End to end: trains a small CSQ model, exports it to a `.csqm`
+//! artifact (packed weights + folded constants + calibrated activation
+//! grids), reloads the artifact from disk, and serves it through the
+//! micro-batching [`Engine`] under a closed loop of concurrent clients.
+//! Reported: sustained throughput, latency percentiles (p50/p95/p99),
+//! the batch-size histogram (demonstrating fused batches > 1), accuracy
+//! parity between the integer engine and the float reference path, and
+//! a bit-identity probe of batched versus single-request answers.
+//!
+//! ```text
+//! cargo run -p csq-bench --release --bin serve
+//! ```
+//!
+//! Extra knobs on top of the usual `CSQ_*` scale variables:
+//! `CSQ_SERVE_SECONDS` (load duration, default 5), `CSQ_SERVE_WORKERS`
+//! (default 2), `CSQ_SERVE_MAX_BATCH` (default 8), `CSQ_SERVE_CLIENTS`
+//! (default 4 × workers).
+
+use csq_bench::{write_results, BenchScale};
+use csq_core::prelude::*;
+use csq_data::{Dataset, SyntheticSpec};
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_serve::{Engine, EngineConfig, ModelArtifact, ServeError};
+use csq_tensor::par::ScratchPool;
+use csq_tensor::Tensor;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn env<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Debug, Serialize)]
+struct ServeBenchReport {
+    // Model + artifact.
+    train_accuracy: f32,
+    float_accuracy: f32,
+    integer_accuracy: f32,
+    parity_gap: f32,
+    batched_bit_identical: bool,
+    artifact_bytes: u64,
+    packed_weight_bytes: usize,
+    weight_compression: f32,
+    integer_ops: usize,
+    float_fallback_ops: usize,
+    // Load-test configuration.
+    workers: usize,
+    clients: usize,
+    max_batch: usize,
+    // Load-test results.
+    elapsed_seconds: f32,
+    requests_completed: u64,
+    requests_rejected: u64,
+    throughput_rps: f32,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    avg_batch: f32,
+    batch_hist: Vec<u64>,
+    multi_request_batches: u64,
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let k = logits.dims()[1];
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, &label)| argmax(&logits.data()[i * k..(i + 1) * k]) == label)
+        .count();
+    correct as f32 / labels.len().max(1) as f32
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let serve_seconds: f32 = env("CSQ_SERVE_SECONDS", 5.0);
+    let workers: usize = env("CSQ_SERVE_WORKERS", 2);
+    let max_batch: usize = env("CSQ_SERVE_MAX_BATCH", 8);
+    let clients: usize = env("CSQ_SERVE_CLIENTS", workers * 4);
+
+    // 1. Train a small CSQ model (the artifact's producer).
+    println!("=== csq-serve load test ===");
+    println!(
+        "training resnet (width {}) for {} epoch(s) ...",
+        scale.width, scale.epochs
+    );
+    let spec = SyntheticSpec::cifar_like(scale.seed)
+        .with_samples(scale.train_per_class, scale.test_per_class)
+        .with_noise(scale.noise);
+    let data = Dataset::synthetic(&spec);
+    let mut factory = csq_factory(8);
+    let mut model = resnet_cifar(
+        ModelConfig::cifar_like(scale.width, Some(4), scale.seed),
+        &mut factory,
+        1,
+    );
+    let cfg = CsqConfig::fast(4.0)
+        .with_epochs(scale.epochs)
+        .with_seed(scale.seed);
+    let report = match CsqTrainer::new(cfg).train(&mut model, &data) {
+        Ok(r) => r,
+        Err(e) => panic!("training failed: {e}"),
+    };
+
+    // 2. Export -> save -> reload the .csqm artifact.
+    let input_dims = data.test.images.dims()[1..].to_vec();
+    let num_classes = data.spec.num_classes;
+    let calib_n = data.train.len().min(16);
+    let calib = data.train.images.slice_axis0(0, calib_n);
+    let artifact = match ModelArtifact::export(
+        &mut model,
+        "resnet-csq",
+        &input_dims,
+        num_classes,
+        &calib,
+    ) {
+        Ok(a) => a,
+        Err(e) => panic!("artifact export failed: {e}"),
+    };
+    std::fs::create_dir_all("bench_results").ok();
+    let path = std::path::Path::new("bench_results").join("resnet-csq.csqm");
+    if let Err(e) = artifact.save(&path) {
+        panic!("artifact save failed: {e}");
+    }
+    let artifact_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let loaded = match ModelArtifact::load(&path) {
+        Ok(a) => a,
+        Err(e) => panic!("artifact reload failed: {e}"),
+    };
+    assert_eq!(loaded, artifact, "artifact must round-trip bit-exactly");
+    let compiled = match loaded.compile() {
+        Ok(c) => c,
+        Err(e) => panic!("artifact compile failed: {e}"),
+    };
+    println!(
+        "artifact: {} bytes on disk, {} packed weight bytes, {:.2}x compression, {} integer ops + {} float-fallback ops",
+        artifact_bytes,
+        loaded.packed_weight_bytes(),
+        loaded.scheme.compression,
+        compiled.integer_op_count(),
+        compiled.float_fallback_count(),
+    );
+
+    // 3. Accuracy parity + bit-identity probe, straight on the executor.
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let y_int = match compiled.forward_batch(&data.test.images, &scratch) {
+        Ok(y) => y,
+        Err(e) => panic!("integer forward failed: {e}"),
+    };
+    let y_float = match compiled.forward_float(&data.test.images) {
+        Ok(y) => y,
+        Err(e) => panic!("float forward failed: {e}"),
+    };
+    let integer_accuracy = accuracy(&y_int, &data.test.labels);
+    let float_accuracy = accuracy(&y_float, &data.test.labels);
+    let mut batched_bit_identical = true;
+    for i in 0..data.test.len().min(8) {
+        let single = data.test.images.slice_axis0(i, i + 1);
+        let y1 = match compiled.forward_batch(&single, &scratch) {
+            Ok(y) => y,
+            Err(e) => panic!("single-sample forward failed: {e}"),
+        };
+        if y1.data() != &y_int.data()[i * num_classes..(i + 1) * num_classes] {
+            batched_bit_identical = false;
+        }
+    }
+    println!(
+        "accuracy: train-reported {:.3}, float path {:.3}, integer path {:.3}; batched == single: {}",
+        report.final_test_accuracy, float_accuracy, integer_accuracy, batched_bit_identical
+    );
+    assert!(batched_bit_identical, "batched inference must be bit-identical");
+
+    // 4. Closed-loop load: each client waits for its answer before
+    //    submitting the next request.
+    let engine = Engine::start(
+        compiled,
+        EngineConfig {
+            workers,
+            max_batch,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 256,
+            intra_op_threads: 1,
+        },
+    );
+    println!(
+        "serving for {serve_seconds:.1}s with {workers} worker(s), {clients} client(s), max_batch {max_batch} ..."
+    );
+    let n_test = data.test.len();
+    let deadline = Instant::now() + Duration::from_secs_f32(serve_seconds.max(0.1));
+    let start = Instant::now();
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            let engine = &engine;
+            let errors = &errors;
+            let images = &data.test.images;
+            let input_dims = &input_dims;
+            s.spawn(move || {
+                let mut i = client;
+                while Instant::now() < deadline {
+                    let idx = i % n_test;
+                    let x = images.slice_axis0(idx, idx + 1).reshape(input_dims);
+                    match engine.infer(x) {
+                        Ok(_) => {}
+                        Err(ServeError::QueueFull { .. }) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += clients;
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f32();
+    let stats = engine.stats();
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "no request may error");
+
+    let multi_request_batches: u64 = stats.batch_hist.iter().skip(2).sum();
+    let throughput_rps = stats.completed as f32 / elapsed.max(1e-6);
+    println!(
+        "served {} requests in {:.2}s  ({:.1} req/s)  p50 {}us  p95 {}us  p99 {}us  avg batch {:.2}  multi-request batches {}",
+        stats.completed,
+        elapsed,
+        throughput_rps,
+        stats.p50_us,
+        stats.p95_us,
+        stats.p99_us,
+        stats.avg_batch,
+        multi_request_batches,
+    );
+
+    let out = ServeBenchReport {
+        train_accuracy: report.final_test_accuracy,
+        float_accuracy,
+        integer_accuracy,
+        parity_gap: (float_accuracy - integer_accuracy).abs(),
+        batched_bit_identical,
+        artifact_bytes,
+        packed_weight_bytes: loaded.packed_weight_bytes(),
+        weight_compression: loaded.scheme.compression,
+        integer_ops: engine.model().integer_op_count(),
+        float_fallback_ops: engine.model().float_fallback_count(),
+        workers,
+        clients,
+        max_batch,
+        elapsed_seconds: elapsed,
+        requests_completed: stats.completed,
+        requests_rejected: stats.rejected,
+        throughput_rps,
+        p50_us: stats.p50_us,
+        p95_us: stats.p95_us,
+        p99_us: stats.p99_us,
+        avg_batch: stats.avg_batch,
+        batch_hist: stats.batch_hist.clone(),
+        multi_request_batches,
+    };
+    write_results("BENCH_serve", &out);
+}

@@ -552,6 +552,12 @@ impl WeightSource for BitQuantizer {
         self.cache = None;
     }
 
+    fn is_finalized(&self) -> bool {
+        // Soft (β-relaxed) gates materialize off-grid weights until
+        // `finalize` hardens them.
+        self.hard
+    }
+
     fn quant_step(&self) -> Option<f32> {
         if self.n_scales != 1 {
             // Per-channel scales have no single grid step; fixed-point

@@ -70,7 +70,9 @@ pub use budget::{model_precision, BudgetRegularizer, PrecisionStats};
 pub use fault::FaultPlan;
 pub use gate::{temp_sigmoid, temp_sigmoid_grad, TemperatureSchedule};
 pub use pack::{PackedModel, PackedWeight};
-pub use qinfer::{conv2d_integer, linear_integer, QuantizedActivations};
+pub use qinfer::{
+    conv2d_integer, depthwise_conv2d_integer, linear_integer, QinferError, QuantizedActivations,
+};
 pub use resume::{SnapshotError, TrainPhase, TrainSnapshot};
 pub use scheme::{LayerScheme, QuantScheme};
 pub use trainer::{
@@ -85,6 +87,7 @@ pub mod prelude {
     pub use crate::budget::{model_precision, BudgetRegularizer, PrecisionStats};
     pub use crate::fault::FaultPlan;
     pub use crate::gate::{temp_sigmoid, TemperatureSchedule};
+    pub use crate::qinfer::{QinferError, QuantizedActivations};
     pub use crate::resume::{TrainPhase, TrainSnapshot};
     pub use crate::scheme::{LayerScheme, QuantScheme};
     pub use crate::trainer::{

@@ -18,6 +18,13 @@ pub enum PackError {
         /// Path of the offending weight tensor (e.g. `"4.main.0.weight"`).
         layer: String,
     },
+    /// A weight source still has soft (β-relaxed) gates: the model is
+    /// mid-training and has not been finalized, so its materialized
+    /// weights do not lie on the quantization grid yet.
+    GatesNotHard {
+        /// Path of the offending weight tensor.
+        layer: String,
+    },
     /// A weight is not an exact integer multiple of the grid step — the
     /// model was not finalized.
     OffGrid {
@@ -39,6 +46,10 @@ impl std::fmt::Display for PackError {
                     "layer `{layer}` has no quantization grid (finalize the model first)"
                 )
             }
+            PackError::GatesNotHard { layer } => write!(
+                f,
+                "layer `{layer}` still has soft gates (mid-training); finalize the model before packing"
+            ),
             PackError::OffGrid { layer, value, step } => write!(
                 f,
                 "layer `{layer}` weight {value} is not a multiple of step {step}"
@@ -115,8 +126,10 @@ impl PackedModel {
     /// # Errors
     ///
     /// [`PackError::NotQuantized`] if a layer exposes no grid step;
-    /// [`PackError::OffGrid`] if any weight is not exactly on its grid
-    /// (the model was not finalized).
+    /// [`PackError::GatesNotHard`] if a quantized layer's gates are still
+    /// soft (a mid-training pack attempt — call `finalize` first);
+    /// [`PackError::OffGrid`] if any weight is nonetheless not exactly on
+    /// its grid.
     pub fn pack(model: &mut dyn Layer) -> Result<PackedModel, PackError> {
         let mut layers = Vec::new();
         let mut failure: Option<PackError> = None;
@@ -130,6 +143,12 @@ impl PackedModel {
                 });
                 return;
             };
+            if !src.is_finalized() {
+                failure = Some(PackError::GatesNotHard {
+                    layer: path.to_string(),
+                });
+                return;
+            }
             let bits = src.precision().unwrap_or(32.0);
             let w = src.materialize();
             let mut codes = Vec::with_capacity(w.numel());
@@ -169,9 +188,15 @@ impl PackedModel {
         self.layers.iter().map(|l| l.codes.len() * 4).sum()
     }
 
-    /// Achieved compression versus FP32 storage (scales included).
+    /// Achieved compression versus FP32 storage (scales included). An
+    /// empty model reports 1.0 (no storage either way) rather than a
+    /// degenerate 0/0.
     pub fn compression(&self) -> f32 {
-        self.fp32_size_bytes() as f32 / self.size_bytes().max(1) as f32
+        let fp32 = self.fp32_size_bytes();
+        if fp32 == 0 {
+            return 1.0;
+        }
+        fp32 as f32 / self.size_bytes().max(1) as f32
     }
 }
 
@@ -235,13 +260,22 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let w = init::uniform(&[6, 6], -1.0, 1.0, &mut rng);
         let mut q = BitQuantizer::from_float(&w, 8, QuantMode::Csq);
-        q.set_beta(2.0); // soft gates: weights off-grid
+        q.set_beta(2.0); // soft gates: mid-training state
         let mut layer = Linear::new(Box::new(q), 6, 6, false);
         let err = PackedModel::pack(&mut layer).unwrap_err();
         assert!(matches!(
             err,
-            PackError::OffGrid { ref layer, .. } if layer == "weight"
+            PackError::GatesNotHard { ref layer } if layer == "weight"
         ));
+        assert!(err.to_string().contains("finalize"), "{err}");
+    }
+
+    #[test]
+    fn empty_model_compression_is_one() {
+        let empty = PackedModel { layers: Vec::new() };
+        assert_eq!(empty.size_bytes(), 0);
+        assert_eq!(empty.fp32_size_bytes(), 0);
+        assert_eq!(empty.compression(), 1.0);
     }
 
     #[test]

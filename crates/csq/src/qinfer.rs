@@ -16,10 +16,77 @@
 //! grids; tests bound their deviation from the float path by the
 //! activation quantization error (the weight path is exact because
 //! packed codes reconstruct the finalized weights exactly).
+//!
+//! Two quantization entry points exist: [`QuantizedActivations::quantize`]
+//! derives the range from the tensor's own maximum (fine for one-off
+//! analysis, but the grid then varies per request), while
+//! [`QuantizedActivations::quantize_with_step`] injects a *calibrated*
+//! step so a serving engine can use one fixed grid for every request —
+//! which is what makes batched inference bit-identical to single-request
+//! inference. All entry points return [`QinferError`] instead of
+//! panicking (lib crates are panic-free on user-reachable paths).
 
 use crate::pack::PackedWeight;
 use csq_tensor::conv::ConvSpec;
 use csq_tensor::Tensor;
+
+/// Why an integer-inference kernel rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QinferError {
+    /// Tried to quantize a tensor with no elements.
+    EmptyActivations,
+    /// A calibrated quantization step must be positive and finite.
+    BadStep {
+        /// The offending step value.
+        step: f32,
+    },
+    /// A tensor did not have the rank the kernel requires.
+    BadRank {
+        /// Which operand was malformed (`"activations"` / `"weights"`).
+        what: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Rank actually supplied.
+        actual: usize,
+    },
+    /// Activation / weight shapes do not agree.
+    ShapeMismatch {
+        /// What disagreed (`"channels"`, `"features"`, `"kernel"`).
+        what: &'static str,
+        /// The activation-side extent.
+        activation: usize,
+        /// The weight-side extent.
+        weight: usize,
+    },
+}
+
+impl std::fmt::Display for QinferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QinferError::EmptyActivations => {
+                write!(f, "cannot quantize an empty activation tensor")
+            }
+            QinferError::BadStep { step } => {
+                write!(f, "activation step must be positive and finite, got {step}")
+            }
+            QinferError::BadRank {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} must have rank {expected}, got rank {actual}"),
+            QinferError::ShapeMismatch {
+                what,
+                activation,
+                weight,
+            } => write!(
+                f,
+                "{what} mismatch: activations have {activation}, weights expect {weight}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QinferError {}
 
 /// An activation tensor quantized to unsigned 8-bit codes.
 #[derive(Debug, Clone)]
@@ -34,23 +101,56 @@ pub struct QuantizedActivations {
 
 impl QuantizedActivations {
     /// Quantizes a non-negative activation tensor (post-ReLU) to 8-bit
-    /// codes on `[0, max]`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the tensor is empty.
-    pub fn quantize(x: &Tensor) -> QuantizedActivations {
-        assert!(x.numel() > 0, "cannot quantize an empty activation tensor");
+    /// codes on `[0, max]`, deriving the range from the tensor's own
+    /// maximum. Returns [`QinferError::EmptyActivations`] for an empty
+    /// tensor.
+    pub fn quantize(x: &Tensor) -> Result<QuantizedActivations, QinferError> {
+        if x.numel() == 0 {
+            return Err(QinferError::EmptyActivations);
+        }
         let max = x.max().max(1e-8);
-        let step = max / 255.0;
-        QuantizedActivations {
-            codes: x
-                .iter()
-                .map(|&v| (v.clamp(0.0, max) / step).round() as u8)
-                .collect(),
+        Self::quantize_with_step(x, max / 255.0)
+    }
+
+    /// Quantizes with an externally *calibrated* step: codes are
+    /// `round(clamp(v, 0, 255·step)/step)`, so the representable range
+    /// is `[0, 255·step]` regardless of this particular tensor's values.
+    /// Using one fixed step for every request is what makes a serving
+    /// engine's batched results bit-identical to single-request results.
+    ///
+    /// Returns [`QinferError::EmptyActivations`] for an empty tensor and
+    /// [`QinferError::BadStep`] for a non-positive or non-finite step.
+    pub fn quantize_with_step(x: &Tensor, step: f32) -> Result<QuantizedActivations, QinferError> {
+        Self::quantize_with_step_into(x, step, Vec::new())
+    }
+
+    /// [`quantize_with_step`](Self::quantize_with_step) writing into a
+    /// caller-supplied buffer (resized to fit), so a serving worker can
+    /// recycle code buffers through a
+    /// [`csq_tensor::par::ScratchPool<u8>`] instead of allocating per
+    /// request.
+    pub fn quantize_with_step_into(
+        x: &Tensor,
+        step: f32,
+        mut buf: Vec<u8>,
+    ) -> Result<QuantizedActivations, QinferError> {
+        if x.numel() == 0 {
+            return Err(QinferError::EmptyActivations);
+        }
+        if !(step.is_finite() && step > 0.0) {
+            return Err(QinferError::BadStep { step });
+        }
+        let hi = 255.0 * step;
+        buf.clear();
+        buf.extend(
+            x.iter()
+                .map(|&v| (v.clamp(0.0, hi) / step).round().min(255.0) as u8),
+        );
+        Ok(QuantizedActivations {
+            codes: buf,
             step,
             dims: x.dims().to_vec(),
-        }
+        })
     }
 
     /// Reconstructs the float tensor this quantization represents.
@@ -68,17 +168,44 @@ impl QuantizedActivations {
 /// `x` is `[N, IC, H, W]` quantized activations; `w` is a packed conv
 /// weight `[OC, IC, KH, KW]`. Returns float `[N, OC, OH, OW]`.
 ///
-/// # Panics
-///
-/// Panics on shape mismatches between `x`, `w` and `spec`.
-pub fn conv2d_integer(x: &QuantizedActivations, w: &PackedWeight, spec: ConvSpec) -> Tensor {
-    assert_eq!(x.dims.len(), 4, "activations must be NCHW");
-    assert_eq!(w.dims.len(), 4, "weights must be [OC, IC, KH, KW]");
+/// Every output element is an independent `i64` dot product with a fixed
+/// in-kernel accumulation order, so results for one sample never depend
+/// on which other samples share the batch.
+pub fn conv2d_integer(
+    x: &QuantizedActivations,
+    w: &PackedWeight,
+    spec: ConvSpec,
+) -> Result<Tensor, QinferError> {
+    if x.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "activations",
+            expected: 4,
+            actual: x.dims.len(),
+        });
+    }
+    if w.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "weights",
+            expected: 4,
+            actual: w.dims.len(),
+        });
+    }
     let (n, ic, h, wd) = (x.dims[0], x.dims[1], x.dims[2], x.dims[3]);
     let (oc, wic, kh, kw) = (w.dims[0], w.dims[1], w.dims[2], w.dims[3]);
-    assert_eq!(ic, wic, "channel mismatch");
-    assert_eq!(kh, spec.kernel, "kernel mismatch");
-    assert_eq!(kw, spec.kernel, "kernel mismatch");
+    if ic != wic {
+        return Err(QinferError::ShapeMismatch {
+            what: "channels",
+            activation: ic,
+            weight: wic,
+        });
+    }
+    if kh != spec.kernel || kw != spec.kernel {
+        return Err(QinferError::ShapeMismatch {
+            what: "kernel",
+            activation: spec.kernel,
+            weight: kh.max(kw),
+        });
+    }
     let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
     let scale = w.step * x.step;
 
@@ -115,23 +242,113 @@ pub fn conv2d_integer(x: &QuantizedActivations, w: &PackedWeight, spec: ConvSpec
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Integer depthwise 2-D convolution: one `[1, K, K]` integer filter per
+/// channel.
+///
+/// `x` is `[N, C, H, W]` quantized activations; `w` is a packed
+/// depthwise weight `[C, 1, KH, KW]`. Returns float `[N, C, OH, OW]`.
+pub fn depthwise_conv2d_integer(
+    x: &QuantizedActivations,
+    w: &PackedWeight,
+    spec: ConvSpec,
+) -> Result<Tensor, QinferError> {
+    if x.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "activations",
+            expected: 4,
+            actual: x.dims.len(),
+        });
+    }
+    if w.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "weights",
+            expected: 4,
+            actual: w.dims.len(),
+        });
+    }
+    let (n, c, h, wd) = (x.dims[0], x.dims[1], x.dims[2], x.dims[3]);
+    let (wc0, wone, kh, kw) = (w.dims[0], w.dims[1], w.dims[2], w.dims[3]);
+    if c != wc0 || wone != 1 {
+        return Err(QinferError::ShapeMismatch {
+            what: "channels",
+            activation: c,
+            weight: wc0 * wone,
+        });
+    }
+    if kh != spec.kernel || kw != spec.kernel {
+        return Err(QinferError::ShapeMismatch {
+            what: "kernel",
+            activation: spec.kernel,
+            weight: kh.max(kw),
+        });
+    }
+    let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
+    let scale = w.step * x.step;
+
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let xbase = (ni * c + ci) * h * wd;
+            let wrow = ci * kh * kw;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc: i64 = 0;
+                    for ki in 0..kh {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            if jj < 0 || jj >= wd as isize {
+                                continue;
+                            }
+                            let xc = x.codes[xbase + ii as usize * wd + jj as usize] as i64;
+                            let wc = w.codes[wrow + ki * kw + kj] as i64;
+                            acc += xc * wc;
+                        }
+                    }
+                    out.data_mut()[oidx] = acc as f32 * scale;
+                    oidx += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Integer fully-connected layer: `y = codes(x) · codes(W)ᵀ · scale`.
 ///
 /// `x` is `[B, IN]` quantized activations; `w` is a packed linear weight
 /// `[OUT, IN]`. Returns float `[B, OUT]`.
-///
-/// # Panics
-///
-/// Panics on shape mismatches.
-pub fn linear_integer(x: &QuantizedActivations, w: &PackedWeight) -> Tensor {
-    assert_eq!(x.dims.len(), 2, "activations must be [batch, features]");
-    assert_eq!(w.dims.len(), 2, "weights must be [out, in]");
+pub fn linear_integer(x: &QuantizedActivations, w: &PackedWeight) -> Result<Tensor, QinferError> {
+    if x.dims.len() != 2 {
+        return Err(QinferError::BadRank {
+            what: "activations",
+            expected: 2,
+            actual: x.dims.len(),
+        });
+    }
+    if w.dims.len() != 2 {
+        return Err(QinferError::BadRank {
+            what: "weights",
+            expected: 2,
+            actual: w.dims.len(),
+        });
+    }
     let (b, inf) = (x.dims[0], x.dims[1]);
     let (outf, winf) = (w.dims[0], w.dims[1]);
-    assert_eq!(inf, winf, "feature mismatch");
+    if inf != winf {
+        return Err(QinferError::ShapeMismatch {
+            what: "features",
+            activation: inf,
+            weight: winf,
+        });
+    }
     let scale = w.step * x.step;
     let mut out = Tensor::zeros(&[b, outf]);
     for bi in 0..b {
@@ -143,7 +360,7 @@ pub fn linear_integer(x: &QuantizedActivations, w: &PackedWeight) -> Tensor {
             out.data_mut()[bi * outf + oi] = acc as f32 * scale;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -179,12 +396,53 @@ mod tests {
     fn activation_quantization_round_trip_error_bounded() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let x = init::uniform(&[64], 0.0, 3.0, &mut rng);
-        let q = QuantizedActivations::quantize(&x);
+        let q = QuantizedActivations::quantize(&x).unwrap();
         let back = q.dequantize();
         let bound = q.step * 0.5 + 1e-6;
         for (&a, &b) in x.iter().zip(back.iter()) {
             assert!((a - b).abs() <= bound, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn quantize_with_step_uses_the_injected_grid() {
+        let x = Tensor::from_vec(vec![0.0, 0.5, 1.0, 7.0], &[4]);
+        let q = QuantizedActivations::quantize_with_step(&x, 0.01).unwrap();
+        assert_eq!(q.step, 0.01);
+        assert_eq!(q.codes, vec![0, 50, 100, 255], "7.0 clamps to 255·step");
+        // Unlike `quantize`, the grid does not depend on this tensor's
+        // own max: a second tensor with a different max shares the grid.
+        let y = Tensor::from_vec(vec![0.5], &[1]);
+        let qy = QuantizedActivations::quantize_with_step(&y, 0.01).unwrap();
+        assert_eq!(qy.codes[0], q.codes[1]);
+    }
+
+    #[test]
+    fn quantize_rejects_bad_inputs() {
+        let empty = Tensor::zeros(&[0]);
+        assert_eq!(
+            QuantizedActivations::quantize(&empty),
+            Err(QinferError::EmptyActivations)
+        );
+        let x = Tensor::from_vec(vec![1.0], &[1]);
+        assert!(matches!(
+            QuantizedActivations::quantize_with_step(&x, 0.0),
+            Err(QinferError::BadStep { .. })
+        ));
+        assert!(matches!(
+            QuantizedActivations::quantize_with_step(&x, f32::NAN),
+            Err(QinferError::BadStep { .. })
+        ));
+    }
+
+    #[test]
+    fn quantize_with_step_into_recycles_the_buffer() {
+        let x = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]);
+        let mut buf = Vec::with_capacity(64);
+        buf.push(9u8); // stale contents must be cleared
+        let q = QuantizedActivations::quantize_with_step_into(&x, 0.01, buf).unwrap();
+        assert_eq!(q.codes.len(), 3);
+        assert_eq!(q.codes, vec![10, 20, 30]);
     }
 
     #[test]
@@ -195,8 +453,8 @@ mod tests {
         let (pw, w) = packed_weight(&[3, 2, 3, 3], 2);
         let spec = ConvSpec::new(3, 1, 1);
 
-        let xq = QuantizedActivations::quantize(&x);
-        let y_int = conv2d_integer(&xq, &pw, spec);
+        let xq = QuantizedActivations::quantize(&x).unwrap();
+        let y_int = conv2d_integer(&xq, &pw, spec).unwrap();
         // Reference: float conv on the dequantized activations is
         // *exactly* what the integer path computes.
         let y_ref = conv2d(&xq.dequantize(), &w, spec);
@@ -218,12 +476,24 @@ mod tests {
     }
 
     #[test]
+    fn integer_depthwise_conv_matches_dequantized_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = init::uniform(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let (pw, w) = packed_weight(&[3, 1, 3, 3], 8);
+        let spec = ConvSpec::new(3, 1, 1);
+        let xq = QuantizedActivations::quantize(&x).unwrap();
+        let y_int = depthwise_conv2d_integer(&xq, &pw, spec).unwrap();
+        let y_ref = csq_tensor::conv::depthwise_conv2d(&xq.dequantize(), &w, spec);
+        assert!(y_int.approx_eq(&y_ref, 1e-3));
+    }
+
+    #[test]
     fn integer_linear_matches_float_path() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let x = init::uniform(&[4, 8], 0.0, 2.0, &mut rng);
         let (pw, w) = packed_weight(&[5, 8], 4);
-        let xq = QuantizedActivations::quantize(&x);
-        let y_int = linear_integer(&xq, &pw);
+        let xq = QuantizedActivations::quantize(&x).unwrap();
+        let y_int = linear_integer(&xq, &pw).unwrap();
         let y_ref = xq.dequantize().matmul_nt(&w);
         assert!(y_int.approx_eq(&y_ref, 1e-3));
     }
@@ -245,14 +515,13 @@ mod tests {
             dims: vec![1, n],
             bits: 8.0,
         };
-        let y = linear_integer(&xq, &pw);
+        let y = linear_integer(&xq, &pw).unwrap();
         let expect = 255.0f64 * 255.0 * n as f64;
         assert_eq!(y.data()[0] as f64, expect);
     }
 
     #[test]
-    #[should_panic(expected = "feature mismatch")]
-    fn linear_shape_mismatch_panics() {
+    fn kernels_report_shape_mismatches_as_errors() {
         let xq = QuantizedActivations {
             codes: vec![0; 4],
             step: 1.0,
@@ -265,6 +534,43 @@ mod tests {
             dims: vec![2, 3],
             bits: 8.0,
         };
-        linear_integer(&xq, &pw);
+        assert_eq!(
+            linear_integer(&xq, &pw),
+            Err(QinferError::ShapeMismatch {
+                what: "features",
+                activation: 4,
+                weight: 3,
+            })
+        );
+        let bad_rank = conv2d_integer(&xq, &pw, ConvSpec::new(3, 1, 1));
+        assert!(matches!(bad_rank, Err(QinferError::BadRank { .. })));
+    }
+
+    #[test]
+    fn batched_integer_kernels_equal_concatenated_single_samples() {
+        // The serving engine's bit-identity guarantee reduces to this:
+        // with one calibrated step, the batch kernel computes each
+        // sample exactly as the single-sample kernel would.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|_| init::uniform(&[1, 2, 5, 5], 0.0, 1.0, &mut rng))
+            .collect();
+        let (pw, _) = packed_weight(&[4, 2, 3, 3], 12);
+        let spec = ConvSpec::new(3, 1, 1);
+        let step = 0.004;
+
+        let batch = Tensor::concat_axis0(&xs.iter().collect::<Vec<_>>());
+        let qb = QuantizedActivations::quantize_with_step(&batch, step).unwrap();
+        let yb = conv2d_integer(&qb, &pw, spec).unwrap();
+        for (i, x) in xs.iter().enumerate() {
+            let q1 = QuantizedActivations::quantize_with_step(x, step).unwrap();
+            let y1 = conv2d_integer(&q1, &pw, spec).unwrap();
+            let per = y1.numel();
+            assert_eq!(
+                &yb.data()[i * per..(i + 1) * per],
+                y1.data(),
+                "sample {i} differs between batched and single"
+            );
+        }
     }
 }

@@ -41,6 +41,15 @@ impl Layer for Relu {
         g
     }
 
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::Relu);
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "relu"
     }
@@ -158,6 +167,21 @@ impl Layer for ActQuant {
         path.scoped("act_range", |p| f(p.as_str(), &mut buf));
         self.range = buf[0];
         self.initialized = buf[1] != 0.0;
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(match self.bits {
+            None => crate::export::InferOp::Identity,
+            Some(bits) => crate::export::InferOp::UniformActQuant {
+                range: self.range.max(1e-6),
+                levels: (2u32.pow(bits) - 1) as f32,
+            },
+        });
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {
@@ -288,6 +312,18 @@ impl Layer for Pact {
                 .with_decay(true),
             )
         });
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::UniformActQuant {
+            range: self.alpha.data()[0].max(1e-6),
+            levels: (2u32.pow(self.bits) - 1) as f32,
+        });
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {

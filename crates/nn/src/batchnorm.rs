@@ -210,6 +210,27 @@ impl Layer for BatchNorm2d {
         path.scoped("running_var", |p| f(p.as_str(), self.running_var.data_mut()));
     }
 
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        // Fold the evaluation-mode normalization into one per-channel
+        // affine: y = γ·(x − mean)·inv_std + β = x·(γ·inv_std) + (β −
+        // mean·γ·inv_std).
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for ci in 0..self.channels {
+            let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+            let g = self.gamma.data()[ci];
+            let s = g * inv_std;
+            scale.push(s);
+            shift.push(self.beta.data()[ci] - self.running_mean.data()[ci] * s);
+        }
+        ops.push(crate::export::InferOp::ChannelAffine { scale, shift });
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "batchnorm2d"
     }

@@ -152,6 +152,23 @@ impl Layer for Conv2d {
         path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
     }
 
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::Conv2d {
+            weight: path.scoped("weight", |p| p.as_str().to_string()),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.spec.kernel,
+            stride: self.spec.stride,
+            padding: self.spec.padding,
+            bias: self.bias.as_ref().map(|(b, _)| b.data().to_vec()),
+        });
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "conv2d"
     }
@@ -331,6 +348,21 @@ impl Layer for DepthwiseConv2d {
         f: &mut dyn FnMut(&str, &mut dyn WeightSource),
     ) {
         path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
+    }
+
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::DepthwiseConv2d {
+            weight: path.scoped("weight", |p| p.as_str().to_string()),
+            channels: self.channels,
+            kernel: self.spec.kernel,
+            stride: self.spec.stride,
+            padding: self.spec.padding,
+        });
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {

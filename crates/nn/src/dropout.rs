@@ -1,6 +1,6 @@
 //! Inverted dropout.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, ParamPath};
 use csq_tensor::Tensor;
 use rand::Rng;
 use rand::SeedableRng;
@@ -75,6 +75,16 @@ impl Layer for Dropout {
             *v *= m;
         }
         g
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        // Evaluation-mode dropout is the identity.
+        ops.push(crate::export::InferOp::Identity);
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {

@@ -230,6 +230,23 @@ pub trait Layer: std::fmt::Debug {
         self.visit_params(&mut |p| p.grad.fill(0.0));
     }
 
+    /// Appends this layer's evaluation-mode dataflow to an inference
+    /// plan (see [`crate::export`]). Weighted ops reference their weight
+    /// tensors by the same hierarchical paths the parameter registry
+    /// reports; containers recurse with scoped child segments. The
+    /// default reports the layer as unsupported — every servable layer
+    /// overrides it.
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        _ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        Err(crate::export::ExportError::Unsupported {
+            path: path.as_str().to_string(),
+            kind: self.kind().to_string(),
+        })
+    }
+
     /// Human-readable layer kind, for debugging and scheme printouts.
     fn kind(&self) -> &'static str;
 }

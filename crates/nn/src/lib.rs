@@ -44,6 +44,7 @@ pub mod batchnorm;
 pub mod checkpoint;
 pub mod conv;
 pub mod dropout;
+pub mod export;
 pub mod layer;
 pub mod linear;
 pub mod loss;
@@ -61,6 +62,7 @@ pub use batchnorm::BatchNorm2d;
 pub use checkpoint::Checkpoint;
 pub use conv::{Conv2d, DepthwiseConv2d};
 pub use dropout::Dropout;
+pub use export::{count_ops, export_model, ExportError, InferOp};
 pub use layer::{Layer, ParamMut, ParamPath, ParamRole};
 pub use linear::Linear;
 pub use loss::softmax_cross_entropy;

@@ -130,6 +130,20 @@ impl Layer for Linear {
         path.scoped("weight", |p| f(p.as_str(), self.weight.as_mut()));
     }
 
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::Linear {
+            weight: path.scoped("weight", |p| p.as_str().to_string()),
+            in_features: self.in_features,
+            out_features: self.out_features,
+            bias: self.bias.as_ref().map(|(b, _)| b.data().to_vec()),
+        });
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "linear"
     }

@@ -1,6 +1,6 @@
 //! Pooling and flattening layers.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, ParamPath};
 use csq_tensor::pool;
 use csq_tensor::Tensor;
 
@@ -45,6 +45,18 @@ impl Layer for MaxPool2d {
             "MaxPool2d::backward called before a training forward",
         );
         pool::maxpool2d_backward(grad_output, &argmax, &dims)
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::MaxPool {
+            window: self.window,
+            stride: self.stride,
+        });
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {
@@ -94,6 +106,18 @@ impl Layer for AvgPool2d {
         pool::avgpool2d_backward(grad_output, &dims, self.window, self.stride)
     }
 
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::AvgPool {
+            window: self.window,
+            stride: self.stride,
+        });
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "avgpool2d"
     }
@@ -128,6 +152,15 @@ impl Layer for GlobalAvgPool {
             "GlobalAvgPool::backward called before a training forward",
         );
         pool::global_avgpool_backward(grad_output, &dims)
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::GlobalAvgPool);
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {
@@ -166,6 +199,15 @@ impl Layer for Flatten {
             "Flatten::backward called before a training forward",
         );
         grad_output.reshape(&dims)
+    }
+
+    fn export_infer_ops(
+        &self,
+        _path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        ops.push(crate::export::InferOp::Flatten);
+        Ok(())
     }
 
     fn kind(&self) -> &'static str {

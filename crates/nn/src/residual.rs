@@ -94,6 +94,27 @@ impl Layer for Residual {
         path.scoped("post", |p| self.post.visit_kinds(p, &mut *f));
     }
 
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        let mut main = Vec::new();
+        path.scoped("main", |p| self.main.export_infer_ops(p, &mut main))?;
+        let mut shortcut = Vec::new();
+        if let Some(s) = &self.shortcut {
+            path.scoped("shortcut", |p| s.export_infer_ops(p, &mut shortcut))?;
+        }
+        let mut post = Vec::new();
+        path.scoped("post", |p| self.post.export_infer_ops(p, &mut post))?;
+        ops.push(crate::export::InferOp::Residual {
+            main,
+            shortcut,
+            post,
+        });
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "residual"
     }

@@ -105,6 +105,17 @@ impl Layer for Sequential {
         }
     }
 
+    fn export_infer_ops(
+        &self,
+        path: &mut ParamPath,
+        ops: &mut Vec<crate::export::InferOp>,
+    ) -> Result<(), crate::export::ExportError> {
+        for (i, layer) in self.layers.iter().enumerate() {
+            path.scoped_index(i, |p| layer.export_infer_ops(p, ops))?;
+        }
+        Ok(())
+    }
+
     fn kind(&self) -> &'static str {
         "sequential"
     }

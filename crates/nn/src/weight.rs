@@ -69,6 +69,16 @@ pub trait WeightSource: std::fmt::Debug {
     /// materialized weight must lie exactly on the quantization grid.
     fn finalize(&mut self) {}
 
+    /// Whether the parameterization is already in its exact discrete
+    /// form. Sources whose materialization is always on-grid (float
+    /// weights, STE quantizers) report `true`; relaxation-based sources
+    /// (CSQ's soft gates) report `false` until
+    /// [`finalize`](WeightSource::finalize) has run. Packing for
+    /// deployment requires `true`.
+    fn is_finalized(&self) -> bool {
+        true
+    }
+
     /// The per-bit selection mask of this layer (`true` = bit kept), if
     /// the method searches one. Used for scheme extraction (Figure 4).
     fn bit_mask(&self) -> Option<Vec<bool>> {

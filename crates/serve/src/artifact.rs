@@ -1,0 +1,240 @@
+//! The `.csqm` deployable model artifact.
+//!
+//! A `.csqm` file is everything inference needs and nothing training
+//! does: the exported op plan (folded BatchNorm constants, activation
+//! quantizer settings, pooling geometry), packed fixed-point weights,
+//! the mixed-precision scheme for provenance, and calibrated activation
+//! grids. A serving process reconstructs a runnable [`CompiledModel`]
+//! from the artifact alone — no weight factories, gates, optimizers, or
+//! gradients.
+//!
+//! # On-disk layout
+//!
+//! The payload is versioned JSON ([`ModelArtifact`] with
+//! [`CSQM_FORMAT_VERSION`]) wrapped in the workspace's checksummed
+//! container (`csq_nn::persist`): a magic header, a CRC-32 of the
+//! payload, and the payload length, written atomically via a temp file
+//! + rename. Truncated or bit-flipped files are rejected on load with a
+//! [`PersistError`] instead of being parsed into garbage, and files
+//! written by a future incompatible format version are rejected by the
+//! explicit version check.
+
+use crate::calibrate::{calibrate, grid_table, CalibrationEntry};
+use crate::exec::{BindError, CompiledModel, ServeError};
+use csq_core::pack::{PackError, PackedModel, PackedWeight};
+use csq_core::QuantScheme;
+use csq_nn::persist::{read_checksummed, write_checksummed, PersistError};
+use csq_nn::{export_model, ExportError, InferOp, Layer};
+use csq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current `.csqm` format version. Bump on any incompatible change to
+/// [`ModelArtifact`]'s serialized shape; loaders reject versions they do
+/// not understand rather than misinterpreting fields.
+pub const CSQM_FORMAT_VERSION: u32 = 1;
+
+/// Why an artifact could not be exported, saved, loaded, or compiled.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The checksummed container rejected the file (I/O failure,
+    /// missing header, truncation, or checksum mismatch).
+    Persist(PersistError),
+    /// The payload passed its checksum but is not valid artifact JSON.
+    Json(String),
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The training model contains a layer with no inference lowering.
+    Export(ExportError),
+    /// The training model could not be packed to fixed point.
+    Pack(PackError),
+    /// The op plan references weights or calibration entries the
+    /// artifact does not carry.
+    Bind(BindError),
+    /// The calibration forward pass failed.
+    Calibration(ServeError),
+    /// The calibration sample tensor does not match the declared input
+    /// shape (or is empty).
+    BadSamples {
+        /// Declared per-sample input shape.
+        expected: Vec<usize>,
+        /// Shape of the tensor actually supplied.
+        actual: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Persist(e) => write!(f, "artifact container error: {e}"),
+            ArtifactError::Json(e) => write!(f, "artifact payload is not valid JSON: {e}"),
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads {supported})"
+            ),
+            ArtifactError::Export(e) => write!(f, "model cannot be lowered for inference: {e}"),
+            ArtifactError::Pack(e) => write!(f, "model cannot be packed: {e}"),
+            ArtifactError::Bind(e) => write!(f, "artifact is internally inconsistent: {e}"),
+            ArtifactError::Calibration(e) => write!(f, "calibration forward failed: {e}"),
+            ArtifactError::BadSamples { expected, actual } => write!(
+                f,
+                "calibration samples {actual:?} do not match input shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<PersistError> for ArtifactError {
+    fn from(e: PersistError) -> Self {
+        ArtifactError::Persist(e)
+    }
+}
+
+impl From<ExportError> for ArtifactError {
+    fn from(e: ExportError) -> Self {
+        ArtifactError::Export(e)
+    }
+}
+
+impl From<PackError> for ArtifactError {
+    fn from(e: PackError) -> Self {
+        ArtifactError::Pack(e)
+    }
+}
+
+impl From<BindError> for ArtifactError {
+    fn from(e: BindError) -> Self {
+        ArtifactError::Bind(e)
+    }
+}
+
+/// A complete deployable model: op plan, packed weights, precision
+/// scheme, and calibrated activation grids. Serializable to/from the
+/// versioned `.csqm` container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// `.csqm` format version this artifact was written with.
+    pub format_version: u32,
+    /// Human-readable model name.
+    pub name: String,
+    /// Per-sample input shape (no batch axis), e.g. `[3, 16, 16]`.
+    pub input_dims: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Inference op plan with weights referenced by stable path.
+    pub ops: Vec<InferOp>,
+    /// Packed fixed-point weights, one per weighted op.
+    pub weights: Vec<PackedWeight>,
+    /// The mixed-precision scheme the training run arrived at
+    /// (provenance: per-layer bits, average precision, compression).
+    pub scheme: QuantScheme,
+    /// Calibrated activation grids, one per weighted op.
+    pub calibration: Vec<CalibrationEntry>,
+}
+
+impl ModelArtifact {
+    /// Exports a *finalized* training model into a deployable artifact:
+    /// packs the weights to fixed point, lowers the layer stack to the
+    /// inference op plan, extracts the precision scheme, and calibrates
+    /// activation grids by running `calib_samples` (`[S, C, H, W]`,
+    /// matching `input_dims`) through the float reference path.
+    pub fn export(
+        model: &mut dyn Layer,
+        name: &str,
+        input_dims: &[usize],
+        num_classes: usize,
+        calib_samples: &Tensor,
+    ) -> Result<ModelArtifact, ArtifactError> {
+        let sample_dims = calib_samples.dims();
+        let samples_ok = sample_dims.len() == input_dims.len() + 1
+            && sample_dims[1..] == input_dims[..]
+            && sample_dims[0] > 0;
+        if !samples_ok {
+            return Err(ArtifactError::BadSamples {
+                expected: input_dims.to_vec(),
+                actual: sample_dims.to_vec(),
+            });
+        }
+        let packed = PackedModel::pack(model)?;
+        let ops = export_model(model)?;
+        let scheme = QuantScheme::extract(model);
+        // Uncalibrated executor: every weighted op on the float path.
+        let reference = CompiledModel::bind(
+            name.to_string(),
+            input_dims.to_vec(),
+            num_classes,
+            &ops,
+            &packed.layers,
+            None,
+        )?;
+        let calibration =
+            calibrate(&reference, calib_samples).map_err(ArtifactError::Calibration)?;
+        Ok(ModelArtifact {
+            format_version: CSQM_FORMAT_VERSION,
+            name: name.to_string(),
+            input_dims: input_dims.to_vec(),
+            num_classes,
+            ops,
+            weights: packed.layers,
+            scheme,
+            calibration,
+        })
+    }
+
+    /// Binds the artifact into an executable [`CompiledModel`] with the
+    /// calibrated grids active. This is the zero-training-side loading
+    /// path: artifact in, runnable model out.
+    pub fn compile(&self) -> Result<CompiledModel, ArtifactError> {
+        if self.format_version != CSQM_FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: self.format_version,
+                supported: CSQM_FORMAT_VERSION,
+            });
+        }
+        let table = grid_table(&self.calibration);
+        Ok(CompiledModel::bind(
+            self.name.clone(),
+            self.input_dims.clone(),
+            self.num_classes,
+            &self.ops,
+            &self.weights,
+            Some(&table),
+        )?)
+    }
+
+    /// Writes the artifact to `path` inside the checksummed container
+    /// (atomic temp-file + rename; a crash never leaves a half-written
+    /// artifact under the final name).
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let payload =
+            serde_json::to_vec(self).map_err(|e| ArtifactError::Json(e.to_string()))?;
+        write_checksummed(path, &payload).map_err(|e| ArtifactError::Persist(PersistError::Io(e)))
+    }
+
+    /// Reads an artifact back from `path`, verifying the container
+    /// checksum and the format version.
+    pub fn load(path: &Path) -> Result<ModelArtifact, ArtifactError> {
+        let payload = read_checksummed(path)?;
+        let artifact: ModelArtifact =
+            serde_json::from_slice(&payload).map_err(|e| ArtifactError::Json(e.to_string()))?;
+        if artifact.format_version != CSQM_FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: artifact.format_version,
+                supported: CSQM_FORMAT_VERSION,
+            });
+        }
+        Ok(artifact)
+    }
+
+    /// Deployed weight payload in bytes (bit-packed codes plus scales).
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.weights.iter().map(PackedWeight::size_bytes).sum()
+    }
+}

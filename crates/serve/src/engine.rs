@@ -1,0 +1,477 @@
+//! Micro-batching inference engine.
+//!
+//! The engine owns one immutable [`CompiledModel`] shared across a pool
+//! of worker threads behind an `Arc`. Callers [`Engine::submit`] single
+//! samples into a bounded queue and receive a [`Ticket`]; a worker pulls
+//! the oldest request, then keeps the batch open for up to
+//! `batch_window` (or until `max_batch` requests arrived), fuses the
+//! batch into one `[B, C, H, W]` tensor, runs a single integer forward,
+//! and scatters the logit rows back to the waiting tickets.
+//!
+//! Batching is *safe* here — not just statistically harmless — because
+//! the executor is bit-deterministic with respect to batch composition:
+//! calibrated activation grids are constants and every kernel processes
+//! samples independently with a fixed accumulation order, so a fused
+//! forward returns exactly the rows each request would have gotten
+//! alone. Tests assert this equality bit-for-bit.
+//!
+//! Backpressure is explicit: when the queue holds `queue_capacity`
+//! pending requests, [`Engine::submit`] fails fast with
+//! [`ServeError::QueueFull`] instead of queueing unbounded work.
+//! Workers keep their own scratch pools ([`ScratchPool<u8>`]) so the
+//! hot path performs no cross-thread allocation handoff, and each fused
+//! forward runs under [`par::with_threads`] with a configurable
+//! intra-op thread count (default 1: parallelism comes from concurrent
+//! worker batches, not nested data-parallel kernels).
+
+use crate::exec::{CompiledModel, ServeError};
+use crate::metrics::{EngineStats, StatsInner};
+use csq_tensor::par::{self, ScratchPool};
+use csq_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads pulling batches off the queue (minimum 1).
+    pub workers: usize,
+    /// Largest number of requests fused into one forward (minimum 1).
+    pub max_batch: usize,
+    /// How long a worker holds a non-full batch open waiting for more
+    /// requests before running it anyway.
+    pub batch_window: Duration,
+    /// Bounded queue size; submissions beyond this are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Data-parallel threads *inside* one fused forward (minimum 1).
+    /// Keep at 1 unless workers are fewer than cores.
+    pub intra_op_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: 256,
+            intra_op_threads: 1,
+        }
+    }
+}
+
+/// One pending request in the submission queue.
+struct Request {
+    input: Tensor,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Tensor, ServeError>>,
+}
+
+/// State shared between the submission side and the workers.
+struct Shared {
+    model: CompiledModel,
+    cfg: EngineConfig,
+    queue: Mutex<VecDeque<Request>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    stats: StatsInner,
+}
+
+/// Locks the queue, recovering the guard if a worker panicked while
+/// holding it (the queue itself is always in a consistent state).
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Request>> {
+    match shared.queue.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A handle for one in-flight request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Tensor, ServeError>>,
+    enqueued: Instant,
+}
+
+impl Ticket {
+    /// Blocks until the engine answers, returning the logits `[K]` for
+    /// the submitted sample (or the error the batch failed with).
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// When the request entered the queue (for caller-side latency
+    /// accounting).
+    pub fn enqueued_at(&self) -> Instant {
+        self.enqueued
+    }
+}
+
+/// A running micro-batching inference engine over one compiled model.
+///
+/// Dropping the engine shuts it down: workers drain the queue, answer
+/// everything still pending, and are joined before `drop` returns.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts worker threads over `model` with the given configuration
+    /// (zero-valued knobs are normalized up to 1).
+    pub fn start(model: CompiledModel, cfg: EngineConfig) -> Engine {
+        let cfg = EngineConfig {
+            workers: cfg.workers.max(1),
+            max_batch: cfg.max_batch.max(1),
+            batch_window: cfg.batch_window,
+            queue_capacity: cfg.queue_capacity.max(1),
+            intra_op_threads: cfg.intra_op_threads.max(1),
+        };
+        let shared = Arc::new(Shared {
+            stats: StatsInner::new(cfg.max_batch),
+            model,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// Enqueues one sample (shape = the model's per-sample
+    /// [`CompiledModel::input_dims`], no batch axis) and returns a
+    /// [`Ticket`] to redeem for its logits.
+    ///
+    /// Fails fast with [`ServeError::BadInput`] on a shape mismatch and
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
+        if input.dims() != self.shared.model.input_dims() {
+            return Err(ServeError::BadInput {
+                expected: self.shared.model.input_dims().to_vec(),
+                actual: input.dims().to_vec(),
+            });
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Closed);
+        }
+        let (tx, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        {
+            let mut queue = lock_queue(&self.shared);
+            if queue.len() >= self.shared.cfg.queue_capacity {
+                self.shared.stats.record_rejected();
+                return Err(ServeError::QueueFull {
+                    capacity: self.shared.cfg.queue_capacity,
+                });
+            }
+            queue.push_back(Request {
+                input,
+                enqueued,
+                reply: tx,
+            });
+            self.shared.stats.record_submitted();
+        }
+        self.shared.notify.notify_one();
+        Ok(Ticket { rx, enqueued })
+    }
+
+    /// Convenience blocking call: [`Engine::submit`] + [`Ticket::wait`].
+    pub fn infer(&self, input: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// The compiled model being served.
+    pub fn model(&self) -> &CompiledModel {
+        &self.shared.model
+    }
+
+    /// Snapshot of the serving metrics.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    while let Some(batch) = collect_batch(shared) {
+        run_batch(shared, batch, &scratch);
+    }
+}
+
+/// Pops the oldest request, then holds the batch open until it is full,
+/// the batch window elapses, or shutdown begins. Returns `None` only at
+/// shutdown with an empty queue, so pending requests are always drained.
+fn collect_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut queue = lock_queue(shared);
+    loop {
+        if let Some(first) = queue.pop_front() {
+            let mut batch = vec![first];
+            let deadline = Instant::now() + shared.cfg.batch_window;
+            while batch.len() < shared.cfg.max_batch {
+                if let Some(next) = queue.pop_front() {
+                    batch.push(next);
+                    continue;
+                }
+                let now = Instant::now();
+                if now >= deadline || shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let (guard, _timed_out) = match shared.notify.wait_timeout(queue, deadline - now) {
+                    Ok(pair) => pair,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                queue = guard;
+            }
+            return Some(batch);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        queue = match shared.notify.wait(queue) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+}
+
+/// Fuses a batch into one tensor, runs a single forward, and scatters
+/// the logit rows back to the tickets.
+fn run_batch(shared: &Shared, batch: Vec<Request>, scratch: &ScratchPool<u8>) {
+    shared.stats.record_batch(batch.len());
+    let per_sample: usize = shared.model.input_dims().iter().product();
+    let mut data = Vec::with_capacity(batch.len() * per_sample);
+    for request in &batch {
+        data.extend_from_slice(request.input.data());
+    }
+    let mut dims = Vec::with_capacity(shared.model.input_dims().len() + 1);
+    dims.push(batch.len());
+    dims.extend_from_slice(shared.model.input_dims());
+    let x = Tensor::from_vec(data, &dims);
+
+    let result = par::with_threads(shared.cfg.intra_op_threads, || {
+        shared.model.forward_batch(&x, scratch)
+    });
+    match result {
+        Ok(y) => {
+            let k = shared.model.num_classes();
+            for (i, request) in batch.into_iter().enumerate() {
+                let row = Tensor::from_vec(y.data()[i * k..(i + 1) * k].to_vec(), &[k]);
+                let latency = request.enqueued.elapsed();
+                // A dropped ticket just discards the row; the work was
+                // still done and counts as completed.
+                let _ = request.reply.send(Ok(row));
+                shared.stats.record_completed(latency);
+            }
+        }
+        Err(e) => {
+            shared.stats.record_failed(batch.len());
+            for request in batch {
+                let _ = request.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::grid_table;
+    use crate::CalibrationEntry;
+    use csq_core::PackedWeight;
+    use csq_nn::InferOp;
+
+    /// A tiny 3→2 linear model with a fixed calibrated grid, built
+    /// without any training-side machinery.
+    fn tiny_model() -> CompiledModel {
+        let weight = PackedWeight {
+            path: "weight".to_string(),
+            codes: vec![10, -20, 30, -40, 50, -60],
+            step: 0.05,
+            dims: vec![2, 3],
+            bits: 8.0,
+        };
+        let ops = vec![InferOp::Linear {
+            weight: "weight".to_string(),
+            in_features: 3,
+            out_features: 2,
+            bias: Some(vec![0.25, -0.25]),
+        }];
+        let calibration = vec![CalibrationEntry {
+            weight_path: "weight".to_string(),
+            step: 0.01,
+            observed_lo: 0.0,
+            observed_hi: 2.55,
+            integer: true,
+        }];
+        CompiledModel::bind(
+            "tiny".to_string(),
+            vec![3],
+            2,
+            &ops,
+            &[weight],
+            Some(&grid_table(&calibration)),
+        )
+        .unwrap()
+    }
+
+    fn sample(seed: usize) -> Tensor {
+        let base = seed as f32 * 0.07;
+        Tensor::from_vec(vec![base, base + 0.5, base + 1.0], &[3])
+    }
+
+    #[test]
+    fn engine_answers_match_direct_single_sample_forwards() {
+        let reference = tiny_model();
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                batch_window: Duration::from_millis(5),
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|i| engine.submit(sample(i)).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let got = ticket.wait().unwrap();
+            let single = sample(i).reshape(&[1, 3]);
+            let want = reference.forward_batch(&single, &scratch).unwrap();
+            assert_eq!(got.data(), want.data(), "request {i}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.failed, 0);
+        let served: u64 = stats
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        assert_eq!(served, 12);
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected_at_submission() {
+        let engine = Engine::start(tiny_model(), EngineConfig::default());
+        let err = engine.submit(Tensor::zeros(&[4])).unwrap_err();
+        assert!(matches!(err, ServeError::BadInput { .. }));
+    }
+
+    #[test]
+    fn drop_drains_pending_requests() {
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 1,
+                max_batch: 2,
+                batch_window: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| engine.submit(sample(i)).unwrap())
+            .collect();
+        drop(engine);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok(), "pending work must be drained");
+        }
+    }
+
+    /// A deliberately expensive `n → n` linear model: one forward costs
+    /// `n²` integer MACs, so a lone worker drains far slower than a
+    /// tight submission loop can flood.
+    fn wide_model(n: usize) -> CompiledModel {
+        let codes: Vec<i32> = (0..n * n).map(|i| (i % 17) as i32 - 8).collect();
+        let weight = PackedWeight {
+            path: "weight".to_string(),
+            codes,
+            step: 0.01,
+            dims: vec![n, n],
+            bits: 8.0,
+        };
+        let ops = vec![InferOp::Linear {
+            weight: "weight".to_string(),
+            in_features: n,
+            out_features: n,
+            bias: None,
+        }];
+        let calibration = vec![CalibrationEntry {
+            weight_path: "weight".to_string(),
+            step: 0.01,
+            observed_lo: 0.0,
+            observed_hi: 2.55,
+            integer: true,
+        }];
+        CompiledModel::bind(
+            "wide".to_string(),
+            vec![n],
+            n,
+            &ops,
+            &[weight],
+            Some(&grid_table(&calibration)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        // One worker running one-sample batches of a ~1M-MAC forward:
+        // the flood below finishes submitting long before the worker can
+        // drain three requests, so the bounded queue must overflow.
+        let n = 1024;
+        let engine = Engine::start(
+            wide_model(n),
+            EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                batch_window: Duration::from_millis(0),
+                queue_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let mut tickets = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match engine.submit(Tensor::from_vec(vec![0.5; n], &[n])) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_full, "bounded queue never filled");
+        assert!(engine.stats().rejected >= 1);
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Compiled inference executor: binds an exported op plan to packed
+//! weights and calibrated activation steps, then runs batched forwards.
+//!
+//! A [`CompiledModel`] is immutable after construction, so a serving
+//! engine can share one instance across worker threads behind an `Arc`.
+//! Two execution modes exist over the same plan:
+//!
+//! * **Integer mode** ([`CompiledModel::forward_batch`]) — the deployment
+//!   path. Inputs to each weighted op are quantized to 8-bit codes with
+//!   that op's *calibrated* step and the op runs on the integer kernels
+//!   (`i64` accumulation, one float scale per output). Ops whose
+//!   calibrated input range dips below zero (the raw-image stem) fall
+//!   back to exact float arithmetic on the unpacked weights — the
+//!   standard "keep the first layer in higher precision" deployment
+//!   practice.
+//! * **Float mode** ([`CompiledModel::forward_float`]) — the reference
+//!   path used by calibration and accuracy-parity checks: identical
+//!   dataflow, unpacked (bit-exact) weights, no activation quantization.
+//!
+//! Every kernel in both modes processes samples independently with a
+//! fixed accumulation order, and the calibrated steps are constants, so
+//! a batched forward is bit-identical to running each sample alone —
+//! the property the engine's micro-batching relies on.
+
+use csq_core::qinfer::{
+    conv2d_integer, depthwise_conv2d_integer, linear_integer, QinferError, QuantizedActivations,
+};
+use csq_core::PackedWeight;
+use csq_nn::InferOp;
+use csq_tensor::conv::{conv2d, depthwise_conv2d, ConvSpec};
+use csq_tensor::par::ScratchPool;
+use csq_tensor::{pool, Tensor};
+use std::collections::HashMap;
+
+/// Why a serving request could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Request tensor shape does not match the model's input shape.
+    BadInput {
+        /// Shape the model expects (per sample, no batch axis).
+        expected: Vec<usize>,
+        /// Shape actually submitted.
+        actual: Vec<usize>,
+    },
+    /// The bounded submission queue is at capacity; retry with backoff.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine has shut down and no longer accepts or answers work.
+    Closed,
+    /// An integer kernel rejected its operands (plan/weight corruption —
+    /// cannot happen for a well-formed artifact).
+    Kernel(QinferError),
+    /// The compiled plan is internally inconsistent (e.g. a channel
+    /// affine whose constants disagree with the activation shape).
+    Plan {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadInput { expected, actual } => {
+                write!(f, "input shape {actual:?} does not match model input {expected:?}")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue is full ({capacity} pending requests)")
+            }
+            ServeError::Closed => write!(f, "engine is shut down"),
+            ServeError::Kernel(e) => write!(f, "integer kernel error: {e}"),
+            ServeError::Plan { detail } => write!(f, "inconsistent inference plan: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QinferError> for ServeError {
+    fn from(e: QinferError) -> Self {
+        ServeError::Kernel(e)
+    }
+}
+
+/// Per-weighted-op activation quantization decided by calibration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActGrid {
+    /// Calibrated quantization step (`code = round(clamp(v,0,255·step)/step)`).
+    pub(crate) step: f32,
+    /// Whether the op runs on the integer kernels (`false` = float
+    /// fallback because the calibrated input range includes negatives,
+    /// or the model is not calibrated yet).
+    pub(crate) integer: bool,
+}
+
+impl ActGrid {
+    fn uncalibrated() -> Self {
+        ActGrid {
+            step: 1.0,
+            integer: false,
+        }
+    }
+}
+
+/// One executable op bound to its weight slot.
+#[derive(Debug, Clone)]
+enum BoundOp {
+    Conv {
+        widx: usize,
+        spec: ConvSpec,
+        bias: Option<Tensor>,
+        grid: ActGrid,
+    },
+    Depthwise {
+        widx: usize,
+        spec: ConvSpec,
+        grid: ActGrid,
+    },
+    Linear {
+        widx: usize,
+        bias: Option<Tensor>,
+        grid: ActGrid,
+    },
+    ChannelAffine {
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+    },
+    Relu,
+    UniformActQuant {
+        range: f32,
+        levels: f32,
+    },
+    MaxPool {
+        window: usize,
+        stride: usize,
+    },
+    AvgPool {
+        window: usize,
+        stride: usize,
+    },
+    GlobalAvgPool,
+    Flatten,
+    Identity,
+    Residual {
+        main: Vec<BoundOp>,
+        shortcut: Vec<BoundOp>,
+        post: Vec<BoundOp>,
+    },
+}
+
+/// A packed weight plus its exact float reconstruction (for the float
+/// reference path and fallback ops).
+#[derive(Debug, Clone)]
+struct BoundWeight {
+    packed: PackedWeight,
+    float: Tensor,
+}
+
+/// Why an op plan could not be bound to weights/calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    /// A weighted op references a path with no packed weight.
+    MissingWeight {
+        /// The weight path the op referenced.
+        path: String,
+    },
+    /// A weighted op has no calibration entry (artifact assembled
+    /// without running calibration).
+    MissingCalibration {
+        /// The weight path of the uncalibrated op.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::MissingWeight { path } => {
+                write!(f, "op references weight `{path}` but the artifact has no such tensor")
+            }
+            BindError::MissingCalibration { path } => {
+                write!(f, "weighted op `{path}` has no calibrated activation step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// An immutable, executable model: exported op plan bound to packed
+/// weights and calibrated activation grids. Shareable across threads
+/// (`Arc<CompiledModel>`); all forwards take `&self`.
+#[derive(Debug)]
+pub struct CompiledModel {
+    name: String,
+    input_dims: Vec<usize>,
+    num_classes: usize,
+    plan: Vec<BoundOp>,
+    weights: Vec<BoundWeight>,
+}
+
+impl CompiledModel {
+    /// Binds `ops` to `weights`, with per-weighted-op grids looked up in
+    /// `calibration` (path → `ActGrid`). `calibration = None` builds an
+    /// *uncalibrated* model in which every weighted op runs the float
+    /// fallback — the executor the calibration pass itself uses.
+    pub(crate) fn bind(
+        name: String,
+        input_dims: Vec<usize>,
+        num_classes: usize,
+        ops: &[InferOp],
+        packed: &[PackedWeight],
+        calibration: Option<&HashMap<String, ActGrid>>,
+    ) -> Result<CompiledModel, BindError> {
+        let weights: Vec<BoundWeight> = packed
+            .iter()
+            .map(|p| BoundWeight {
+                float: p.unpack(),
+                packed: p.clone(),
+            })
+            .collect();
+        let by_path: HashMap<&str, usize> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.packed.path.as_str(), i))
+            .collect();
+        let plan = bind_ops(ops, &by_path, calibration)?;
+        Ok(CompiledModel {
+            name,
+            input_dims,
+            num_classes,
+            plan,
+            weights,
+        })
+    }
+
+    /// Model name recorded in the artifact.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected per-sample input shape (no batch axis), e.g. `[3, 16, 16]`.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Number of output classes (length of each returned logit row).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of weighted ops that run on the integer kernels.
+    pub fn integer_op_count(&self) -> usize {
+        count_weighted(&self.plan, true)
+    }
+
+    /// Number of weighted ops that fall back to float arithmetic
+    /// (calibrated input range included negatives — typically the stem).
+    pub fn float_fallback_count(&self) -> usize {
+        count_weighted(&self.plan, false)
+    }
+
+    /// Validates a batched input `[N, C, H, W]` against the model's
+    /// per-sample shape.
+    fn check_batch(&self, x: &Tensor) -> Result<(), ServeError> {
+        let ok = x.rank() == self.input_dims.len() + 1
+            && x.dims()[1..] == self.input_dims[..]
+            && x.dims()[0] > 0;
+        if ok {
+            Ok(())
+        } else {
+            Err(ServeError::BadInput {
+                expected: self.input_dims.clone(),
+                actual: x.dims().to_vec(),
+            })
+        }
+    }
+
+    /// Deployment forward: integer kernels with calibrated activation
+    /// grids (float fallback where calibration demanded it). `x` is
+    /// `[N, C, H, W]`; returns logits `[N, num_classes]`. `scratch`
+    /// recycles activation-code buffers — engine workers own one pool
+    /// each.
+    ///
+    /// Per-sample kernels plus fixed calibrated grids make the result
+    /// bit-identical for any batching of the same samples.
+    pub fn forward_batch(
+        &self,
+        x: &Tensor,
+        scratch: &ScratchPool<u8>,
+    ) -> Result<Tensor, ServeError> {
+        self.check_batch(x)?;
+        run_ops(
+            &self.plan,
+            &self.weights,
+            x.clone(),
+            true,
+            scratch,
+            &mut |_, _, _| {},
+        )
+    }
+
+    /// Reference forward: identical dataflow on unpacked weights with no
+    /// activation quantization. Used by calibration and accuracy-parity
+    /// checks.
+    pub fn forward_float(&self, x: &Tensor) -> Result<Tensor, ServeError> {
+        self.check_batch(x)?;
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        run_ops(
+            &self.plan,
+            &self.weights,
+            x.clone(),
+            false,
+            &scratch,
+            &mut |_, _, _| {},
+        )
+    }
+
+    /// Float forward that also reports, for every weighted op, the
+    /// minimum and maximum of the activation tensor entering it
+    /// (`observer(weight_path, lo, hi)`). The calibration pass drives
+    /// this over a sample set.
+    pub(crate) fn forward_observe(
+        &self,
+        x: &Tensor,
+        observer: &mut dyn FnMut(&str, f32, f32),
+    ) -> Result<Tensor, ServeError> {
+        self.check_batch(x)?;
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let weights = &self.weights;
+        run_ops(
+            &self.plan,
+            weights,
+            x.clone(),
+            false,
+            &scratch,
+            &mut |widx, lo, hi| observer(&weights[widx].packed.path, lo, hi),
+        )
+    }
+}
+
+fn count_weighted(plan: &[BoundOp], integer: bool) -> usize {
+    plan.iter()
+        .map(|op| match op {
+            BoundOp::Conv { grid, .. }
+            | BoundOp::Depthwise { grid, .. }
+            | BoundOp::Linear { grid, .. } => usize::from(grid.integer == integer),
+            BoundOp::Residual {
+                main,
+                shortcut,
+                post,
+            } => {
+                count_weighted(main, integer)
+                    + count_weighted(shortcut, integer)
+                    + count_weighted(post, integer)
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+fn lookup_grid(
+    path: &str,
+    calibration: Option<&HashMap<String, ActGrid>>,
+) -> Result<ActGrid, BindError> {
+    match calibration {
+        None => Ok(ActGrid::uncalibrated()),
+        Some(table) => table.get(path).copied().ok_or_else(|| {
+            BindError::MissingCalibration {
+                path: path.to_string(),
+            }
+        }),
+    }
+}
+
+fn bind_ops(
+    ops: &[InferOp],
+    by_path: &HashMap<&str, usize>,
+    calibration: Option<&HashMap<String, ActGrid>>,
+) -> Result<Vec<BoundOp>, BindError> {
+    let resolve = |path: &str| -> Result<usize, BindError> {
+        by_path
+            .get(path)
+            .copied()
+            .ok_or_else(|| BindError::MissingWeight {
+                path: path.to_string(),
+            })
+    };
+    let mut plan = Vec::with_capacity(ops.len());
+    for op in ops {
+        let bound = match op {
+            InferOp::Conv2d {
+                weight,
+                kernel,
+                stride,
+                padding,
+                bias,
+                ..
+            } => BoundOp::Conv {
+                widx: resolve(weight)?,
+                spec: ConvSpec::new(*kernel, *stride, *padding),
+                bias: bias.as_ref().map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
+                grid: lookup_grid(weight, calibration)?,
+            },
+            InferOp::DepthwiseConv2d {
+                weight,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => BoundOp::Depthwise {
+                widx: resolve(weight)?,
+                spec: ConvSpec::new(*kernel, *stride, *padding),
+                grid: lookup_grid(weight, calibration)?,
+            },
+            InferOp::Linear { weight, bias, .. } => BoundOp::Linear {
+                widx: resolve(weight)?,
+                bias: bias.as_ref().map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
+                grid: lookup_grid(weight, calibration)?,
+            },
+            InferOp::ChannelAffine { scale, shift } => BoundOp::ChannelAffine {
+                scale: scale.clone(),
+                shift: shift.clone(),
+            },
+            InferOp::Relu => BoundOp::Relu,
+            InferOp::UniformActQuant { range, levels } => BoundOp::UniformActQuant {
+                range: *range,
+                levels: *levels,
+            },
+            InferOp::MaxPool { window, stride } => BoundOp::MaxPool {
+                window: *window,
+                stride: *stride,
+            },
+            InferOp::AvgPool { window, stride } => BoundOp::AvgPool {
+                window: *window,
+                stride: *stride,
+            },
+            InferOp::GlobalAvgPool => BoundOp::GlobalAvgPool,
+            InferOp::Flatten => BoundOp::Flatten,
+            InferOp::Identity => BoundOp::Identity,
+            InferOp::Residual {
+                main,
+                shortcut,
+                post,
+            } => BoundOp::Residual {
+                main: bind_ops(main, by_path, calibration)?,
+                shortcut: bind_ops(shortcut, by_path, calibration)?,
+                post: bind_ops(post, by_path, calibration)?,
+            },
+        };
+        plan.push(bound);
+    }
+    Ok(plan)
+}
+
+fn minmax(x: &Tensor) -> (f32, f32) {
+    x.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Runs a weighted op's input through the integer path if calibration
+/// allows, else through the exact float path on the unpacked weight.
+fn run_ops(
+    plan: &[BoundOp],
+    weights: &[BoundWeight],
+    mut x: Tensor,
+    integer: bool,
+    scratch: &ScratchPool<u8>,
+    observer: &mut dyn FnMut(usize, f32, f32),
+) -> Result<Tensor, ServeError> {
+    for op in plan {
+        x = match op {
+            BoundOp::Conv {
+                widx,
+                spec,
+                bias,
+                grid,
+            } => {
+                let (lo, hi) = minmax(&x);
+                observer(*widx, lo, hi);
+                let w = &weights[*widx];
+                let y = if integer && grid.integer {
+                    let q = QuantizedActivations::quantize_with_step_into(
+                        &x,
+                        grid.step,
+                        scratch.take(x.numel()),
+                    )?;
+                    let y = conv2d_integer(&q, &w.packed, *spec)?;
+                    scratch.give(q.codes);
+                    y
+                } else {
+                    conv2d(&x, &w.float, *spec)
+                };
+                match bias {
+                    Some(b) => y.add_channel_bias(b),
+                    None => y,
+                }
+            }
+            BoundOp::Depthwise { widx, spec, grid } => {
+                let (lo, hi) = minmax(&x);
+                observer(*widx, lo, hi);
+                let w = &weights[*widx];
+                if integer && grid.integer {
+                    let q = QuantizedActivations::quantize_with_step_into(
+                        &x,
+                        grid.step,
+                        scratch.take(x.numel()),
+                    )?;
+                    let y = depthwise_conv2d_integer(&q, &w.packed, *spec)?;
+                    scratch.give(q.codes);
+                    y
+                } else {
+                    depthwise_conv2d(&x, &w.float, *spec)
+                }
+            }
+            BoundOp::Linear { widx, bias, grid } => {
+                let (lo, hi) = minmax(&x);
+                observer(*widx, lo, hi);
+                let w = &weights[*widx];
+                let y = if integer && grid.integer {
+                    let q = QuantizedActivations::quantize_with_step_into(
+                        &x,
+                        grid.step,
+                        scratch.take(x.numel()),
+                    )?;
+                    let y = linear_integer(&q, &w.packed)?;
+                    scratch.give(q.codes);
+                    y
+                } else {
+                    x.matmul_nt(&w.float)
+                };
+                match bias {
+                    Some(b) => y.add_row_bias(b),
+                    None => y,
+                }
+            }
+            BoundOp::ChannelAffine { scale, shift } => {
+                let dims = x.dims().to_vec();
+                if dims.len() != 4 || dims[1] != scale.len() {
+                    return Err(ServeError::Plan {
+                        detail: format!(
+                            "channel affine with {} channels applied to activations {dims:?}",
+                            scale.len()
+                        ),
+                    });
+                }
+                let c = dims[1];
+                let hw = dims[2] * dims[3];
+                let mut y = x;
+                for (i, chunk) in y.data_mut().chunks_mut(hw).enumerate() {
+                    let ci = i % c;
+                    let (s, b) = (scale[ci], shift[ci]);
+                    for v in chunk.iter_mut() {
+                        *v = *v * s + b;
+                    }
+                }
+                y
+            }
+            BoundOp::Relu => x.map(|v| v.max(0.0)),
+            BoundOp::UniformActQuant { range, levels } => {
+                // Exact replica of the training layers' eval forward.
+                let step = *range / *levels;
+                let r = *range;
+                x.map(|v| {
+                    let c = v.clamp(0.0, r);
+                    (c / step).round() * step
+                })
+            }
+            BoundOp::MaxPool { window, stride } => pool::maxpool2d(&x, *window, *stride).output,
+            BoundOp::AvgPool { window, stride } => pool::avgpool2d(&x, *window, *stride),
+            BoundOp::GlobalAvgPool => pool::global_avgpool(&x),
+            BoundOp::Flatten => {
+                let n = x.dims()[0];
+                let rest = x.numel() / n.max(1);
+                x.reshape(&[n, rest])
+            }
+            BoundOp::Identity => x,
+            BoundOp::Residual {
+                main,
+                shortcut,
+                post,
+            } => {
+                let m = run_ops(main, weights, x.clone(), integer, scratch, observer)?;
+                let s = if shortcut.is_empty() {
+                    x
+                } else {
+                    run_ops(shortcut, weights, x, integer, scratch, observer)?
+                };
+                let merged = m.add(&s);
+                run_ops(post, weights, merged, integer, scratch, observer)?
+            }
+        };
+    }
+    Ok(x)
+}

@@ -1,0 +1,44 @@
+//! `csq-serve`: deployment subsystem for CSQ-quantized models.
+//!
+//! Training (in `csq-core`) produces a mixed-precision model whose
+//! weights live on per-layer fixed-point grids. This crate turns that
+//! into something a serving process can actually run, with zero
+//! training-side code on the load path:
+//!
+//! * [`ModelArtifact`] — the versioned `.csqm` on-disk format: exported
+//!   inference op plan (folded BatchNorm constants, activation
+//!   quantizer settings), packed bit-plane weights, the precision
+//!   scheme for provenance, and calibrated activation grids — all
+//!   wrapped in the workspace's checksummed atomic container.
+//! * [`calibrate`](fn@calibrate) — fixes each weighted op's activation
+//!   quantization step by observing a small sample set on the float
+//!   reference path, so every request shares one grid and batching is
+//!   bit-deterministic.
+//! * [`CompiledModel`] — an immutable executor over the artifact:
+//!   integer kernels with `i64` accumulation where calibration allows,
+//!   exact float fallback where it does not (signed stem inputs).
+//! * [`Engine`] — a micro-batching server: bounded submission queue,
+//!   worker threads that fuse up to `max_batch` requests (or whatever
+//!   arrives within `batch_window`) into one forward, per-worker
+//!   scratch pools, and [`EngineStats`] metrics with latency
+//!   percentiles.
+//!
+//! The end-to-end guarantee, asserted by tests: a batched engine answer
+//! is bit-identical to running the same sample alone, at any worker
+//! count, and a `.csqm` reloaded in a fresh process reproduces the
+//! exporting process's outputs exactly.
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod artifact;
+pub mod calibrate;
+pub mod engine;
+pub mod exec;
+pub mod metrics;
+
+pub use artifact::{ArtifactError, ModelArtifact, CSQM_FORMAT_VERSION};
+pub use calibrate::{calibrate, CalibrationEntry};
+pub use engine::{Engine, EngineConfig, Ticket};
+pub use exec::{BindError, CompiledModel, ServeError};
+pub use metrics::EngineStats;

@@ -1,0 +1,236 @@
+//! Serving metrics: lock-free counters, queue-depth gauge, batch-size
+//! histogram, and a fixed-bucket latency histogram with percentile
+//! estimates.
+//!
+//! Workers record into relaxed atomics on the hot path (no locks, no
+//! allocation); [`EngineStats`] is a consistent-enough snapshot taken on
+//! demand. Latency uses geometric buckets (1 µs, 2 µs, 4 µs, … ~8 s) so
+//! percentiles are upper bounds with at most 2× resolution error —
+//! plenty for load-test reporting, and immune to reservoir-sampling
+//! bias.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of finite latency buckets; bucket `i` covers latencies up to
+/// `2^i` microseconds, and one extra slot counts overflows (> ~8.4 s).
+const LATENCY_BUCKETS: usize = 24;
+
+/// Upper bound of latency bucket `i`, in microseconds.
+fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the bucket a latency falls into (the overflow slot is
+/// `LATENCY_BUCKETS`).
+fn bucket_index(us: u64) -> usize {
+    (0..LATENCY_BUCKETS)
+        .find(|&i| us <= bucket_bound_us(i))
+        .unwrap_or(LATENCY_BUCKETS)
+}
+
+/// Shared mutable counters the workers write into.
+#[derive(Debug)]
+pub(crate) struct StatsInner {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    queue_depth: AtomicU64,
+    /// `batch_hist[s]` counts fused forwards that served `s` requests;
+    /// length `max_batch + 1` (slot 0 stays zero).
+    batch_hist: Vec<AtomicU64>,
+    /// Request latency histogram; last slot is the overflow bucket.
+    latency: Vec<AtomicU64>,
+}
+
+impl StatsInner {
+    pub(crate) fn new(max_batch: usize) -> StatsInner {
+        StatsInner {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+            latency: (0..=LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fused forward over `size` requests, after the requests
+    /// left the queue.
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth
+            .fetch_sub(size as u64, Ordering::Relaxed);
+        if let Some(slot) = self.batch_hist.get(size) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        let batch_hist: Vec<u64> = self
+            .batch_hist
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let latency_counts: Vec<u64> =
+            self.latency.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let served: u64 = batch_hist
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        let avg_batch = if batches == 0 {
+            0.0
+        } else {
+            served as f32 / batches as f32
+        };
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            avg_batch,
+            p50_us: percentile(&latency_counts, 0.50),
+            p95_us: percentile(&latency_counts, 0.95),
+            p99_us: percentile(&latency_counts, 0.99),
+            batch_hist,
+            latency_bounds_us: (0..LATENCY_BUCKETS).map(bucket_bound_us).collect(),
+            latency_counts,
+        }
+    }
+}
+
+/// Upper-bound percentile estimate from the bucketed histogram: the
+/// bound of the first bucket whose cumulative count reaches the
+/// requested quantile (0 when nothing was recorded; the largest finite
+/// bound for overflow latencies).
+fn percentile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= target {
+            return bucket_bound_us(i.min(LATENCY_BUCKETS - 1));
+        }
+    }
+    bucket_bound_us(LATENCY_BUCKETS - 1)
+}
+
+/// A point-in-time snapshot of the engine's serving metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests turned away because the queue was full.
+    pub rejected: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+    /// Fused batched forwards executed.
+    pub batches: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Mean requests per fused forward.
+    pub avg_batch: f32,
+    /// `batch_hist[s]` = number of fused forwards that served `s`
+    /// requests at once.
+    pub batch_hist: Vec<u64>,
+    /// Median request latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency upper bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// Upper bound of each finite latency bucket, microseconds.
+    pub latency_bounds_us: Vec<u64>,
+    /// Count per latency bucket (one extra trailing overflow slot).
+    pub latency_counts: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_geometric() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_walk_the_histogram() {
+        let inner = StatsInner::new(4);
+        // 90 fast requests (≤ 2µs), 10 slow (≤ 1024µs).
+        for _ in 0..90 {
+            inner.record_completed(Duration::from_micros(2));
+        }
+        for _ in 0..10 {
+            inner.record_completed(Duration::from_micros(1000));
+        }
+        let s = inner.snapshot();
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.p50_us, 2);
+        assert_eq!(s.p95_us, 1024);
+        assert_eq!(s.p99_us, 1024);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = StatsInner::new(8).snapshot();
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.avg_batch, 0.0);
+        assert_eq!(s.batch_hist.len(), 9);
+    }
+
+    #[test]
+    fn batch_accounting_tracks_queue_and_histogram() {
+        let inner = StatsInner::new(4);
+        for _ in 0..6 {
+            inner.record_submitted();
+        }
+        inner.record_batch(4);
+        inner.record_batch(2);
+        let s = inner.snapshot();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_hist[4], 1);
+        assert_eq!(s.batch_hist[2], 1);
+        assert!((s.avg_batch - 3.0).abs() < 1e-6);
+    }
+}

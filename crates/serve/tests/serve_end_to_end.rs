@@ -1,0 +1,223 @@
+//! End-to-end deployment tests: train → pack → calibrate → save `.csqm`
+//! → reload in (effectively) a fresh process → serve.
+//!
+//! The load path deliberately uses only `csq_serve` public API plus the
+//! artifact bytes, proving a server needs zero training-side code.
+
+use csq_core::prelude::*;
+use csq_data::{Dataset, SyntheticSpec};
+use csq_nn::models::{resnet_cifar, ModelConfig};
+use csq_nn::PersistError;
+use csq_serve::{
+    calibrate, ArtifactError, Engine, EngineConfig, ModelArtifact, CSQM_FORMAT_VERSION,
+};
+use csq_tensor::par::ScratchPool;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Fixture {
+    artifact: ModelArtifact,
+    data: Dataset,
+}
+
+/// Trains one small CSQ model and exports it once for the whole test
+/// binary (training dominates the suite's wall clock).
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let spec = SyntheticSpec::cifar_like(7)
+            .with_samples(3, 2)
+            .with_noise(0.5);
+        let data = Dataset::synthetic(&spec);
+        let mut factory = csq_factory(8);
+        let mut model = resnet_cifar(ModelConfig::cifar_like(4, Some(4), 7), &mut factory, 1);
+        let cfg = CsqConfig::fast(4.0).with_epochs(2).with_seed(7);
+        CsqTrainer::new(cfg)
+            .train(&mut model, &data)
+            .expect("training");
+        let input_dims = data.test.images.dims()[1..].to_vec();
+        let calib = data.train.images.slice_axis0(0, data.train.len().min(8));
+        let artifact = ModelArtifact::export(
+            &mut model,
+            "test-model",
+            &input_dims,
+            data.spec.num_classes,
+            &calib,
+        )
+        .expect("export");
+        Fixture { artifact, data }
+    })
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("csq-serve-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn artifact_round_trips_through_disk() {
+    let fix = fixture();
+    let path = temp_path("round-trip.csqm");
+    fix.artifact.save(&path).expect("save");
+    let loaded = ModelArtifact::load(&path).expect("load");
+    assert_eq!(loaded, fix.artifact, "artifact must round-trip bit-exactly");
+
+    // The reloaded copy serves the same answers as the in-memory one.
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let a = fix.artifact.compile().expect("compile original");
+    let b = loaded.compile().expect("compile reloaded");
+    let x = &fix.data.test.images;
+    let ya = a.forward_batch(x, &scratch).expect("forward original");
+    let yb = b.forward_batch(x, &scratch).expect("forward reloaded");
+    assert_eq!(ya.data(), yb.data());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compiled_model_reports_stem_fallback_and_integer_ops() {
+    let fix = fixture();
+    let compiled = fix.artifact.compile().expect("compile");
+    // Synthetic images are signed, so the stem cannot run on unsigned
+    // 8-bit codes; everything after the first ReLU can.
+    assert_eq!(fix.artifact.calibration[0].weight_path, "0.weight");
+    assert!(!fix.artifact.calibration[0].integer);
+    assert!(compiled.float_fallback_count() >= 1);
+    assert!(compiled.integer_op_count() >= 1);
+    assert_eq!(
+        compiled.integer_op_count() + compiled.float_fallback_count(),
+        fix.artifact.weights.len()
+    );
+    // Provenance rides along.
+    assert_eq!(fix.artifact.scheme.layers.len(), fix.artifact.weights.len());
+    assert!(fix.artifact.packed_weight_bytes() > 0);
+}
+
+#[test]
+fn batched_engine_is_bit_identical_to_single_requests_at_1_and_4_workers() {
+    let fix = fixture();
+    let compiled = fix.artifact.compile().expect("compile");
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let images = &fix.data.test.images;
+    let n = fix.data.test.len();
+    let input_dims = fix.artifact.input_dims.clone();
+
+    let reference: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            compiled
+                .forward_batch(&images.slice_axis0(i, i + 1), &scratch)
+                .expect("reference forward")
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    for workers in [1usize, 4] {
+        let engine = Engine::start(
+            fix.artifact.compile().expect("compile"),
+            EngineConfig {
+                workers,
+                max_batch: 4,
+                batch_window: Duration::from_millis(4),
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..n)
+            .map(|i| {
+                engine
+                    .submit(images.slice_axis0(i, i + 1).reshape(&input_dims))
+                    .expect("submit")
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let got = ticket.wait().expect("answer");
+            assert_eq!(
+                got.data(),
+                &reference[i][..],
+                "workers={workers} sample {i} not bit-identical"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed as usize, n, "workers={workers}");
+        assert_eq!(stats.failed, 0);
+    }
+}
+
+#[test]
+fn corrupted_artifact_is_rejected_on_load() {
+    let fix = fixture();
+    let path = temp_path("corrupt.csqm");
+    fix.artifact.save(&path).expect("save");
+    let mut bytes = std::fs::read(&path).expect("read back");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    match ModelArtifact::load(&path) {
+        Err(ArtifactError::Persist(PersistError::ChecksumMismatch { .. })) => {}
+        other => panic!("bit flip must fail the checksum, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let fix = fixture();
+    let mut future = fix.artifact.clone();
+    future.format_version = CSQM_FORMAT_VERSION + 1;
+    let path = temp_path("future.csqm");
+    future.save(&path).expect("save");
+    match ModelArtifact::load(&path) {
+        Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, CSQM_FORMAT_VERSION + 1);
+            assert_eq!(supported, CSQM_FORMAT_VERSION);
+        }
+        other => panic!("future version must be rejected, got {other:?}"),
+    }
+    assert!(matches!(
+        future.compile(),
+        Err(ArtifactError::UnsupportedVersion { .. })
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn artifact_missing_calibration_cannot_compile() {
+    let fix = fixture();
+    let mut broken = fix.artifact.clone();
+    broken.calibration.clear();
+    assert!(matches!(broken.compile(), Err(ArtifactError::Bind(_))));
+}
+
+#[test]
+fn calibration_is_deterministic_and_matches_the_artifact() {
+    let fix = fixture();
+    let compiled = fix.artifact.compile().expect("compile");
+    let m = fix.data.train.len().min(8);
+    let samples = fix.data.train.images.slice_axis0(0, m);
+    let a = calibrate(&compiled, &samples).expect("calibrate");
+    let b = calibrate(&compiled, &samples).expect("calibrate again");
+    assert_eq!(a, b, "calibration must be deterministic");
+    // Same samples as the export used -> identical frozen grids.
+    assert_eq!(a, fix.artifact.calibration);
+}
+
+#[test]
+fn export_rejects_mismatched_calibration_samples() {
+    let fix = fixture();
+    // Wrong spatial size for this model.
+    let bad = csq_tensor::Tensor::zeros(&[2, 3, 8, 8]);
+    let spec = SyntheticSpec::cifar_like(9).with_samples(2, 1).with_noise(0.5);
+    let data = Dataset::synthetic(&spec);
+    let mut factory = csq_factory(8);
+    let mut model = resnet_cifar(ModelConfig::cifar_like(4, Some(4), 9), &mut factory, 1);
+    // No training needed: sample validation fires before packing.
+    let err = ModelArtifact::export(
+        &mut model,
+        "bad",
+        &fix.artifact.input_dims,
+        data.spec.num_classes,
+        &bad,
+    )
+    .expect_err("mismatched samples must be rejected");
+    assert!(matches!(err, ArtifactError::BadSamples { .. }));
+}

@@ -289,28 +289,33 @@ where
     })
 }
 
-/// A reusable arena of `f32` scratch buffers, shared across parallel
-/// tasks and across training steps.
+/// A reusable arena of scratch buffers, shared across parallel tasks
+/// and across training steps.
 ///
 /// Layers keep one pool alive for their whole lifetime so per-batch
 /// workspaces (im2col column matrices, per-sample gradient partials) are
 /// allocated once and recycled instead of reallocated every step. `take`
 /// hands out a buffer of exactly the requested length with unspecified
-/// contents; `take_zeroed` additionally clears it; `give` returns a
-/// buffer for reuse. The pool is `Sync` (a mutex guards the free list),
-/// and buffer identity never affects results — only allocation traffic.
+/// contents; `take_zeroed` additionally resets every element to
+/// `T::default()`; `give` returns a buffer for reuse. The pool is `Sync`
+/// (a mutex guards the free list), and buffer identity never affects
+/// results — only allocation traffic.
+///
+/// The element type defaults to `f32` (the training workspaces); the
+/// serving path pools `u8` activation-code buffers through the same
+/// type.
 #[derive(Debug, Default)]
-pub struct ScratchPool {
-    bufs: Mutex<Vec<Vec<f32>>>,
+pub struct ScratchPool<T = f32> {
+    bufs: Mutex<Vec<Vec<T>>>,
 }
 
-impl ScratchPool {
+impl<T: Copy + Default> ScratchPool<T> {
     /// An empty pool.
     pub fn new() -> Self {
         ScratchPool::default()
     }
 
-    fn pop(&self) -> Vec<f32> {
+    fn pop(&self) -> Vec<T> {
         match self.bufs.lock() {
             Ok(mut g) => g.pop().unwrap_or_default(),
             Err(_) => Vec::new(),
@@ -319,22 +324,22 @@ impl ScratchPool {
 
     /// A buffer of exactly `len` elements with **unspecified contents**
     /// (callers must fully overwrite it).
-    pub fn take(&self, len: usize) -> Vec<f32> {
+    pub fn take(&self, len: usize) -> Vec<T> {
         let mut buf = self.pop();
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
         buf
     }
 
-    /// A buffer of exactly `len` zeros.
-    pub fn take_zeroed(&self, len: usize) -> Vec<f32> {
+    /// A buffer of exactly `len` default-valued (zero) elements.
+    pub fn take_zeroed(&self, len: usize) -> Vec<T> {
         let mut buf = self.pop();
         buf.clear();
-        buf.resize(len, 0.0);
+        buf.resize(len, T::default());
         buf
     }
 
     /// Returns a buffer to the pool for reuse.
-    pub fn give(&self, buf: Vec<f32>) {
+    pub fn give(&self, buf: Vec<T>) {
         if let Ok(mut g) = self.bufs.lock() {
             g.push(buf);
         }
@@ -460,7 +465,7 @@ mod tests {
 
     #[test]
     fn scratch_pool_recycles_buffers() {
-        let pool = ScratchPool::new();
+        let pool: ScratchPool<f32> = ScratchPool::new();
         let b1 = pool.take(64);
         assert_eq!(b1.len(), 64);
         pool.give(b1);
@@ -469,6 +474,17 @@ mod tests {
         assert_eq!(b2.len(), 32);
         assert!(b2.iter().all(|&v| v == 0.0));
         assert_eq!(pool.idle(), 0, "reused the pooled buffer");
+    }
+
+    #[test]
+    fn scratch_pool_is_generic_over_element_type() {
+        let pool: ScratchPool<u8> = ScratchPool::new();
+        let mut b = pool.take_zeroed(16);
+        assert!(b.iter().all(|&v| v == 0));
+        b[0] = 255;
+        pool.give(b);
+        let b2 = pool.take_zeroed(8);
+        assert!(b2.iter().all(|&v| v == 0), "take_zeroed resets contents");
     }
 
     #[test]

@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stem = &packed.layers[0];
     let spec = ConvSpec::new(3, 1, 1);
 
-    let xq = QuantizedActivations::quantize(&x);
-    let y_int = conv2d_integer(&xq, stem, spec);
+    let xq = QuantizedActivations::quantize(&x)?;
+    let y_int = conv2d_integer(&xq, stem, spec)?;
     let y_float = conv2d(&x, &stem.unpack(), spec);
 
     let max_err = y_int

@@ -6,7 +6,7 @@
 set -u
 cd "$(dirname "$0")"
 mkdir -p bench_results
-for b in table1 table2 table4 table5 fig2 fig3 fig4 ablations table3 parallel; do
+for b in table1 table2 table4 table5 fig2 fig3 fig4 ablations table3 parallel serve; do
   echo "=== RUNNING $b ($(date +%H:%M:%S)) ==="
   ./target/release/$b 2>&1
   echo "=== DONE $b ==="

@@ -16,4 +16,8 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> serve smoke load (2s closed loop)"
+CSQ_EPOCHS=1 CSQ_TRAIN_PER_CLASS=2 CSQ_TEST_PER_CLASS=2 CSQ_WIDTH=4 \
+  CSQ_SERVE_SECONDS=2 ./target/release/serve
+
 echo "All checks passed."

@@ -9,6 +9,8 @@
 //! * [`csq`] — the CSQ algorithm (gates, bit-level parameterization,
 //!   budget regularization, Algorithm-1 trainer, scheme extraction)
 //! * [`baselines`] — STE-Uniform, DoReFa, PACT, LQ-Nets-style, BSQ
+//! * [`serve`] — deployment: `.csqm` artifacts, activation calibration,
+//!   micro-batching integer inference engine
 //!
 //! See the repository README for a walkthrough and `cargo run --example
 //! quickstart --release` for a first contact.
@@ -17,4 +19,5 @@ pub use csq_baselines as baselines;
 pub use csq_core as csq;
 pub use csq_data as data;
 pub use csq_nn as nn;
+pub use csq_serve as serve;
 pub use csq_tensor as tensor;

@@ -2,13 +2,49 @@
 //! crates.
 
 use csq_repro::baselines::{BsqWeight, DorefaWeight, LqWeight, SteUniformWeight};
-use csq_repro::csq::{temp_sigmoid, BitQuantizer, QuantMode, TemperatureSchedule};
-use csq_repro::nn::WeightSource;
+use csq_repro::csq::{
+    temp_sigmoid, BitQuantizer, PackedModel, PackedWeight, QuantMode, TemperatureSchedule,
+};
+use csq_repro::nn::{Linear, WeightSource};
 use csq_repro::tensor::Tensor;
 use proptest::prelude::*;
 
 fn weight_strategy() -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-2.0f32..2.0, 4..64)
+}
+
+/// Random packed weights across precisions 1..=8 and 1–3-axis shapes:
+/// codes bounded by the precision's signed range, arbitrary grid step.
+fn packed_weight_strategy() -> impl Strategy<Value = PackedWeight> {
+    (1u32..=8, proptest::collection::vec(1usize..6, 1..4), 1e-4f32..0.5)
+        .prop_flat_map(|(bits, dims, step)| {
+            let n: usize = dims.iter().product();
+            let hi = (1i32 << bits) - 1;
+            (
+                proptest::collection::vec(-hi..=hi, n..=n),
+                Just(dims),
+                Just(step),
+                Just(bits),
+            )
+        })
+        .prop_map(|(codes, dims, step, bits)| PackedWeight {
+            path: "weight".to_string(),
+            codes,
+            step,
+            dims,
+            bits: bits as f32,
+        })
+}
+
+/// A random linear weight matrix `[out, in]` for model-level packing.
+fn linear_weight_strategy() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..7, 1usize..7).prop_flat_map(|(out_f, in_f)| {
+        (
+            Just(out_f),
+            Just(in_f),
+            proptest::collection::vec(-2.0f32..2.0, out_f * in_f),
+        )
+    })
 }
 
 proptest! {
@@ -135,5 +171,44 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&g));
         let g_neg = temp_sigmoid(-x, beta);
         prop_assert!((g + g_neg - 1.0).abs() < 1e-5);
+    }
+
+    /// PackedWeight codes survive unpack→requantize exactly, for any
+    /// precision 1..=8, shape, and grid step: `round(unpack/step)`
+    /// recovers every code bit-for-bit, and the serialized form
+    /// round-trips without loss.
+    #[test]
+    fn packed_weight_codes_round_trip_exactly(pw in packed_weight_strategy()) {
+        let back = pw.unpack();
+        prop_assert_eq!(back.dims(), &pw.dims[..]);
+        for (&v, &c) in back.iter().zip(pw.codes.iter()) {
+            let k = v / pw.step;
+            prop_assert!((k - k.round()).abs() < 1e-3, "{v} off grid {}", pw.step);
+            prop_assert_eq!(k.round() as i32, c);
+        }
+        let json = serde_json::to_string(&pw).unwrap();
+        let again: PackedWeight = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(again, pw);
+    }
+
+    /// Model-level pack→unpack reconstructs the finalized weights for
+    /// any shape and precision, and packing is deterministic (a second
+    /// pack emits identical codes).
+    #[test]
+    fn pack_unpack_reconstructs_finalized_weights(
+        (out_f, in_f, w) in linear_weight_strategy(),
+        bits in 1usize..9,
+    ) {
+        let t = Tensor::from_vec(w, &[out_f, in_f]);
+        let mut q = BitQuantizer::from_float(&t, bits, QuantMode::Csq);
+        q.finalize();
+        let want = q.materialize();
+        let mut layer = Linear::new(Box::new(q), in_f, out_f, false);
+        let packed = PackedModel::pack(&mut layer).unwrap();
+        let got = packed.layers[0].unpack();
+        prop_assert_eq!(got.dims(), want.dims());
+        prop_assert!(got.approx_eq(&want, 1e-6));
+        let repacked = PackedModel::pack(&mut layer).unwrap();
+        prop_assert_eq!(&repacked, &packed);
     }
 }
