@@ -14,16 +14,25 @@
 //! cargo run -p csq-bench --release --bin serve
 //! ```
 //!
+//! After the closed loop, an **overload sweep** offers open-loop load
+//! at multiples of the measured closed-loop capacity (0.5×, 1×, 2×,
+//! 4×) against a fresh engine with a deliberately small queue, and
+//! records the latency and shed-rate curve — the degradation profile
+//! under admission control. Every overload submission carries a
+//! deadline, so the sweep cannot hang no matter how saturated the
+//! engine gets.
+//!
 //! Extra knobs on top of the usual `CSQ_*` scale variables:
 //! `CSQ_SERVE_SECONDS` (load duration, default 5), `CSQ_SERVE_WORKERS`
 //! (default 2), `CSQ_SERVE_MAX_BATCH` (default 8), `CSQ_SERVE_CLIENTS`
-//! (default 4 × workers).
+//! (default 4 × workers), `CSQ_SERVE_OVERLOAD_SECONDS` (per overload
+//! point, default 1).
 
 use csq_bench::{write_results, BenchScale};
 use csq_core::prelude::*;
 use csq_data::{Dataset, SyntheticSpec};
 use csq_nn::models::{resnet_cifar, ModelConfig};
-use csq_serve::{Engine, EngineConfig, ModelArtifact, ServeError};
+use csq_serve::{Engine, EngineConfig, ModelArtifact, ServeError, SubmitOptions, Ticket};
 use csq_tensor::par::ScratchPool;
 use csq_tensor::Tensor;
 use serde::Serialize;
@@ -57,6 +66,8 @@ struct ServeBenchReport {
     // Load-test results.
     elapsed_seconds: f32,
     requests_completed: u64,
+    requests_shed: u64,
+    requests_expired: u64,
     requests_rejected: u64,
     throughput_rps: f32,
     p50_us: u64,
@@ -65,6 +76,25 @@ struct ServeBenchReport {
     avg_batch: f32,
     batch_hist: Vec<u64>,
     multi_request_batches: u64,
+    // Open-loop overload sweep (offered load vs capacity).
+    overload: Vec<OverloadPoint>,
+}
+
+/// One point on the overload curve: open-loop traffic offered at a
+/// multiple of measured closed-loop capacity against a small queue.
+#[derive(Debug, Serialize)]
+struct OverloadPoint {
+    load_multiplier: f32,
+    offered_rps: f32,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    shed_rate: f32,
+    completed_rps: f32,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
 }
 
 fn argmax(row: &[f32]) -> usize {
@@ -195,7 +225,7 @@ fn main() {
             max_batch,
             batch_window: Duration::from_millis(2),
             queue_capacity: 256,
-            intra_op_threads: 1,
+            ..EngineConfig::default()
         },
     );
     println!(
@@ -248,6 +278,41 @@ fn main() {
         multi_request_batches,
     );
 
+    // 5. Overload sweep: open-loop load at multiples of the measured
+    //    closed-loop capacity against a fresh engine with a small queue.
+    //    Each submission carries a deadline so saturation degrades into
+    //    typed sheds/expiries, never hangs.
+    let overload_seconds: f32 = env("CSQ_SERVE_OVERLOAD_SECONDS", 1.0);
+    let capacity_rps = throughput_rps.max(50.0);
+    let mut overload = Vec::new();
+    for &load_multiplier in &[0.5f32, 1.0, 2.0, 4.0] {
+        let offered_rps = capacity_rps * load_multiplier;
+        let point = overload_point(
+            &loaded,
+            &data.test.images,
+            &input_dims,
+            workers,
+            max_batch,
+            load_multiplier,
+            offered_rps,
+            overload_seconds,
+        );
+        println!(
+            "overload {:.1}x ({:.0} req/s offered): {} submitted, {} completed ({:.0} req/s), {} shed, {} expired, shed rate {:.1}%, p50 {}us p99 {}us",
+            point.load_multiplier,
+            point.offered_rps,
+            point.submitted,
+            point.completed,
+            point.completed_rps,
+            point.shed,
+            point.expired,
+            point.shed_rate * 100.0,
+            point.p50_us,
+            point.p99_us,
+        );
+        overload.push(point);
+    }
+
     let out = ServeBenchReport {
         train_accuracy: report.final_test_accuracy,
         float_accuracy,
@@ -264,6 +329,8 @@ fn main() {
         max_batch,
         elapsed_seconds: elapsed,
         requests_completed: stats.completed,
+        requests_shed: stats.shed,
+        requests_expired: stats.expired,
         requests_rejected: stats.rejected,
         throughput_rps,
         p50_us: stats.p50_us,
@@ -272,6 +339,97 @@ fn main() {
         avg_batch: stats.avg_batch,
         batch_hist: stats.batch_hist.clone(),
         multi_request_batches,
+        overload,
     };
     write_results("BENCH_serve", &out);
+}
+
+/// Runs one open-loop overload point: submits at a paced `offered_rps`
+/// for `seconds` against a fresh engine (small queue, so overload sheds
+/// instead of buffering unboundedly), waits out every ticket, and
+/// returns the outcome + latency breakdown.
+#[allow(clippy::too_many_arguments)]
+fn overload_point(
+    artifact: &ModelArtifact,
+    images: &Tensor,
+    input_dims: &[usize],
+    workers: usize,
+    max_batch: usize,
+    load_multiplier: f32,
+    offered_rps: f32,
+    seconds: f32,
+) -> OverloadPoint {
+    let compiled = match artifact.compile() {
+        Ok(c) => c,
+        Err(e) => panic!("artifact compile failed: {e}"),
+    };
+    let engine = Engine::start(
+        compiled,
+        EngineConfig {
+            workers,
+            max_batch,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: (max_batch * workers * 4).max(8),
+            ..EngineConfig::default()
+        },
+    );
+    let n_test = images.dims()[0];
+    let request_deadline = Duration::from_millis(250);
+    let interval = Duration::from_secs_f32(1.0 / offered_rps.max(1.0));
+    let start = Instant::now();
+    let end = start + Duration::from_secs_f32(seconds.max(0.1));
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut submitted: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut sent: u32 = 0;
+    loop {
+        let now = Instant::now();
+        if now >= end {
+            break;
+        }
+        // Paced open-loop: request k is due at start + k·interval,
+        // regardless of how the engine is doing (that is the point).
+        let due = start + interval * sent;
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        sent += 1;
+        let idx = sent as usize % n_test;
+        let x = images.slice_axis0(idx, idx + 1).reshape(input_dims);
+        match engine.submit_with(x, SubmitOptions::default().with_deadline(request_deadline)) {
+            Ok(t) => {
+                submitted += 1;
+                tickets.push(t);
+            }
+            Err(ServeError::QueueFull { .. }) => shed += 1,
+            Err(e) => panic!("overload submission failed unexpectedly: {e}"),
+        }
+    }
+    // Every ticket resolves within its deadline — completed or expired,
+    // never a hang.
+    let mut completed: u64 = 0;
+    let mut expired: u64 = 0;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(e) => panic!("overload ticket failed unexpectedly: {e}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f32();
+    let stats = engine.stats();
+    let offered = submitted + shed;
+    OverloadPoint {
+        load_multiplier,
+        offered_rps,
+        submitted,
+        completed,
+        shed,
+        expired,
+        shed_rate: shed as f32 / (offered.max(1)) as f32,
+        completed_rps: completed as f32 / elapsed.max(1e-6),
+        p50_us: stats.p50_us,
+        p95_us: stats.p95_us,
+        p99_us: stats.p99_us,
+    }
 }

@@ -67,7 +67,7 @@ pub use bitrep::{
     ScaleGranularity,
 };
 pub use budget::{model_precision, BudgetRegularizer, PrecisionStats};
-pub use fault::FaultPlan;
+pub use fault::{ChaosPlan, FaultPlan};
 pub use gate::{temp_sigmoid, temp_sigmoid_grad, TemperatureSchedule};
 pub use pack::{PackedModel, PackedWeight};
 pub use qinfer::{

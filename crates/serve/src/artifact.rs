@@ -18,6 +18,12 @@
 //! [`PersistError`] instead of being parsed into garbage, and files
 //! written by a future incompatible format version are rejected by the
 //! explicit version check.
+//!
+//! These integrity checks are also the first line of defence for
+//! zero-downtime deploys: a corrupted replacement artifact fails
+//! [`ModelArtifact::load`] (and an incompatible one fails
+//! [`ModelArtifact::is_compatible_with`] / `Engine::swap_model`), so it
+//! can never reach the serving path — the old version keeps serving.
 
 use crate::calibrate::{calibrate, grid_table, CalibrationEntry};
 use crate::exec::{BindError, CompiledModel, ServeError};
@@ -236,5 +242,13 @@ impl ModelArtifact {
     /// Deployed weight payload in bytes (bit-packed codes plus scales).
     pub fn packed_weight_bytes(&self) -> usize {
         self.weights.iter().map(PackedWeight::size_bytes).sum()
+    }
+
+    /// Whether this artifact can hot-swap into an engine serving models
+    /// with the given contract (`Engine::swap_model` re-validates on
+    /// the compiled model; checking here lets a deployer reject a
+    /// mismatched artifact *before* paying for `compile`).
+    pub fn is_compatible_with(&self, input_dims: &[usize], num_classes: usize) -> bool {
+        self.input_dims == input_dims && self.num_classes == num_classes
     }
 }

@@ -1,12 +1,13 @@
-//! Micro-batching inference engine.
+//! Micro-batching inference engine with serve-side resilience.
 //!
-//! The engine owns one immutable [`CompiledModel`] shared across a pool
-//! of worker threads behind an `Arc`. Callers [`Engine::submit`] single
-//! samples into a bounded queue and receive a [`Ticket`]; a worker pulls
-//! the oldest request, then keeps the batch open for up to
-//! `batch_window` (or until `max_batch` requests arrived), fuses the
-//! batch into one `[B, C, H, W]` tensor, runs a single integer forward,
-//! and scatters the logit rows back to the waiting tickets.
+//! The engine serves one versioned [`CompiledModel`] (hot-swappable via
+//! [`Engine::swap_model`]) across a supervised pool of worker threads.
+//! Callers [`Engine::submit`] single samples into a bounded queue and
+//! receive a [`Ticket`]; a worker pulls the oldest request, then keeps
+//! the batch open for up to `batch_window` (or until `max_batch`
+//! requests arrived), fuses the batch into one `[B, C, H, W]` tensor,
+//! runs a single integer forward, and scatters the logit rows back to
+//! the waiting tickets.
 //!
 //! Batching is *safe* here — not just statistically harmless — because
 //! the executor is bit-deterministic with respect to batch composition:
@@ -15,24 +16,93 @@
 //! forward returns exactly the rows each request would have gotten
 //! alone. Tests assert this equality bit-for-bit.
 //!
-//! Backpressure is explicit: when the queue holds `queue_capacity`
-//! pending requests, [`Engine::submit`] fails fast with
-//! [`ServeError::QueueFull`] instead of queueing unbounded work.
-//! Workers keep their own scratch pools ([`ScratchPool<u8>`]) so the
-//! hot path performs no cross-thread allocation handoff, and each fused
-//! forward runs under [`par::with_threads`] with a configurable
-//! intra-op thread count (default 1: parallelism comes from concurrent
-//! worker batches, not nested data-parallel kernels).
+//! Resilience is layered on four mechanisms:
+//!
+//! * **Deadlines + cancellation.** [`SubmitOptions::with_deadline`]
+//!   bounds a request's total time in the system. Workers skip
+//!   already-expired requests before running the kernel (answering them
+//!   with [`ServeError::DeadlineExceeded`]) and [`Ticket::wait`] stops
+//!   blocking the moment the deadline passes — a ticket can never hang
+//!   past its budget.
+//! * **Admission control.** The bounded queue load-sheds with
+//!   [`ServeError::QueueFull`] when it saturates, and an optional
+//!   per-tenant token bucket ([`TenantQuota`]) rejects over-quota
+//!   tenants with [`ServeError::RateLimited`] before they touch the
+//!   queue. Shed/rejected/expired counts are in [`EngineStats`], with
+//!   per-tenant breakdowns.
+//! * **Panic containment + supervision.** The kernel runs under
+//!   `catch_unwind`, so a poisoned batch fails only its own tickets
+//!   ([`ServeError::WorkerFailed`]) and the worker survives. If a
+//!   worker thread dies anyway, a supervisor thread joins the corpse,
+//!   restarts a replacement under the same id, and counts the restart;
+//!   tickets of the batch that died observe `WorkerFailed` through the
+//!   dropped reply channel instead of a hang.
+//! * **Hot-swap.** [`Engine::swap_model`] atomically replaces the
+//!   served model between batches. In-flight batches finish on the
+//!   version they started with — no request is dropped — and the
+//!   replacement must match the serving contract (input shape and
+//!   class count), otherwise [`ServeError::SwapIncompatible`].
+//!
+//! Deterministic chaos (worker kills, batch poisoning, injected
+//! latency) is driven by a seeded [`ChaosPlan`] via
+//! [`Engine::start_with_chaos`]; `tests/serve_chaos.rs` asserts that
+//! chaos never changes an answered request's bits and never turns an
+//! error into a hang.
 
 use crate::exec::{CompiledModel, ServeError};
 use crate::metrics::{EngineStats, StatsInner};
+use csq_core::fault::ChaosPlan;
 use csq_tensor::par::{self, ScratchPool};
 use csq_tensor::Tensor;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Steady-state admission quota for one tenant: a token bucket holding
+/// at most `burst` tokens, refilled at `rate_per_sec`, one token per
+/// accepted request. `rate_per_sec = 0` makes the bucket a fixed
+/// budget of `burst` requests (useful for deterministic tests).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQuota {
+    /// Tokens added per second (sustained requests/second).
+    pub rate_per_sec: f64,
+    /// Bucket capacity (largest tolerated burst). Values below 1 admit
+    /// nothing.
+    pub burst: f64,
+}
+
+/// Per-request submission options; the default is no deadline and no
+/// tenant (anonymous, quota-exempt traffic).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Total time budget measured from submission. When it elapses the
+    /// request is answered with [`ServeError::DeadlineExceeded`] —
+    /// by a worker skipping the expired request, or by
+    /// [`Ticket::wait`] giving up — whichever happens first.
+    pub deadline: Option<Duration>,
+    /// Tenant this request is accounted to. Required for token-bucket
+    /// admission control and per-tenant stats breakdowns.
+    pub tenant: Option<String>,
+}
+
+impl SubmitOptions {
+    /// Options with a deadline of `budget` from submission time.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> SubmitOptions {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Options accounted to (and rate-limited as) `tenant`.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> SubmitOptions {
+        self.tenant = Some(tenant.into());
+        self
+    }
+}
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -50,6 +120,10 @@ pub struct EngineConfig {
     /// Data-parallel threads *inside* one fused forward (minimum 1).
     /// Keep at 1 unless workers are fewer than cores.
     pub intra_op_threads: usize,
+    /// Token-bucket quota applied independently to every tenant that
+    /// submits with one. `None` disables admission control; requests
+    /// without a tenant always bypass it.
+    pub tenant_quota: Option<TenantQuota>,
 }
 
 impl Default for EngineConfig {
@@ -60,6 +134,7 @@ impl Default for EngineConfig {
             batch_window: Duration::from_millis(2),
             queue_capacity: 256,
             intra_op_threads: 1,
+            tenant_quota: None,
         }
     }
 }
@@ -68,17 +143,79 @@ impl Default for EngineConfig {
 struct Request {
     input: Tensor,
     enqueued: Instant,
+    deadline: Option<Instant>,
+    tenant: Option<String>,
     reply: mpsc::Sender<Result<Tensor, ServeError>>,
 }
 
-/// State shared between the submission side and the workers.
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+/// The versioned model container workers read through.
+struct ModelSlot {
+    version: u64,
+    model: Arc<CompiledModel>,
+}
+
+/// One tenant's token-bucket state.
+struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    /// Refills for elapsed time and takes one token if available.
+    fn admit(&mut self, quota: &TenantQuota, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * quota.rate_per_sec).min(quota.burst);
+        self.refilled = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// State shared between the submission side, the workers, and the
+/// supervisor.
 struct Shared {
-    model: CompiledModel,
+    /// Serving contract, fixed at start (swaps must match it).
+    input_dims: Vec<usize>,
+    model: RwLock<ModelSlot>,
     cfg: EngineConfig,
     queue: Mutex<VecDeque<Request>>,
     notify: Condvar,
     shutdown: AtomicBool,
     stats: StatsInner,
+    /// Global batch sequence number (keys chaos poison/delay entries).
+    batch_seq: AtomicU64,
+    /// Deterministic fault schedule, when running under chaos.
+    chaos: Option<Mutex<ChaosPlan>>,
+    /// Token buckets, lazily created per tenant.
+    buckets: Mutex<HashMap<String, TokenBucket>>,
+}
+
+impl Shared {
+    /// The model new batches will run against (in-flight batches keep
+    /// the `Arc` they already cloned).
+    fn current_model(&self) -> Arc<CompiledModel> {
+        match self.model.read() {
+            Ok(slot) => Arc::clone(&slot.model),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner().model),
+        }
+    }
+
+    fn model_version(&self) -> u64 {
+        match self.model.read() {
+            Ok(slot) => slot.version,
+            Err(poisoned) => poisoned.into_inner().version,
+        }
+    }
 }
 
 /// Locks the queue, recovering the guard if a worker panicked while
@@ -94,15 +231,43 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Request>> {
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Tensor, ServeError>>,
     enqueued: Instant,
+    deadline: Option<Instant>,
+    tenant: Option<String>,
+    shared: Arc<Shared>,
 }
 
 impl Ticket {
     /// Blocks until the engine answers, returning the logits `[K]` for
-    /// the submitted sample (or the error the batch failed with).
+    /// the submitted sample (or the error the request failed with).
+    ///
+    /// With a deadline, blocks *at most* until the deadline and then
+    /// returns [`ServeError::DeadlineExceeded`]. Without one, returns
+    /// as soon as the engine answers; if the worker holding this
+    /// request died, the dropped reply channel surfaces as
+    /// [`ServeError::WorkerFailed`] — never a hang, and never
+    /// misreported as a clean [`ServeError::Closed`] shutdown.
     pub fn wait(self) -> Result<Tensor, ServeError> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(_) => Err(ServeError::Closed),
+        let disconnected = || {
+            Err(ServeError::WorkerFailed {
+                detail: "reply channel disconnected (worker died mid-batch)".to_string(),
+            })
+        };
+        match self.deadline {
+            None => match self.rx.recv() {
+                Ok(result) => result,
+                Err(_) => disconnected(),
+            },
+            Some(deadline) => {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(budget) {
+                    Ok(result) => result,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.shared.stats.record_expired(self.tenant.as_deref());
+                        Err(ServeError::DeadlineExceeded)
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => disconnected(),
+                }
+            }
         }
     }
 
@@ -116,62 +281,123 @@ impl Ticket {
 /// A running micro-batching inference engine over one compiled model.
 ///
 /// Dropping the engine shuts it down: workers drain the queue, answer
-/// everything still pending, and are joined before `drop` returns.
+/// everything still pending, and are joined (via the supervisor) before
+/// `drop` returns.
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Engine {
     /// Starts worker threads over `model` with the given configuration
     /// (zero-valued knobs are normalized up to 1).
     pub fn start(model: CompiledModel, cfg: EngineConfig) -> Engine {
+        Engine::start_inner(model, cfg, None)
+    }
+
+    /// Starts an engine that consults a deterministic [`ChaosPlan`] at
+    /// batch boundaries (worker kills, batch poisoning, injected
+    /// latency). Production code wants [`Engine::start`]; this is the
+    /// entry point for resilience tests and chaos drills.
+    pub fn start_with_chaos(model: CompiledModel, cfg: EngineConfig, chaos: ChaosPlan) -> Engine {
+        Engine::start_inner(model, cfg, Some(chaos))
+    }
+
+    fn start_inner(model: CompiledModel, cfg: EngineConfig, chaos: Option<ChaosPlan>) -> Engine {
         let cfg = EngineConfig {
             workers: cfg.workers.max(1),
             max_batch: cfg.max_batch.max(1),
             batch_window: cfg.batch_window,
             queue_capacity: cfg.queue_capacity.max(1),
             intra_op_threads: cfg.intra_op_threads.max(1),
+            tenant_quota: cfg.tenant_quota,
         };
         let shared = Arc::new(Shared {
+            input_dims: model.input_dims().to_vec(),
             stats: StatsInner::new(cfg.max_batch),
-            model,
+            model: RwLock::new(ModelSlot {
+                version: 1,
+                model: Arc::new(model),
+            }),
             cfg,
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            batch_seq: AtomicU64::new(0),
+            chaos: chaos.map(Mutex::new),
+            buckets: Mutex::new(HashMap::new()),
         });
-        let workers = (0..shared.cfg.workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let handles: Vec<Option<JoinHandle<()>>> = (0..shared.cfg.workers)
+            .map(|id| Some(spawn_worker(Arc::clone(&shared), id, exit_tx.clone())))
             .collect();
-        Engine { shared, workers }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_loop(&shared, &exit_rx, &exit_tx, handles))
+        };
+        Engine {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 
     /// Enqueues one sample (shape = the model's per-sample
-    /// [`CompiledModel::input_dims`], no batch axis) and returns a
-    /// [`Ticket`] to redeem for its logits.
+    /// [`CompiledModel::input_dims`], no batch axis) with default
+    /// options (no deadline, no tenant) and returns a [`Ticket`] to
+    /// redeem for its logits.
     ///
     /// Fails fast with [`ServeError::BadInput`] on a shape mismatch and
     /// [`ServeError::QueueFull`] when the bounded queue is at capacity.
     pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
-        if input.dims() != self.shared.model.input_dims() {
+        self.submit_with(input, SubmitOptions::default())
+    }
+
+    /// Enqueues one sample with explicit [`SubmitOptions`] (deadline,
+    /// tenant). On top of the [`Engine::submit`] failures, a tenanted
+    /// request over its [`TenantQuota`] fails fast with
+    /// [`ServeError::RateLimited`].
+    pub fn submit_with(
+        &self,
+        input: Tensor,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        if input.dims() != self.shared.input_dims {
             return Err(ServeError::BadInput {
-                expected: self.shared.model.input_dims().to_vec(),
+                expected: self.shared.input_dims.clone(),
                 actual: input.dims().to_vec(),
             });
         }
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::Closed);
         }
-        let (tx, rx) = mpsc::channel();
         let enqueued = Instant::now();
+        if let (Some(quota), Some(tenant)) = (&self.shared.cfg.tenant_quota, &opts.tenant) {
+            let admitted = {
+                let mut buckets = match self.shared.buckets.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                buckets
+                    .entry(tenant.clone())
+                    .or_insert_with(|| TokenBucket {
+                        tokens: quota.burst,
+                        refilled: enqueued,
+                    })
+                    .admit(quota, enqueued)
+            };
+            if !admitted {
+                self.shared.stats.record_rejected(Some(tenant));
+                return Err(ServeError::RateLimited {
+                    tenant: tenant.clone(),
+                });
+            }
+        }
+        let deadline = opts.deadline.and_then(|d| enqueued.checked_add(d));
+        let (tx, rx) = mpsc::channel();
         {
             let mut queue = lock_queue(&self.shared);
             if queue.len() >= self.shared.cfg.queue_capacity {
-                self.shared.stats.record_rejected();
+                self.shared.stats.record_shed(opts.tenant.as_deref());
                 return Err(ServeError::QueueFull {
                     capacity: self.shared.cfg.queue_capacity,
                 });
@@ -179,12 +405,20 @@ impl Engine {
             queue.push_back(Request {
                 input,
                 enqueued,
+                deadline,
+                tenant: opts.tenant.clone(),
                 reply: tx,
             });
-            self.shared.stats.record_submitted();
+            self.shared.stats.record_submitted(opts.tenant.as_deref());
         }
         self.shared.notify.notify_one();
-        Ok(Ticket { rx, enqueued })
+        Ok(Ticket {
+            rx,
+            enqueued,
+            deadline,
+            tenant: opts.tenant,
+            shared: Arc::clone(&self.shared),
+        })
     }
 
     /// Convenience blocking call: [`Engine::submit`] + [`Ticket::wait`].
@@ -192,14 +426,49 @@ impl Engine {
         self.submit(input)?.wait()
     }
 
-    /// The compiled model being served.
-    pub fn model(&self) -> &CompiledModel {
-        &self.shared.model
+    /// The compiled model new batches run against.
+    pub fn model(&self) -> Arc<CompiledModel> {
+        self.shared.current_model()
+    }
+
+    /// Version of the currently served model (starts at 1; each
+    /// successful [`Engine::swap_model`] bumps it).
+    pub fn model_version(&self) -> u64 {
+        self.shared.model_version()
+    }
+
+    /// Atomically replaces the served model under live traffic,
+    /// returning the new version.
+    ///
+    /// The swap happens *between* batches: requests already fused into
+    /// a forward finish on the model version they started with, queued
+    /// requests run on the replacement — no in-flight request is
+    /// dropped. The replacement must match the serving contract (input
+    /// shape and class count) or the swap is refused with
+    /// [`ServeError::SwapIncompatible`] and the old model keeps
+    /// serving.
+    pub fn swap_model(&self, model: CompiledModel) -> Result<u64, ServeError> {
+        let mut slot = match self.shared.model.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let compatible = model.input_dims() == self.shared.input_dims
+            && model.num_classes() == slot.model.num_classes();
+        if !compatible {
+            return Err(ServeError::SwapIncompatible {
+                expected: (self.shared.input_dims.clone(), slot.model.num_classes()),
+                actual: (model.input_dims().to_vec(), model.num_classes()),
+            });
+        }
+        slot.version += 1;
+        slot.model = Arc::new(model);
+        self.shared.stats.record_swap();
+        Ok(slot.version)
     }
 
     /// Snapshot of the serving metrics.
     pub fn stats(&self) -> EngineStats {
-        self.shared.stats.snapshot()
+        self.shared.stats.snapshot(self.shared.model_version())
     }
 }
 
@@ -207,16 +476,77 @@ impl Drop for Engine {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.notify.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Messages workers send the supervisor when their thread ends.
+struct WorkerExit {
+    id: usize,
+    panicked: bool,
+}
+
+/// Spawns one worker thread. The whole worker loop runs under
+/// `catch_unwind` so an abrupt death (a panic that escaped batch-level
+/// containment, e.g. a chaos kill) is reported to the supervisor
+/// instead of silently shrinking the pool.
+fn spawn_worker(
+    shared: Arc<Shared>,
+    id: usize,
+    exits: mpsc::Sender<WorkerExit>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, id)));
+        let _ = exits.send(WorkerExit {
+            id,
+            panicked: outcome.is_err(),
+        });
+    })
+}
+
+/// Joins dead workers and restarts the ones that panicked (unless the
+/// engine is shutting down), keeping the pool at full strength. Exits
+/// once every worker has ended without needing a replacement.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    exit_rx: &mpsc::Receiver<WorkerExit>,
+    exit_tx: &mpsc::Sender<WorkerExit>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut alive = handles.iter().filter(|h| h.is_some()).count();
+    while alive > 0 {
+        let exit = match exit_rx.recv() {
+            Ok(exit) => exit,
+            Err(_) => break,
+        };
+        if let Some(handle) = handles.get_mut(exit.id).and_then(Option::take) {
+            let _ = handle.join();
+        }
+        if exit.panicked && !shared.shutdown.load(Ordering::Acquire) {
+            shared.stats.record_worker_restart();
+            if let Some(slot) = handles.get_mut(exit.id) {
+                *slot = Some(spawn_worker(Arc::clone(shared), exit.id, exit_tx.clone()));
+            }
+        } else {
+            alive -= 1;
+        }
+    }
+    // A restart racing shutdown can leave stragglers; join them all.
+    for handle in handles.iter_mut().filter_map(Option::take) {
+        let _ = handle.join();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
     let scratch: ScratchPool<u8> = ScratchPool::new();
+    // Per-worker batch ordinal; restarts count from 0 again, which is
+    // what keys ChaosPlan worker-kill entries deterministically.
+    let mut ordinal: u64 = 0;
     while let Some(batch) = collect_batch(shared) {
-        run_batch(shared, batch, &scratch);
+        run_batch(shared, worker, ordinal, batch, &scratch);
+        ordinal += 1;
     }
 }
 
@@ -256,39 +586,124 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Request>> {
     }
 }
 
-/// Fuses a batch into one tensor, runs a single forward, and scatters
-/// the logit rows back to the tickets.
-fn run_batch(shared: &Shared, batch: Vec<Request>, scratch: &ScratchPool<u8>) {
-    shared.stats.record_batch(batch.len());
-    let per_sample: usize = shared.model.input_dims().iter().product();
-    let mut data = Vec::with_capacity(batch.len() * per_sample);
-    for request in &batch {
+/// Best-effort human-readable description of a panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Skips expired requests, fuses the rest into one tensor, runs a
+/// single forward under panic containment, and scatters the logit rows
+/// back to the tickets.
+fn run_batch(
+    shared: &Shared,
+    worker: usize,
+    ordinal: u64,
+    batch: Vec<Request>,
+    scratch: &ScratchPool<u8>,
+) {
+    let global = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    shared.stats.record_dequeued(batch.len());
+
+    // Deterministic chaos, consulted once per batch. A kill unwinds
+    // *outside* the containment boundary below: the batch's reply
+    // senders drop, its tickets observe `WorkerFailed`, and the
+    // supervisor restarts the worker.
+    let mut poisoned = false;
+    if let Some(chaos) = &shared.chaos {
+        let (kill, delay, poison) = {
+            let mut plan = match chaos.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (
+                plan.take_worker_kill(worker, ordinal),
+                plan.take_batch_delay(global),
+                plan.take_batch_poison(global),
+            )
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        if kill {
+            resume_unwind(Box::new(format!(
+                "chaos: worker {worker} killed at its batch {ordinal}"
+            )));
+        }
+        poisoned = poison;
+    }
+
+    // Deadline pass: a request that already ran out of time gets its
+    // typed error now instead of wasting kernel work.
+    let now = Instant::now();
+    let (live, expired): (Vec<Request>, Vec<Request>) =
+        batch.into_iter().partition(|r| !r.expired(now));
+    for request in expired {
+        // If the waiter already timed out (and recorded the expiry),
+        // the send fails and nothing is double-counted.
+        if request.reply.send(Err(ServeError::DeadlineExceeded)).is_ok() {
+            shared.stats.record_expired(request.tenant.as_deref());
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    shared.stats.record_batch(live.len());
+    // Batches pin the model Arc they start with: a concurrent swap
+    // changes what *later* batches run, never this one.
+    let model = shared.current_model();
+    let per_sample: usize = model.input_dims().iter().product();
+    let mut data = Vec::with_capacity(live.len() * per_sample);
+    for request in &live {
         data.extend_from_slice(request.input.data());
     }
-    let mut dims = Vec::with_capacity(shared.model.input_dims().len() + 1);
-    dims.push(batch.len());
-    dims.extend_from_slice(shared.model.input_dims());
+    let mut dims = Vec::with_capacity(model.input_dims().len() + 1);
+    dims.push(live.len());
+    dims.extend_from_slice(model.input_dims());
     let x = Tensor::from_vec(data, &dims);
 
-    let result = par::with_threads(shared.cfg.intra_op_threads, || {
-        shared.model.forward_batch(&x, scratch)
-    });
-    match result {
-        Ok(y) => {
-            let k = shared.model.num_classes();
-            for (i, request) in batch.into_iter().enumerate() {
+    // Containment boundary: a panicking kernel (or chaos poison) fails
+    // only this batch's tickets; the worker thread survives.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if poisoned {
+            resume_unwind(Box::new(format!("chaos: poisoned batch {global}")));
+        }
+        par::with_threads(shared.cfg.intra_op_threads, || {
+            model.forward_batch(&x, scratch)
+        })
+    }));
+    match outcome {
+        Ok(Ok(y)) => {
+            let k = model.num_classes();
+            for (i, request) in live.into_iter().enumerate() {
                 let row = Tensor::from_vec(y.data()[i * k..(i + 1) * k].to_vec(), &[k]);
                 let latency = request.enqueued.elapsed();
                 // A dropped ticket just discards the row; the work was
                 // still done and counts as completed.
                 let _ = request.reply.send(Ok(row));
-                shared.stats.record_completed(latency);
+                shared.stats.record_completed(latency, request.tenant.as_deref());
             }
         }
-        Err(e) => {
-            shared.stats.record_failed(batch.len());
-            for request in batch {
+        Ok(Err(e)) => {
+            for request in live {
+                shared.stats.record_failed(request.tenant.as_deref());
                 let _ = request.reply.send(Err(e.clone()));
+            }
+        }
+        Err(payload) => {
+            shared.stats.record_panic_contained();
+            let detail = panic_detail(payload.as_ref());
+            for request in live {
+                shared.stats.record_failed(request.tenant.as_deref());
+                let _ = request.reply.send(Err(ServeError::WorkerFailed {
+                    detail: detail.clone(),
+                }));
             }
         }
     }
@@ -303,11 +718,16 @@ mod tests {
     use csq_nn::InferOp;
 
     /// A tiny 3→2 linear model with a fixed calibrated grid, built
-    /// without any training-side machinery.
-    fn tiny_model() -> CompiledModel {
+    /// without any training-side machinery. `offset` shifts every
+    /// weight code, giving distinguishable model "versions" for swap
+    /// tests.
+    fn tiny_model_with(offset: i32) -> CompiledModel {
         let weight = PackedWeight {
             path: "weight".to_string(),
-            codes: vec![10, -20, 30, -40, 50, -60],
+            codes: vec![10, -20, 30, -40, 50, -60]
+                .into_iter()
+                .map(|c| c + offset)
+                .collect(),
             step: 0.05,
             dims: vec![2, 3],
             bits: 8.0,
@@ -334,6 +754,10 @@ mod tests {
             Some(&grid_table(&calibration)),
         )
         .unwrap()
+    }
+
+    fn tiny_model() -> CompiledModel {
+        tiny_model_with(0)
     }
 
     fn sample(seed: usize) -> Tensor {
@@ -367,6 +791,7 @@ mod tests {
         assert_eq!(stats.submitted, 12);
         assert_eq!(stats.completed, 12);
         assert_eq!(stats.failed, 0);
+        assert_eq!(stats.model_version, 1);
         let served: u64 = stats
             .batch_hist
             .iter()
@@ -440,7 +865,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_capacity_is_enforced() {
+    fn queue_capacity_is_enforced_and_counted_as_shed() {
         // One worker running one-sample batches of a ~1M-MAC forward:
         // the flood below finishes submitting long before the worker can
         // drain three requests, so the bounded queue must overflow.
@@ -469,9 +894,129 @@ mod tests {
             }
         }
         assert!(saw_full, "bounded queue never filled");
-        assert!(engine.stats().rejected >= 1);
+        assert!(engine.stats().shed >= 1);
         for ticket in tickets {
             ticket.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn engine_survives_queue_lock_poisoning() {
+        let reference = tiny_model();
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 1,
+                batch_window: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+        );
+        // Poison the queue mutex: panic (quietly, via resume_unwind)
+        // while holding the guard.
+        let shared = Arc::clone(&engine.shared);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = shared.queue.lock().unwrap();
+            resume_unwind(Box::new("poisoning the queue lock"));
+        }));
+        assert!(shared.queue.lock().is_err(), "mutex must now be poisoned");
+        // Both the submit path and the worker path must recover the
+        // guard and keep serving.
+        let got = engine.infer(sample(3)).unwrap();
+        let want = reference
+            .forward_batch(&sample(3).reshape(&[1, 3]), &scratch)
+            .unwrap();
+        assert_eq!(got.data(), want.data());
+        drop(engine);
+    }
+
+    #[test]
+    fn zero_deadline_expires_with_typed_error() {
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine
+            .submit_with(
+                sample(0),
+                SubmitOptions::default().with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        // The expiry is recorded (by the waiter timing out, the worker
+        // skipping the expired request, or — in a narrow race — both).
+        assert!(engine.stats().expired >= 1);
+        // A fresh request without a deadline still gets served.
+        assert!(engine.infer(sample(1)).is_ok());
+    }
+
+    #[test]
+    fn tenant_token_bucket_rejects_over_quota() {
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 1,
+                tenant_quota: Some(TenantQuota {
+                    rate_per_sec: 0.0,
+                    burst: 2.0,
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        let opts = || SubmitOptions::default().with_tenant("acme");
+        let t1 = engine.submit_with(sample(0), opts()).unwrap();
+        let t2 = engine.submit_with(sample(1), opts()).unwrap();
+        match engine.submit_with(sample(2), opts()) {
+            Err(ServeError::RateLimited { tenant }) => assert_eq!(tenant, "acme"),
+            other => panic!("third request must be rate limited, got {other:?}"),
+        }
+        // Anonymous traffic bypasses the quota entirely.
+        assert!(engine.infer(sample(3)).is_ok());
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        let acme = &stats.tenants["acme"];
+        assert_eq!(acme.submitted, 2);
+        assert_eq!(acme.rejected, 1);
+        assert_eq!(acme.completed, 2);
+    }
+
+    #[test]
+    fn swap_model_serves_new_version_and_validates_contract() {
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let engine = Engine::start(
+            tiny_model(),
+            EngineConfig {
+                workers: 1,
+                batch_window: Duration::from_millis(1),
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.model_version(), 1);
+        let before = engine.infer(sample(2)).unwrap();
+        let want_before = tiny_model()
+            .forward_batch(&sample(2).reshape(&[1, 3]), &scratch)
+            .unwrap();
+        assert_eq!(before.data(), want_before.data());
+
+        // Incompatible replacement (4→4) is refused; v1 keeps serving.
+        let err = engine.swap_model(wide_model(4)).unwrap_err();
+        assert!(matches!(err, ServeError::SwapIncompatible { .. }));
+        assert_eq!(engine.model_version(), 1);
+
+        // Compatible replacement flips atomically to v2.
+        assert_eq!(engine.swap_model(tiny_model_with(7)).unwrap(), 2);
+        assert_eq!(engine.model_version(), 2);
+        let after = engine.infer(sample(2)).unwrap();
+        let want_after = tiny_model_with(7)
+            .forward_batch(&sample(2).reshape(&[1, 3]), &scratch)
+            .unwrap();
+        assert_eq!(after.data(), want_after.data());
+        assert_eq!(engine.stats().swaps, 1);
+        assert_eq!(engine.stats().model_version, 2);
     }
 }

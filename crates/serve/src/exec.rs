@@ -42,10 +42,41 @@ pub enum ServeError {
         /// Shape actually submitted.
         actual: Vec<usize>,
     },
-    /// The bounded submission queue is at capacity; retry with backoff.
+    /// The bounded submission queue is at capacity; the request was
+    /// load-shed. Retry with backoff.
     QueueFull {
         /// The configured queue capacity.
         capacity: usize,
+    },
+    /// The request ran out of time: its deadline passed before the
+    /// engine produced an answer (either while waiting in the queue —
+    /// workers skip already-expired requests before running the kernel
+    /// — or while the caller blocked in `Ticket::wait`).
+    DeadlineExceeded,
+    /// Admission control turned the request away: the tenant's
+    /// token-bucket quota is exhausted. Retry after the bucket refills.
+    RateLimited {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+    },
+    /// The worker executing this request's batch panicked or died.
+    /// Only the tickets of that batch fail; the supervisor restarts the
+    /// worker and the engine keeps serving. Distinct from [`Closed`]:
+    /// the engine is still running and the request may be resubmitted.
+    ///
+    /// [`Closed`]: ServeError::Closed
+    WorkerFailed {
+        /// Human-readable description of the failure (panic payload,
+        /// or a note that the reply channel disconnected).
+        detail: String,
+    },
+    /// A replacement model offered to `Engine::swap_model` does not
+    /// match the serving contract of the model currently deployed.
+    SwapIncompatible {
+        /// Input shape and class count the engine is serving.
+        expected: (Vec<usize>, usize),
+        /// Input shape and class count of the rejected replacement.
+        actual: (Vec<usize>, usize),
     },
     /// The engine has shut down and no longer accepts or answers work.
     Closed,
@@ -69,6 +100,21 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull { capacity } => {
                 write!(f, "submission queue is full ({capacity} pending requests)")
             }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline passed before an answer was produced")
+            }
+            ServeError::RateLimited { tenant } => {
+                write!(f, "tenant `{tenant}` is over its admission quota")
+            }
+            ServeError::WorkerFailed { detail } => {
+                write!(f, "worker executing the batch failed: {detail}")
+            }
+            ServeError::SwapIncompatible { expected, actual } => write!(
+                f,
+                "replacement model (input {:?}, {} classes) does not match the serving \
+                 contract (input {:?}, {} classes)",
+                actual.0, actual.1, expected.0, expected.1
+            ),
             ServeError::Closed => write!(f, "engine is shut down"),
             ServeError::Kernel(e) => write!(f, "integer kernel error: {e}"),
             ServeError::Plan { detail } => write!(f, "inconsistent inference plan: {detail}"),

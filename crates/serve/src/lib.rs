@@ -23,12 +23,30 @@
 //!   scratch pools, and [`EngineStats`] metrics with latency
 //!   percentiles.
 //!
+//! The engine is hardened for hostile, bursty, failing conditions:
+//! per-request deadlines ([`SubmitOptions`]) that yield typed
+//! `DeadlineExceeded` errors instead of blocking forever, per-tenant
+//! token-bucket admission control ([`TenantQuota`]) plus queue-full
+//! load shedding (both visible in [`EngineStats`], with per-tenant
+//! [`TenantStats`] breakdowns), `catch_unwind` panic containment so a
+//! poisoned batch fails only its own tickets, a supervisor that
+//! restarts dead workers, and [`Engine::swap_model`] for zero-downtime
+//! hot-swaps of a new `.csqm` version under live traffic. A seeded
+//! `ChaosPlan` (`csq_core::fault`) drives all of it deterministically
+//! in `tests/serve_chaos.rs`.
+//!
 //! The end-to-end guarantee, asserted by tests: a batched engine answer
 //! is bit-identical to running the same sample alone, at any worker
-//! count, and a `.csqm` reloaded in a fresh process reproduces the
-//! exporting process's outputs exactly.
+//! count — even while workers are being killed, batches poisoned, and
+//! models swapped — and a `.csqm` reloaded in a fresh process
+//! reproduces the exporting process's outputs exactly. Every request
+//! the engine cannot answer gets a typed [`ServeError`]; none hangs.
 
 #![deny(missing_docs)]
+// Library code must surface failures as structured errors (or documented
+// contract panics via `panic!`/`assert!`), never ad-hoc unwraps. Tests and
+// doctests are exempt. Worker threads additionally run kernels under
+// `catch_unwind`, so even a contract panic fails one batch, not the server.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod artifact;
@@ -39,6 +57,6 @@ pub mod metrics;
 
 pub use artifact::{ArtifactError, ModelArtifact, CSQM_FORMAT_VERSION};
 pub use calibrate::{calibrate, CalibrationEntry};
-pub use engine::{Engine, EngineConfig, Ticket};
+pub use engine::{Engine, EngineConfig, SubmitOptions, TenantQuota, Ticket};
 pub use exec::{BindError, CompiledModel, ServeError};
-pub use metrics::EngineStats;
+pub use metrics::{EngineStats, TenantStats};

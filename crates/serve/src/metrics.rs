@@ -1,16 +1,33 @@
 //! Serving metrics: lock-free counters, queue-depth gauge, batch-size
-//! histogram, and a fixed-bucket latency histogram with percentile
-//! estimates.
+//! histogram, a fixed-bucket latency histogram with percentile
+//! estimates, and per-tenant admission breakdowns.
 //!
 //! Workers record into relaxed atomics on the hot path (no locks, no
 //! allocation); [`EngineStats`] is a consistent-enough snapshot taken on
 //! demand. Latency uses geometric buckets (1 µs, 2 µs, 4 µs, … ~8 s) so
 //! percentiles are upper bounds with at most 2× resolution error —
 //! plenty for load-test reporting, and immune to reservoir-sampling
-//! bias.
+//! bias. Requests that carry a tenant additionally record into a
+//! mutex-guarded per-tenant table ([`TenantStats`]) — untenanted
+//! traffic never touches that lock.
+//!
+//! Outcome taxonomy (every submitted request ends in exactly one):
+//!
+//! * **completed** — answered with logits;
+//! * **shed** — turned away at submission because the bounded queue was
+//!   full (load shedding);
+//! * **rejected** — turned away at submission by admission control
+//!   (per-tenant token-bucket quota);
+//! * **expired** — its deadline passed before an answer was produced;
+//! * **failed** — its batch hit a kernel error or a contained panic.
+//!
+//! Resilience gauges (`worker_restarts`, `panics_contained`, `swaps`,
+//! `model_version`) make supervisor activity and hot-swaps observable.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of finite latency buckets; bucket `i` covers latencies up to
@@ -30,20 +47,38 @@ fn bucket_index(us: u64) -> usize {
         .unwrap_or(LATENCY_BUCKETS)
 }
 
+/// Per-tenant mutable counters (guarded by the tenants mutex).
+#[derive(Debug, Clone, Default)]
+struct TenantCounters {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    expired: u64,
+    failed: u64,
+}
+
 /// Shared mutable counters the workers write into.
 #[derive(Debug)]
 pub(crate) struct StatsInner {
     submitted: AtomicU64,
     completed: AtomicU64,
+    shed: AtomicU64,
     rejected: AtomicU64,
+    expired: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
     queue_depth: AtomicU64,
+    worker_restarts: AtomicU64,
+    panics_contained: AtomicU64,
+    swaps: AtomicU64,
     /// `batch_hist[s]` counts fused forwards that served `s` requests;
     /// length `max_batch + 1` (slot 0 stays zero).
     batch_hist: Vec<AtomicU64>,
     /// Request latency histogram; last slot is the overflow bucket.
     latency: Vec<AtomicU64>,
+    /// Per-tenant breakdowns; only touched by tenanted requests.
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
 }
 
 impl StatsInner {
@@ -51,46 +86,97 @@ impl StatsInner {
         StatsInner {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
             latency: (0..=LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            tenants: Mutex::new(BTreeMap::new()),
         }
     }
 
-    pub(crate) fn record_submitted(&self) {
+    /// Applies `f` to the tenant's counters (recovering the table from
+    /// a poisoned lock — the table itself is always consistent).
+    fn with_tenant(&self, tenant: Option<&str>, f: impl FnOnce(&mut TenantCounters)) {
+        let Some(tenant) = tenant else { return };
+        let mut table = match self.tenants.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(table.entry(tenant.to_string()).or_default());
+    }
+
+    pub(crate) fn record_submitted(&self, tenant: Option<&str>) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.submitted += 1);
     }
 
-    pub(crate) fn record_rejected(&self) {
+    /// Records a queue-full load shed at submission time.
+    pub(crate) fn record_shed(&self, tenant: Option<&str>) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.shed += 1);
+    }
+
+    /// Records an admission-control (quota) rejection.
+    pub(crate) fn record_rejected(&self, tenant: Option<&str>) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.rejected += 1);
     }
 
-    /// Records a fused forward over `size` requests, after the requests
-    /// left the queue.
+    /// Records a request whose deadline passed before an answer.
+    pub(crate) fn record_expired(&self, tenant: Option<&str>) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.expired += 1);
+    }
+
+    /// Records `n` requests leaving the queue (fused, expired, or both).
+    pub(crate) fn record_dequeued(&self, n: usize) {
+        self.queue_depth.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a fused forward over `size` live requests.
     pub(crate) fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth
-            .fetch_sub(size as u64, Ordering::Relaxed);
         if let Some(slot) = self.batch_hist.get(size) {
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    pub(crate) fn record_completed(&self, latency: Duration) {
+    pub(crate) fn record_completed(&self, latency: Duration, tenant: Option<&str>) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         self.latency[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.completed += 1);
     }
 
-    pub(crate) fn record_failed(&self, n: usize) {
-        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    pub(crate) fn record_failed(&self, tenant: Option<&str>) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.with_tenant(tenant, |t| t.failed += 1);
     }
 
-    pub(crate) fn snapshot(&self) -> EngineStats {
+    /// Records the supervisor replacing a dead worker thread.
+    pub(crate) fn record_worker_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a kernel panic caught at the containment boundary.
+    pub(crate) fn record_panic_contained(&self) {
+        self.panics_contained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful hot-swap of the served model.
+    pub(crate) fn record_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, model_version: u64) -> EngineStats {
         let batch_hist: Vec<u64> = self
             .batch_hist
             .iter()
@@ -109,13 +195,41 @@ impl StatsInner {
         } else {
             served as f32 / batches as f32
         };
+        let tenants = {
+            let table = match self.tenants.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            table
+                .iter()
+                .map(|(name, c)| {
+                    (
+                        name.clone(),
+                        TenantStats {
+                            submitted: c.submitted,
+                            completed: c.completed,
+                            shed: c.shed,
+                            rejected: c.rejected,
+                            expired: c.expired,
+                            failed: c.failed,
+                        },
+                    )
+                })
+                .collect()
+        };
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            model_version,
             avg_batch,
             p50_us: percentile(&latency_counts, 0.50),
             p95_us: percentile(&latency_counts, 0.95),
@@ -123,6 +237,7 @@ impl StatsInner {
             batch_hist,
             latency_bounds_us: (0..LATENCY_BUCKETS).map(bucket_bound_us).collect(),
             latency_counts,
+            tenants,
         }
     }
 }
@@ -147,6 +262,23 @@ fn percentile(counts: &[u64], q: f64) -> u64 {
     bucket_bound_us(LATENCY_BUCKETS - 1)
 }
 
+/// Per-tenant slice of the serving metrics (see [`EngineStats::tenants`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TenantStats {
+    /// Requests this tenant got into the queue.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests load-shed because the queue was full.
+    pub shed: u64,
+    /// Requests rejected by the tenant's token-bucket quota.
+    pub rejected: u64,
+    /// Requests whose deadline passed before an answer.
+    pub expired: u64,
+    /// Requests answered with an error.
+    pub failed: u64,
+}
+
 /// A point-in-time snapshot of the engine's serving metrics.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineStats {
@@ -154,14 +286,28 @@ pub struct EngineStats {
     pub submitted: u64,
     /// Requests answered successfully.
     pub completed: u64,
-    /// Requests turned away because the queue was full.
+    /// Requests load-shed at submission because the queue was full.
+    pub shed: u64,
+    /// Requests rejected at submission by a tenant quota.
     pub rejected: u64,
+    /// Requests whose deadline passed before an answer was produced.
+    pub expired: u64,
     /// Requests answered with an error.
     pub failed: u64,
     /// Fused batched forwards executed.
     pub batches: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: u64,
+    /// Dead worker threads replaced by the supervisor.
+    pub worker_restarts: u64,
+    /// Kernel panics caught at the containment boundary (the batch
+    /// failed; the worker survived).
+    pub panics_contained: u64,
+    /// Successful hot-swaps of the served model.
+    pub swaps: u64,
+    /// Version of the model currently being served (starts at 1, bumped
+    /// by every successful `Engine::swap_model`).
+    pub model_version: u64,
     /// Mean requests per fused forward.
     pub avg_batch: f32,
     /// `batch_hist[s]` = number of fused forwards that served `s`
@@ -177,6 +323,9 @@ pub struct EngineStats {
     pub latency_bounds_us: Vec<u64>,
     /// Count per latency bucket (one extra trailing overflow slot).
     pub latency_counts: Vec<u64>,
+    /// Per-tenant breakdowns, keyed by tenant name (only requests
+    /// submitted with a tenant appear here).
+    pub tenants: BTreeMap<String, TenantStats>,
 }
 
 #[cfg(test)]
@@ -198,12 +347,12 @@ mod tests {
         let inner = StatsInner::new(4);
         // 90 fast requests (≤ 2µs), 10 slow (≤ 1024µs).
         for _ in 0..90 {
-            inner.record_completed(Duration::from_micros(2));
+            inner.record_completed(Duration::from_micros(2), None);
         }
         for _ in 0..10 {
-            inner.record_completed(Duration::from_micros(1000));
+            inner.record_completed(Duration::from_micros(1000), None);
         }
-        let s = inner.snapshot();
+        let s = inner.snapshot(1);
         assert_eq!(s.completed, 100);
         assert_eq!(s.p50_us, 2);
         assert_eq!(s.p95_us, 1024);
@@ -212,25 +361,69 @@ mod tests {
 
     #[test]
     fn empty_stats_are_zero() {
-        let s = StatsInner::new(8).snapshot();
+        let s = StatsInner::new(8).snapshot(1);
         assert_eq!(s.p50_us, 0);
         assert_eq!(s.avg_batch, 0.0);
         assert_eq!(s.batch_hist.len(), 9);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.expired, 0);
+        assert_eq!(s.worker_restarts, 0);
+        assert_eq!(s.model_version, 1);
+        assert!(s.tenants.is_empty());
     }
 
     #[test]
     fn batch_accounting_tracks_queue_and_histogram() {
         let inner = StatsInner::new(4);
         for _ in 0..6 {
-            inner.record_submitted();
+            inner.record_submitted(None);
         }
+        inner.record_dequeued(4);
         inner.record_batch(4);
+        inner.record_dequeued(2);
         inner.record_batch(2);
-        let s = inner.snapshot();
+        let s = inner.snapshot(1);
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.batches, 2);
         assert_eq!(s.batch_hist[4], 1);
         assert_eq!(s.batch_hist[2], 1);
         assert!((s.avg_batch - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tenant_breakdowns_only_track_tenanted_requests() {
+        let inner = StatsInner::new(4);
+        inner.record_submitted(Some("a"));
+        inner.record_submitted(Some("a"));
+        inner.record_submitted(None);
+        inner.record_completed(Duration::from_micros(5), Some("a"));
+        inner.record_shed(Some("b"));
+        inner.record_rejected(Some("b"));
+        inner.record_expired(Some("a"));
+        inner.record_failed(Some("a"));
+        let s = inner.snapshot(1);
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.tenants.len(), 2);
+        let a = &s.tenants["a"];
+        assert_eq!((a.submitted, a.completed, a.expired, a.failed), (2, 1, 1, 1));
+        let b = &s.tenants["b"];
+        assert_eq!((b.shed, b.rejected), (1, 1));
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.expired, 1);
+    }
+
+    #[test]
+    fn resilience_gauges_accumulate() {
+        let inner = StatsInner::new(2);
+        inner.record_worker_restart();
+        inner.record_panic_contained();
+        inner.record_swap();
+        inner.record_swap();
+        let s = inner.snapshot(3);
+        assert_eq!(s.worker_restarts, 1);
+        assert_eq!(s.panics_contained, 1);
+        assert_eq!(s.swaps, 2);
+        assert_eq!(s.model_version, 3);
     }
 }

@@ -144,6 +144,42 @@ fn batched_engine_is_bit_identical_to_single_requests_at_1_and_4_workers() {
 }
 
 #[test]
+fn trained_artifact_hot_swaps_into_a_live_engine() {
+    let fix = fixture();
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let images = &fix.data.test.images;
+    let input_dims = fix.artifact.input_dims.clone();
+    let x = || images.slice_axis0(0, 1).reshape(&input_dims);
+    let want = fix
+        .artifact
+        .compile()
+        .expect("compile")
+        .forward_batch(&images.slice_axis0(0, 1), &scratch)
+        .expect("reference forward");
+
+    let engine = Engine::start(
+        fix.artifact.compile().expect("compile"),
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.model_version(), 1);
+    assert_eq!(engine.infer(x()).expect("serve v1").data(), want.data());
+
+    // "Redeploy" the same trained artifact, as a rolling update of a
+    // compatible model would: the version bumps, answers stay exact.
+    let replacement = fix.artifact.compile().expect("compile replacement");
+    assert_eq!(engine.swap_model(replacement).expect("swap"), 2);
+    assert_eq!(engine.model_version(), 2);
+    assert_eq!(engine.infer(x()).expect("serve v2").data(), want.data());
+    let stats = engine.stats();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.model_version, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
 fn corrupted_artifact_is_rejected_on_load() {
     let fix = fixture();
     let path = temp_path("corrupt.csqm");

@@ -16,8 +16,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
-echo "==> serve smoke load (2s closed loop)"
+echo "==> serve chaos suite (deterministic fault drills)"
+cargo test -q --release --test serve_chaos
+
+echo "==> serve smoke load (2s closed loop + overload sweep)"
 CSQ_EPOCHS=1 CSQ_TRAIN_PER_CLASS=2 CSQ_TEST_PER_CLASS=2 CSQ_WIDTH=4 \
-  CSQ_SERVE_SECONDS=2 ./target/release/serve
+  CSQ_SERVE_SECONDS=2 CSQ_SERVE_OVERLOAD_SECONDS=0.5 ./target/release/serve
 
 echo "All checks passed."
