@@ -27,6 +27,10 @@ fn main() {
     let scale = BenchScale::from_env();
     let campaign = Campaign::from_args("fig3");
     eprintln!("fig3: target sweep, scale {scale:?}");
+    // Record the per-epoch telemetry series (loss, avg bits, gate
+    // sparsity, per-layer bits) through the shared registry; the full
+    // snapshot is exported next to the figure data below.
+    csq_core::set_telemetry(true);
     let mut series = Vec::new();
     for target in [1.0f32, 2.0, 3.0, 4.0, 5.0] {
         let s = campaign.run(&format!("target-{target}"), || {
@@ -69,4 +73,5 @@ fn main() {
         .count();
     println!("\n{hit}/5 targets hit within 0.5 bit (paper: all converge on target)");
     write_results("fig3", &series);
+    write_results("fig3_telemetry", &csq_obs::global_registry().snapshot());
 }

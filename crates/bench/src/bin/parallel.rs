@@ -1,7 +1,9 @@
 //! Measures the wall-clock scaling of the deterministic parallel runtime
-//! at 1, 2 and 4 worker threads over the two hot paths it accelerates —
-//! a dense matmul and one full CSQ training step — and writes the rows to
-//! `bench_results/BENCH_parallel.json`.
+//! at 1, 2 and 4 worker threads over the hot paths it accelerates —
+//! a dense matmul, one full CSQ training step, and batched integer
+//! inference through the serve executor — and writes the rows to
+//! `bench_results/BENCH_parallel.json` together with the per-op kernel
+//! cost breakdown of the inference workload (the `csq-obs` profiler).
 //!
 //! The runtime's chunk boundaries and reduction order are fixed functions
 //! of tensor shape, so every thread count produces bit-identical numbers;
@@ -31,6 +33,14 @@ struct ParallelRow {
     threads: usize,
     seconds_per_iter: f32,
     speedup_vs_serial: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct ParallelReport {
+    rows: Vec<ParallelRow>,
+    /// Per-op kernel breakdown of the integer-inference workload,
+    /// sorted by total wall time.
+    kernel_profile: Vec<csq_obs::profiler::OpProfile>,
 }
 
 /// Times `f` over `iters` iterations after one warm-up call.
@@ -105,5 +115,45 @@ fn main() {
         &mut rows,
     );
 
-    write_results("BENCH_parallel", &rows);
+    // Workload 3: batched integer inference through the serve executor,
+    // with the kernel profiler on so the report carries the per-op
+    // (kind × shape) wall-time and bytes-touched breakdown.
+    model.visit_weight_sources(&mut |s| {
+        s.freeze_mask();
+        s.finalize();
+    });
+    let artifact =
+        match csq_serve::ModelArtifact::export(&mut model, "resnet-par", &[3, 16, 16], 10, &x) {
+            Ok(a) => a,
+            Err(e) => panic!("artifact export failed: {e}"),
+        };
+    let compiled = match artifact.compile() {
+        Ok(c) => c,
+        Err(e) => panic!("artifact compile failed: {e}"),
+    };
+    let scratch: csq_tensor::par::ScratchPool<u8> = csq_tensor::par::ScratchPool::new();
+    let profiler = csq_obs::profiler::global();
+    profiler.reset();
+    profiler.set_enabled(true);
+    bench_workload(
+        "integer_forward_resnet8",
+        20,
+        || {
+            black_box(compiled.forward_batch(&x, &scratch).ok());
+        },
+        &mut rows,
+    );
+    profiler.set_enabled(false);
+    let kernel_profile = profiler.snapshot();
+    for row in kernel_profile.iter().take(5) {
+        println!(
+            "kernel {:>14} {:>16}: {:>6} calls  {:>9.3} ms",
+            row.kind,
+            row.shape,
+            row.calls,
+            row.wall_ns as f64 / 1e6,
+        );
+    }
+
+    write_results("BENCH_parallel", &ParallelReport { rows, kernel_profile });
 }

@@ -76,6 +76,9 @@ struct ServeBenchReport {
     avg_batch: f32,
     batch_hist: Vec<u64>,
     multi_request_batches: u64,
+    // Per-op kernel cost breakdown of the closed-loop section, sorted
+    // by total wall time (the csq-obs kernel profiler).
+    kernel_profile: Vec<csq_obs::profiler::OpProfile>,
     // Open-loop overload sweep (offered load vs capacity).
     overload: Vec<OverloadPoint>,
 }
@@ -231,6 +234,10 @@ fn main() {
     println!(
         "serving for {serve_seconds:.1}s with {workers} worker(s), {clients} client(s), max_batch {max_batch} ..."
     );
+    // Profile every kernel invocation of the measured section.
+    let profiler = csq_obs::profiler::global();
+    profiler.reset();
+    profiler.set_enabled(true);
     let n_test = data.test.len();
     let deadline = Instant::now() + Duration::from_secs_f32(serve_seconds.max(0.1));
     let start = Instant::now();
@@ -262,7 +269,19 @@ fn main() {
     });
     let elapsed = start.elapsed().as_secs_f32();
     let stats = engine.stats();
+    profiler.set_enabled(false);
+    let kernel_profile = profiler.snapshot();
     assert_eq!(errors.load(Ordering::Relaxed), 0, "no request may error");
+    for row in kernel_profile.iter().take(5) {
+        println!(
+            "kernel {:>14} {:>16}: {:>7} calls  {:>9.3} ms  {:>9.1} MB",
+            row.kind,
+            row.shape,
+            row.calls,
+            row.wall_ns as f64 / 1e6,
+            row.bytes as f64 / 1e6,
+        );
+    }
 
     let multi_request_batches: u64 = stats.batch_hist.iter().skip(2).sum();
     let throughput_rps = stats.completed as f32 / elapsed.max(1e-6);
@@ -339,9 +358,22 @@ fn main() {
         avg_batch: stats.avg_batch,
         batch_hist: stats.batch_hist.clone(),
         multi_request_batches,
+        kernel_profile,
         overload,
     };
     write_results("BENCH_serve", &out);
+
+    // Prometheus text exposition of the closed-loop run: every engine
+    // metric plus the kernel breakdown, scrape-ready.
+    let mut metrics = stats.to_metrics_snapshot("serve");
+    let kernel_reg = csq_obs::MetricsRegistry::new();
+    profiler.publish_to(&kernel_reg);
+    metrics.merge(&kernel_reg.snapshot());
+    let prom_path = std::path::Path::new("bench_results").join("serve_metrics.prom");
+    match std::fs::write(&prom_path, metrics.to_prometheus()) {
+        Ok(()) => println!("wrote {}", prom_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", prom_path.display()),
+    }
 }
 
 /// Runs one open-loop overload point: submits at a paced `offered_rps`

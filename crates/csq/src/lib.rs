@@ -20,7 +20,10 @@
 //!   mixed-precision quantization scheme;
 //! * [`resume`] and [`fault`] — fault tolerance: versioned, checksummed
 //!   training snapshots with exact resume, NaN-storm recovery policies,
-//!   and a deterministic fault injector for testing them.
+//!   and a deterministic fault injector for testing them;
+//! * [`telemetry`] — opt-in (`CSQ_TELEMETRY=1`) per-epoch series — loss,
+//!   average bits, gate sparsity, per-layer bit widths — published to the
+//!   shared `csq-obs` metrics registry.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod pack;
 pub mod qinfer;
 pub mod resume;
 pub mod scheme;
+pub mod telemetry;
 pub mod trainer;
 
 pub use act_search::SearchedActQuant;
@@ -75,6 +79,7 @@ pub use qinfer::{
 };
 pub use resume::{SnapshotError, TrainPhase, TrainSnapshot};
 pub use scheme::{LayerScheme, QuantScheme};
+pub use telemetry::{set_telemetry, telemetry_enabled};
 pub use trainer::{
     fit, fit_with, CsqConfig, CsqTrainer, EpochStats, FitConfig, FitOptions, RecoveryPolicy,
     SnapshotPolicy, TrainError, TrainReport,

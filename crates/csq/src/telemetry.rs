@@ -1,0 +1,112 @@
+//! Per-epoch training telemetry published through the shared
+//! [`csq_obs`] metrics registry.
+//!
+//! Off by default so the quiet path stays allocation-free and training
+//! trajectories bit-identical. Enable with `CSQ_TELEMETRY=1` (any value
+//! other than empty or `0`) or programmatically with [`set_telemetry`]
+//! (tests use the latter to avoid process-global env mutation).
+//!
+//! When enabled, every cleanly completed epoch appends to the global
+//! registry's time series — training loss, held-out accuracy, the
+//! element-weighted average precision, gate sparsity (fraction of bit
+//! gates currently pruned), the temperature β, the budget gap Δ_S, and
+//! one `train.layer_bits.<path>` series per weight tensor — the data
+//! behind the paper's Figures 2–4. Epochs re-run after a NaN-storm
+//! rewind appear once per attempt at the same step; consumers that want
+//! the final trajectory should keep the last point per step.
+
+use crate::scheme::QuantScheme;
+use crate::trainer::EpochStats;
+use csq_nn::Layer;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+// 0 = uninitialized (consult CSQ_TELEMETRY), 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether per-epoch telemetry is enabled. After the one-time
+/// `CSQ_TELEMETRY` lookup this is a single relaxed atomic load.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = match std::env::var("CSQ_TELEMETRY") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
+    };
+    // First writer wins so a racing programmatic override is kept.
+    let new = if on { 2 } else { 1 };
+    match STATE.compare_exchange(0, new, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => on,
+        Err(current) => current == 2,
+    }
+}
+
+/// Programmatically enables or disables telemetry, overriding
+/// `CSQ_TELEMETRY`.
+pub fn set_telemetry(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Publishes one completed epoch to the global registry. `step` is the
+/// epoch's ordinal across *all* phases of the run (prior history
+/// included) so CSQ and finetune points land on one axis. No-op while
+/// telemetry is disabled; never mutates the model.
+pub fn record_epoch(model: &mut dyn Layer, stats: &EpochStats, step: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    let reg = csq_obs::global_registry();
+    reg.series("train.loss").push(step, f64::from(stats.loss));
+    reg.series("train.train_acc")
+        .push(step, f64::from(stats.train_acc));
+    reg.series("train.test_acc")
+        .push(step, f64::from(stats.test_acc));
+    reg.series("train.avg_bits")
+        .push(step, f64::from(stats.avg_bits));
+    reg.series("train.beta").push(step, f64::from(stats.beta));
+    reg.series("train.lr").push(step, f64::from(stats.lr));
+    reg.series("train.delta_s")
+        .push(step, f64::from(stats.delta_s));
+    reg.counter("train.epochs").inc();
+    reg.counter("train.skipped_batches")
+        .add(stats.skipped as u64);
+
+    // Gate sparsity and the per-layer bit-width series come from the
+    // scheme currently encoded in the weight sources (hard-counted, so
+    // the series shows the same numbers the final report will).
+    let scheme = QuantScheme::extract(model);
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    for layer in &scheme.layers {
+        if let Some(mask) = &layer.mask {
+            kept += mask.iter().filter(|&&g| g).count();
+            total += mask.len();
+        }
+        reg.series(&format!("train.layer_bits.{}", layer.path))
+            .push(step, f64::from(layer.bits));
+    }
+    if total > 0 {
+        reg.series("train.gate_sparsity")
+            .push(step, 1.0 - kept as f64 / total as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_is_sticky() {
+        set_telemetry(true);
+        assert!(telemetry_enabled());
+        set_telemetry(false);
+        assert!(!telemetry_enabled());
+    }
+}

@@ -443,8 +443,26 @@ pub fn fit_with(
     let mut consecutive_bad = 0usize;
     let mut global_step = 0u64;
 
+    let phase_name = match opts.phase {
+        TrainPhase::Csq => "csq",
+        TrainPhase::Finetune => "finetune",
+    };
+    let _phase_span = csq_obs::span!(
+        "train",
+        "phase",
+        "phase" => phase_name,
+        "epochs" => cfg.epochs,
+        "start" => opts.start_epoch,
+    );
+
     let mut epoch = opts.start_epoch;
     while epoch < cfg.epochs {
+        let _epoch_span = csq_obs::span!(
+            "train",
+            "epoch",
+            "epoch" => epoch,
+            "phase" => phase_name,
+        );
         let lr = lr_schedule.lr_at(epoch) * lr_scale;
         opt.set_lr(lr);
         let beta = match &cfg.beta {
@@ -504,11 +522,29 @@ pub fn fit_with(
         }
         if storm {
             if rewinds >= recovery.max_rewinds {
+                csq_obs::event!(
+                    "train",
+                    "diverged",
+                    "phase" => phase_name,
+                    "epoch" => epoch,
+                    "rewinds" => rewinds,
+                );
+                let _ = csq_obs::flight::dump_global("train_diverged");
                 return Err(TrainError::Diverged { epoch, rewinds });
             }
             rewinds += 1;
             lr_scale *= recovery.lr_backoff;
             consecutive_bad = 0;
+            csq_obs::event!(
+                "train",
+                "nan_rewind",
+                "phase" => phase_name,
+                "storm_epoch" => epoch,
+                "rewind_to" => good.epoch,
+                "rewinds" => rewinds,
+                "lr_scale" => lr_scale,
+            );
+            let _ = csq_obs::flight::dump_global("nan_rewind");
             good.restore(model, &mut opt, &mut loader);
             history.truncate(good.hist_len);
             epoch = good.epoch;
@@ -518,7 +554,7 @@ pub fn fit_with(
 
         let (_, test_acc) = evaluate(model, &data.test, cfg.batch_size);
         let stats = model_precision(model);
-        history.push(EpochStats {
+        let row = EpochStats {
             epoch,
             finetune: finetune_phase,
             loss: (loss_sum / seen.max(1) as f64) as f32,
@@ -529,7 +565,13 @@ pub fn fit_with(
             lr,
             delta_s: last_delta,
             skipped,
-        });
+        };
+        history.push(row);
+        crate::telemetry::record_epoch(
+            model,
+            &row,
+            (opts.prior_history.len() + history.len() - 1) as u64,
+        );
 
         let completed = epoch + 1;
         // Advance the rewind target only past epochs that ended cleanly

@@ -1,7 +1,13 @@
 //! Evaluation metrics.
+//!
+//! The [`RunningMean`] accumulator now lives in `csq-obs` (shared with
+//! the telemetry registry); it is re-exported here so existing callers
+//! keep working.
 
 use csq_tensor::reduce::argmax_rows;
 use csq_tensor::Tensor;
+
+pub use csq_obs::RunningMean;
 
 /// Top-1 classification accuracy in `[0, 1]`.
 ///
@@ -33,40 +39,6 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     correct as f32 / labels.len() as f32
 }
 
-/// Running average helper for loss/accuracy curves.
-#[derive(Debug, Clone, Default)]
-pub struct RunningMean {
-    sum: f64,
-    count: usize,
-}
-
-impl RunningMean {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds an observation with weight `n` (e.g. a batch of size `n`).
-    pub fn add(&mut self, value: f32, n: usize) {
-        self.sum += value as f64 * n as f64;
-        self.count += n;
-    }
-
-    /// Current mean (0 when empty).
-    pub fn mean(&self) -> f32 {
-        if self.count == 0 {
-            0.0
-        } else {
-            (self.sum / self.count as f64) as f32
-        }
-    }
-
-    /// Number of observations accumulated.
-    pub fn count(&self) -> usize {
-        self.count
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,16 +50,11 @@ mod tests {
     }
 
     #[test]
-    fn running_mean_weighted() {
+    fn running_mean_reexport_still_works() {
         let mut m = RunningMean::new();
         m.add(1.0, 1);
         m.add(0.0, 3);
         assert!((m.mean() - 0.25).abs() < 1e-6);
         assert_eq!(m.count(), 4);
-    }
-
-    #[test]
-    fn empty_running_mean_is_zero() {
-        assert_eq!(RunningMean::new().mean(), 0.0);
     }
 }

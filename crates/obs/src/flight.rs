@@ -1,0 +1,192 @@
+//! Flight recorder: a fixed-size in-memory ring of the most recent
+//! trace events, dumped to a timestamped JSONL postmortem file when
+//! something dies (worker panic, NaN-storm rewind, chaos failure).
+//!
+//! The ring only fills while tracing is enabled (see
+//! [`crate::trace`]); dumping while tracing is disabled is a no-op so
+//! the quiet path never touches the filesystem. Postmortems land in
+//! `CSQ_POSTMORTEM_DIR` (or a directory set programmatically via
+//! [`set_postmortem_dir`]; default `.`) as
+//! `postmortem-<unix_ms>-<seq>.jsonl`: a header object with the dump
+//! reason followed by one JSON object per recorded event, oldest
+//! first.
+
+use crate::trace::TraceEvent;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default capacity of the global ring (events kept for a postmortem).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A bounded ring of recent [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` recent events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Writes the buffered events as a JSONL postmortem into `dir`,
+    /// returning the file path. The first line is a header object
+    /// carrying `reason`; events follow oldest-first. The ring is left
+    /// intact (later failures may dump again with more context).
+    pub fn dump(&self, dir: &std::path::Path, reason: &str) -> std::io::Result<PathBuf> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("postmortem-{unix_ms}-{seq}.jsonl"));
+        let events = self.recent();
+        let mut out = Vec::with_capacity(events.len() * 128 + 128);
+        let header = serde_json::json!({
+            "postmortem": reason,
+            "ts_us": crate::trace::now_us(),
+            "events": events.len(),
+        });
+        writeln!(out, "{header}")?;
+        for event in &events {
+            match serde_json::to_string(event) {
+                Ok(line) => writeln!(out, "{line}")?,
+                Err(e) => return Err(std::io::Error::other(e)),
+            }
+        }
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+/// The process-wide ring fed by the trace dispatcher.
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::new(DEFAULT_RING_CAPACITY))
+}
+
+static POSTMORTEM_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Overrides the postmortem output directory (wins over
+/// `CSQ_POSTMORTEM_DIR`). Tests use this to avoid process-global env
+/// mutation.
+pub fn set_postmortem_dir(dir: Option<PathBuf>) {
+    *POSTMORTEM_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// Resolves where postmortems go: the programmatic override, then
+/// `CSQ_POSTMORTEM_DIR`, then the current directory.
+pub fn postmortem_dir() -> PathBuf {
+    if let Some(dir) = POSTMORTEM_DIR
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+    {
+        return dir;
+    }
+    match std::env::var("CSQ_POSTMORTEM_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Dumps the global ring as a postmortem named after `reason`.
+///
+/// Returns `None` when tracing is disabled (nothing was recorded — the
+/// quiet path must not touch the filesystem) or when the write fails;
+/// crash paths call this best-effort and must not turn a telemetry
+/// failure into a second panic.
+pub fn dump_global(reason: &str) -> Option<PathBuf> {
+    if !crate::trace::enabled() {
+        return None;
+    }
+    global().dump(&postmortem_dir(), reason).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    fn ev(name: &str, ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_us: ts,
+            thread: 0,
+            depth: 0,
+            kind: EventKind::Instant,
+            target: String::from("test"),
+            name: String::from(name),
+            fields: vec![(String::from("k"), String::from("v"))],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.push(ev(&format!("e{i}"), i));
+        }
+        let names: Vec<String> = fr.recent().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+        fr.clear();
+        assert!(fr.recent().is_empty());
+    }
+
+    #[test]
+    fn dump_writes_header_then_events() {
+        let fr = FlightRecorder::new(8);
+        fr.push(ev("first", 1));
+        fr.push(ev("second", 2));
+        let dir = std::env::temp_dir().join("csq-obs-flight-test");
+        let path = match fr.dump(&dir, "unit-test") {
+            Ok(p) => p,
+            Err(e) => panic!("dump failed: {e}"),
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let parsed: Result<serde_json::Value, _> = serde_json::from_str(line);
+            assert!(parsed.is_ok(), "line is not JSON: {line}");
+        }
+        assert!(lines[0].contains("\"postmortem\":\"unit-test\""));
+        assert!(lines[1].contains("first"));
+        assert!(lines[2].contains("second"));
+        // Ring survives the dump.
+        assert_eq!(fr.recent().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

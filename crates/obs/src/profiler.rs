@@ -1,0 +1,186 @@
+//! Kernel profiler: per-op-kind / per-shape wall-time and
+//! bytes-touched aggregation.
+//!
+//! Off by default — the per-op check is one relaxed atomic load, so
+//! `csq_serve::exec` pays nothing on the quiet path. When enabled
+//! (benches flip it on around their measured sections) every kernel
+//! invocation folds `(kind, shape) → {calls, wall_ns, bytes}` into a
+//! small map; [`KernelProfiler::snapshot`] returns the rows sorted by
+//! total wall time so BENCH reports lead with the most expensive op.
+//! This is the baseline data the bit-plane-kernel work must beat.
+
+use crate::registry::MetricsRegistry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct OpStat {
+    calls: u64,
+    wall_ns: u64,
+    bytes: u64,
+}
+
+/// One aggregated profile row (serialized into BENCH_serve.json).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Op kind, e.g. `conv2d.int` or `linear.float`.
+    pub kind: String,
+    /// Shape key, e.g. `8x3x32x32->8x16x32x32`.
+    pub shape: String,
+    /// Number of kernel invocations.
+    pub calls: u64,
+    /// Total wall time across calls, nanoseconds.
+    pub wall_ns: u64,
+    /// Total bytes touched (inputs + outputs + weights) across calls.
+    pub bytes: u64,
+}
+
+/// Aggregates kernel timings. Use [`global()`] from instrumented code.
+#[derive(Debug, Default)]
+pub struct KernelProfiler {
+    enabled: AtomicBool,
+    stats: Mutex<BTreeMap<(String, String), OpStat>>,
+}
+
+impl KernelProfiler {
+    /// A disabled, empty profiler.
+    pub fn new() -> KernelProfiler {
+        KernelProfiler::default()
+    }
+
+    /// Whether recording is on (one relaxed load — the per-op gate).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Folds one kernel invocation into the aggregate. Callers should
+    /// gate on [`enabled`](Self::enabled) before measuring; `record`
+    /// re-checks and drops the sample when disabled.
+    pub fn record(&self, kind: &str, shape: &str, wall_ns: u64, bytes: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = stats
+            .entry((kind.to_string(), shape.to_string()))
+            .or_default();
+        stat.calls += 1;
+        stat.wall_ns += wall_ns;
+        stat.bytes += bytes;
+    }
+
+    /// All rows recorded so far, sorted by total wall time descending.
+    pub fn snapshot(&self) -> Vec<OpProfile> {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<OpProfile> = stats
+            .iter()
+            .map(|((kind, shape), s)| OpProfile {
+                kind: kind.clone(),
+                shape: shape.clone(),
+                calls: s.calls,
+                wall_ns: s.wall_ns,
+                bytes: s.bytes,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.kind.cmp(&b.kind)));
+        rows
+    }
+
+    /// Drops all recorded rows (recording state is unchanged).
+    pub fn reset(&self) {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Publishes every row into `registry` as counters
+    /// (`kernel.<kind>.<shape>.{calls,wall_ns,bytes}`), so the
+    /// Prometheus exposition and merged fleet snapshots carry the
+    /// kernel breakdown too.
+    pub fn publish_to(&self, registry: &MetricsRegistry) {
+        for row in self.snapshot() {
+            let base = format!("kernel.{}.{}", row.kind, row.shape);
+            registry.counter(&format!("{base}.calls")).add(row.calls);
+            registry.counter(&format!("{base}.wall_ns")).add(row.wall_ns);
+            registry.counter(&format!("{base}.bytes")).add(row.bytes);
+        }
+    }
+}
+
+/// The process-wide profiler used by the serve executor.
+pub fn global() -> &'static KernelProfiler {
+    static GLOBAL: OnceLock<KernelProfiler> = OnceLock::new();
+    GLOBAL.get_or_init(KernelProfiler::new)
+}
+
+/// Formats a dims slice as a compact shape key (`8x16x32x32`; scalars
+/// render as `scalar`).
+pub fn shape_key(dims: &[usize]) -> String {
+    if dims.is_empty() {
+        return String::from("scalar");
+    }
+    let mut out = String::new();
+    for (i, d) in dims.iter().enumerate() {
+        if i > 0 {
+            out.push('x');
+        }
+        out.push_str(&d.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_drops_samples() {
+        let p = KernelProfiler::new();
+        p.record("conv2d.int", "1x3x8x8", 100, 64);
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn aggregates_and_sorts_by_wall_time() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record("linear.float", "1x10", 50, 40);
+        p.record("conv2d.int", "1x3x8x8", 100, 64);
+        p.record("conv2d.int", "1x3x8x8", 200, 64);
+        let rows = p.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, "conv2d.int");
+        assert_eq!(rows[0].calls, 2);
+        assert_eq!(rows[0].wall_ns, 300);
+        assert_eq!(rows[0].bytes, 128);
+        assert_eq!(rows[1].kind, "linear.float");
+        p.reset();
+        assert!(p.snapshot().is_empty());
+        assert!(p.enabled());
+    }
+
+    #[test]
+    fn publishes_rows_as_counters() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record("relu", "1x10", 7, 80);
+        let reg = MetricsRegistry::new();
+        p.publish_to(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["kernel.relu.1x10.calls"], 1);
+        assert_eq!(snap.counters["kernel.relu.1x10.wall_ns"], 7);
+        assert_eq!(snap.counters["kernel.relu.1x10.bytes"], 80);
+    }
+
+    #[test]
+    fn shape_keys() {
+        assert_eq!(shape_key(&[8, 3, 32, 32]), "8x3x32x32");
+        assert_eq!(shape_key(&[]), "scalar");
+    }
+}

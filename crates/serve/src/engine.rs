@@ -52,6 +52,7 @@
 use crate::exec::{CompiledModel, ServeError};
 use crate::metrics::{EngineStats, StatsInner};
 use csq_core::fault::ChaosPlan;
+use csq_obs::{event, span};
 use csq_tensor::par::{self, ScratchPool};
 use csq_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
@@ -145,7 +146,22 @@ struct Request {
     enqueued: Instant,
     deadline: Option<Instant>,
     tenant: Option<String>,
+    /// Process-unique id propagated through trace events and surfaced
+    /// on the caller's [`Ticket`].
+    trace_id: u64,
     reply: mpsc::Sender<Result<Tensor, ServeError>>,
+}
+
+/// Comma-joined trace ids of a batch, for trace/postmortem payloads.
+fn batch_trace_ids(requests: &[Request]) -> String {
+    let mut out = String::new();
+    for (i, r) in requests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.trace_id.to_string());
+    }
+    out
 }
 
 impl Request {
@@ -233,6 +249,7 @@ pub struct Ticket {
     enqueued: Instant,
     deadline: Option<Instant>,
     tenant: Option<String>,
+    trace_id: u64,
     shared: Arc<Shared>,
 }
 
@@ -275,6 +292,14 @@ impl Ticket {
     /// accounting).
     pub fn enqueued_at(&self) -> Instant {
         self.enqueued
+    }
+
+    /// Process-unique trace id of this request. Every trace event the
+    /// request appears in (submit, batch, reply, chaos postmortems)
+    /// carries the same id, so a caller can correlate its answer with
+    /// the flight-recorder dump of a failure.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 }
 
@@ -393,6 +418,7 @@ impl Engine {
             }
         }
         let deadline = opts.deadline.and_then(|d| enqueued.checked_add(d));
+        let trace_id = csq_obs::trace::next_trace_id();
         let (tx, rx) = mpsc::channel();
         {
             let mut queue = lock_queue(&self.shared);
@@ -407,16 +433,24 @@ impl Engine {
                 enqueued,
                 deadline,
                 tenant: opts.tenant.clone(),
+                trace_id,
                 reply: tx,
             });
             self.shared.stats.record_submitted(opts.tenant.as_deref());
         }
         self.shared.notify.notify_one();
+        event!(
+            "engine",
+            "submit",
+            "trace_id" => trace_id,
+            "tenant" => opts.tenant.as_deref().unwrap_or("-"),
+        );
         Ok(Ticket {
             rx,
             enqueued,
             deadline,
             tenant: opts.tenant,
+            trace_id,
             shared: Arc::clone(&self.shared),
         })
     }
@@ -526,6 +560,8 @@ fn supervisor_loop(
         }
         if exit.panicked && !shared.shutdown.load(Ordering::Acquire) {
             shared.stats.record_worker_restart();
+            event!("engine", "worker_restart", "worker" => exit.id);
+            let _ = csq_obs::flight::dump_global("worker_restart");
             if let Some(slot) = handles.get_mut(exit.id) {
                 *slot = Some(spawn_worker(Arc::clone(shared), exit.id, exit_tx.clone()));
             }
@@ -609,6 +645,15 @@ fn run_batch(
 ) {
     let global = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
     shared.stats.record_dequeued(batch.len());
+    let _batch_span = span!(
+        "engine",
+        "batch",
+        "worker" => worker,
+        "ordinal" => ordinal,
+        "global" => global,
+        "size" => batch.len(),
+        "trace_ids" => batch_trace_ids(&batch),
+    );
 
     // Deterministic chaos, consulted once per batch. A kill unwinds
     // *outside* the containment boundary below: the batch's reply
@@ -631,6 +676,14 @@ fn run_batch(
             std::thread::sleep(d);
         }
         if kill {
+            event!(
+                "engine",
+                "chaos_kill",
+                "worker" => worker,
+                "ordinal" => ordinal,
+                "global" => global,
+                "trace_ids" => batch_trace_ids(&batch),
+            );
             resume_unwind(Box::new(format!(
                 "chaos: worker {worker} killed at its batch {ordinal}"
             )));
@@ -649,6 +702,12 @@ fn run_batch(
         if request.reply.send(Err(ServeError::DeadlineExceeded)).is_ok() {
             shared.stats.record_expired(request.tenant.as_deref());
         }
+        event!(
+            "engine",
+            "reply",
+            "trace_id" => request.trace_id,
+            "outcome" => "expired",
+        );
     }
     if live.is_empty() {
         return;
@@ -688,23 +747,50 @@ fn run_batch(
                 // still done and counts as completed.
                 let _ = request.reply.send(Ok(row));
                 shared.stats.record_completed(latency, request.tenant.as_deref());
+                event!(
+                    "engine",
+                    "reply",
+                    "trace_id" => request.trace_id,
+                    "outcome" => "completed",
+                );
             }
         }
         Ok(Err(e)) => {
             for request in live {
                 shared.stats.record_failed(request.tenant.as_deref());
                 let _ = request.reply.send(Err(e.clone()));
+                event!(
+                    "engine",
+                    "reply",
+                    "trace_id" => request.trace_id,
+                    "outcome" => "failed",
+                );
             }
         }
         Err(payload) => {
             shared.stats.record_panic_contained();
             let detail = panic_detail(payload.as_ref());
+            event!(
+                "engine",
+                "panic_contained",
+                "worker" => worker,
+                "global" => global,
+                "detail" => detail,
+                "trace_ids" => batch_trace_ids(&live),
+            );
             for request in live {
                 shared.stats.record_failed(request.tenant.as_deref());
                 let _ = request.reply.send(Err(ServeError::WorkerFailed {
                     detail: detail.clone(),
                 }));
+                event!(
+                    "engine",
+                    "reply",
+                    "trace_id" => request.trace_id,
+                    "outcome" => "failed",
+                );
             }
+            let _ = csq_obs::flight::dump_global("panic_contained");
         }
     }
 }

@@ -31,6 +31,7 @@ use csq_tensor::conv::{conv2d, depthwise_conv2d, ConvSpec};
 use csq_tensor::par::ScratchPool;
 use csq_tensor::{pool, Tensor};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Why a serving request could not be answered.
 #[derive(Debug, Clone, PartialEq)]
@@ -507,6 +508,40 @@ fn minmax(x: &Tensor) -> (f32, f32) {
     })
 }
 
+/// Profiler metadata for one op: the kind label and the bytes of weight
+/// data it reads. `None` for ops that cost nothing worth attributing
+/// (`Flatten`, `Identity`) and for `Residual`, whose inner ops are
+/// recorded individually by the recursive [`run_ops`] calls.
+fn profile_meta(
+    op: &BoundOp,
+    weights: &[BoundWeight],
+    integer: bool,
+) -> Option<(&'static str, u64)> {
+    let weight_bytes =
+        |widx: &usize| (weights[*widx].packed.codes.len() * std::mem::size_of::<i32>()) as u64;
+    match op {
+        BoundOp::Conv { widx, grid, .. } => Some((
+            if integer && grid.integer { "conv2d.int" } else { "conv2d.float" },
+            weight_bytes(widx),
+        )),
+        BoundOp::Depthwise { widx, grid, .. } => Some((
+            if integer && grid.integer { "depthwise.int" } else { "depthwise.float" },
+            weight_bytes(widx),
+        )),
+        BoundOp::Linear { widx, grid, .. } => Some((
+            if integer && grid.integer { "linear.int" } else { "linear.float" },
+            weight_bytes(widx),
+        )),
+        BoundOp::ChannelAffine { .. } => Some(("channel_affine", 0)),
+        BoundOp::Relu => Some(("relu", 0)),
+        BoundOp::UniformActQuant { .. } => Some(("act_quant", 0)),
+        BoundOp::MaxPool { .. } => Some(("maxpool2d", 0)),
+        BoundOp::AvgPool { .. } => Some(("avgpool2d", 0)),
+        BoundOp::GlobalAvgPool => Some(("global_avgpool", 0)),
+        BoundOp::Flatten | BoundOp::Identity | BoundOp::Residual { .. } => None,
+    }
+}
+
 /// Runs a weighted op's input through the integer path if calibration
 /// allows, else through the exact float path on the unpacked weight.
 fn run_ops(
@@ -517,7 +552,17 @@ fn run_ops(
     scratch: &ScratchPool<u8>,
     observer: &mut dyn FnMut(usize, f32, f32),
 ) -> Result<Tensor, ServeError> {
+    let profiler = csq_obs::profiler::global();
     for op in plan {
+        // Kernel profiling (off by default; the disabled check is one
+        // relaxed atomic load). Input shape is captured before the op
+        // consumes `x`; bytes = input + output activations + weights.
+        let prof = if profiler.enabled() {
+            profile_meta(op, weights, integer)
+                .map(|(kind, wbytes)| (kind, wbytes, x.dims().to_vec(), x.numel(), Instant::now()))
+        } else {
+            None
+        };
         x = match op {
             BoundOp::Conv {
                 widx,
@@ -639,6 +684,16 @@ fn run_ops(
                 run_ops(post, weights, merged, integer, scratch, observer)?
             }
         };
+        if let Some((kind, wbytes, in_dims, in_numel, start)) = prof {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let act_bytes = ((in_numel + x.numel()) * std::mem::size_of::<f32>()) as u64;
+            profiler.record(
+                kind,
+                &csq_obs::profiler::shape_key(&in_dims),
+                wall_ns,
+                act_bytes + wbytes,
+            );
+        }
     }
     Ok(x)
 }

@@ -1,15 +1,23 @@
-//! Serving metrics: lock-free counters, queue-depth gauge, batch-size
-//! histogram, a fixed-bucket latency histogram with percentile
-//! estimates, and per-tenant admission breakdowns.
+//! Serving metrics: scalar outcome counters under one short lock, a
+//! batch-size histogram, a shared geometric latency histogram, and
+//! per-tenant admission breakdowns.
 //!
-//! Workers record into relaxed atomics on the hot path (no locks, no
-//! allocation); [`EngineStats`] is a consistent-enough snapshot taken on
-//! demand. Latency uses geometric buckets (1 µs, 2 µs, 4 µs, … ~8 s) so
-//! percentiles are upper bounds with at most 2× resolution error —
-//! plenty for load-test reporting, and immune to reservoir-sampling
-//! bias. Requests that carry a tenant additionally record into a
-//! mutex-guarded per-tenant table ([`TenantStats`]) — untenanted
-//! traffic never touches that lock.
+//! The latency histogram is `csq-obs`'s [`GeoHistogram`] (re-exported
+//! here for old callers): geometric buckets (1 µs, 2 µs, 4 µs, … ~8 s)
+//! whose percentile estimates are upper bounds with at most 2×
+//! resolution error — plenty for load-test reporting, and immune to
+//! reservoir-sampling bias. Its interpolation rule is the single
+//! workspace-wide implementation in
+//! [`HistogramSnapshot::percentile`], so training and serving report
+//! percentiles identically.
+//!
+//! The eleven scalar counters live behind **one** mutex ([`Scalars`]
+//! is plain `u64`s): updates are a short uncontended lock (the submit
+//! path already serializes on the queue mutex, so this adds no new
+//! contention point) and [`StatsInner::snapshot`] copies all of them
+//! under a single acquisition — a scrape racing a panic can never
+//! observe a torn cross-counter view, and every lock in this module
+//! recovers from poisoning, so metrics stay scrapeable mid-crash.
 //!
 //! Outcome taxonomy (every submitted request ends in exactly one):
 //!
@@ -30,22 +38,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+pub use csq_obs::hist::{GeoHistogram, HistogramSnapshot};
+use csq_obs::registry::{MetricsRegistry, MetricsSnapshot};
+
 /// Number of finite latency buckets; bucket `i` covers latencies up to
 /// `2^i` microseconds, and one extra slot counts overflows (> ~8.4 s).
 const LATENCY_BUCKETS: usize = 24;
-
-/// Upper bound of latency bucket `i`, in microseconds.
-fn bucket_bound_us(i: usize) -> u64 {
-    1u64 << i
-}
-
-/// Index of the bucket a latency falls into (the overflow slot is
-/// `LATENCY_BUCKETS`).
-fn bucket_index(us: u64) -> usize {
-    (0..LATENCY_BUCKETS)
-        .find(|&i| us <= bucket_bound_us(i))
-        .unwrap_or(LATENCY_BUCKETS)
-}
 
 /// Per-tenant mutable counters (guarded by the tenants mutex).
 #[derive(Debug, Clone, Default)]
@@ -58,25 +56,32 @@ struct TenantCounters {
     failed: u64,
 }
 
+/// The scalar counters, kept together so one lock acquisition reads or
+/// writes a consistent view.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scalars {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    expired: u64,
+    failed: u64,
+    batches: u64,
+    queue_depth: u64,
+    worker_restarts: u64,
+    panics_contained: u64,
+    swaps: u64,
+}
+
 /// Shared mutable counters the workers write into.
 #[derive(Debug)]
 pub(crate) struct StatsInner {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    rejected: AtomicU64,
-    expired: AtomicU64,
-    failed: AtomicU64,
-    batches: AtomicU64,
-    queue_depth: AtomicU64,
-    worker_restarts: AtomicU64,
-    panics_contained: AtomicU64,
-    swaps: AtomicU64,
+    scalars: Mutex<Scalars>,
     /// `batch_hist[s]` counts fused forwards that served `s` requests;
     /// length `max_batch + 1` (slot 0 stays zero).
     batch_hist: Vec<AtomicU64>,
-    /// Request latency histogram; last slot is the overflow bucket.
-    latency: Vec<AtomicU64>,
+    /// Request latency histogram (microseconds).
+    latency: GeoHistogram,
     /// Per-tenant breakdowns; only touched by tenanted requests.
     tenants: Mutex<BTreeMap<String, TenantCounters>>,
 }
@@ -84,21 +89,21 @@ pub(crate) struct StatsInner {
 impl StatsInner {
     pub(crate) fn new(max_batch: usize) -> StatsInner {
         StatsInner {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            worker_restarts: AtomicU64::new(0),
-            panics_contained: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
+            scalars: Mutex::new(Scalars::default()),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
-            latency: (0..=LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            latency: GeoHistogram::new(LATENCY_BUCKETS),
             tenants: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Applies `f` to the scalar counters under the (poison-recovering)
+    /// lock.
+    fn with_scalars(&self, f: impl FnOnce(&mut Scalars)) {
+        let mut scalars = match self.scalars.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut scalars);
     }
 
     /// Applies `f` to the tenant's counters (recovering the table from
@@ -113,87 +118,97 @@ impl StatsInner {
     }
 
     pub(crate) fn record_submitted(&self, tenant: Option<&str>) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| {
+            s.submitted += 1;
+            s.queue_depth += 1;
+        });
         self.with_tenant(tenant, |t| t.submitted += 1);
     }
 
     /// Records a queue-full load shed at submission time.
     pub(crate) fn record_shed(&self, tenant: Option<&str>) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.shed += 1);
         self.with_tenant(tenant, |t| t.shed += 1);
     }
 
     /// Records an admission-control (quota) rejection.
     pub(crate) fn record_rejected(&self, tenant: Option<&str>) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.rejected += 1);
         self.with_tenant(tenant, |t| t.rejected += 1);
     }
 
     /// Records a request whose deadline passed before an answer.
     pub(crate) fn record_expired(&self, tenant: Option<&str>) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.expired += 1);
         self.with_tenant(tenant, |t| t.expired += 1);
     }
 
     /// Records `n` requests leaving the queue (fused, expired, or both).
     pub(crate) fn record_dequeued(&self, n: usize) {
-        self.queue_depth.fetch_sub(n as u64, Ordering::Relaxed);
+        self.with_scalars(|s| s.queue_depth = s.queue_depth.saturating_sub(n as u64));
     }
 
     /// Records a fused forward over `size` live requests.
     pub(crate) fn record_batch(&self, size: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.batches += 1);
         if let Some(slot) = self.batch_hist.get(size) {
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     pub(crate) fn record_completed(&self, latency: Duration, tenant: Option<&str>) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.completed += 1);
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(us);
         self.with_tenant(tenant, |t| t.completed += 1);
     }
 
     pub(crate) fn record_failed(&self, tenant: Option<&str>) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.failed += 1);
         self.with_tenant(tenant, |t| t.failed += 1);
     }
 
     /// Records the supervisor replacing a dead worker thread.
     pub(crate) fn record_worker_restart(&self) {
-        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.worker_restarts += 1);
     }
 
     /// Records a kernel panic caught at the containment boundary.
     pub(crate) fn record_panic_contained(&self) {
-        self.panics_contained.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.panics_contained += 1);
     }
 
     /// Records a successful hot-swap of the served model.
     pub(crate) fn record_swap(&self) {
-        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.with_scalars(|s| s.swaps += 1);
     }
 
     pub(crate) fn snapshot(&self, model_version: u64) -> EngineStats {
+        // One short lock: all scalar counters are read as a unit, so a
+        // scrape can never see (say) `completed` without the matching
+        // `submitted`.
+        let scalars = {
+            let guard = match self.scalars.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard
+        };
         let batch_hist: Vec<u64> = self
             .batch_hist
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
-        let latency_counts: Vec<u64> =
-            self.latency.iter().map(|a| a.load(Ordering::Relaxed)).collect();
-        let batches = self.batches.load(Ordering::Relaxed);
+        let latency = self.latency.snapshot();
         let served: u64 = batch_hist
             .iter()
             .enumerate()
             .map(|(size, &count)| size as u64 * count)
             .sum();
-        let avg_batch = if batches == 0 {
+        let avg_batch = if scalars.batches == 0 {
             0.0
         } else {
-            served as f32 / batches as f32
+            served as f32 / scalars.batches as f32
         };
         let tenants = {
             let table = match self.tenants.lock() {
@@ -218,48 +233,29 @@ impl StatsInner {
                 .collect()
         };
         EngineStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches,
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
-            panics_contained: self.panics_contained.load(Ordering::Relaxed),
-            swaps: self.swaps.load(Ordering::Relaxed),
+            submitted: scalars.submitted,
+            completed: scalars.completed,
+            shed: scalars.shed,
+            rejected: scalars.rejected,
+            expired: scalars.expired,
+            failed: scalars.failed,
+            batches: scalars.batches,
+            queue_depth: scalars.queue_depth,
+            worker_restarts: scalars.worker_restarts,
+            panics_contained: scalars.panics_contained,
+            swaps: scalars.swaps,
             model_version,
             avg_batch,
-            p50_us: percentile(&latency_counts, 0.50),
-            p95_us: percentile(&latency_counts, 0.95),
-            p99_us: percentile(&latency_counts, 0.99),
+            p50_us: latency.percentile(0.50),
+            p95_us: latency.percentile(0.95),
+            p99_us: latency.percentile(0.99),
             batch_hist,
-            latency_bounds_us: (0..LATENCY_BUCKETS).map(bucket_bound_us).collect(),
-            latency_counts,
+            latency_bounds_us: latency.bounds(),
+            latency_sum_us: latency.sum,
+            latency_counts: latency.counts,
             tenants,
         }
     }
-}
-
-/// Upper-bound percentile estimate from the bucketed histogram: the
-/// bound of the first bucket whose cumulative count reaches the
-/// requested quantile (0 when nothing was recorded; the largest finite
-/// bound for overflow latencies).
-fn percentile(counts: &[u64], q: f64) -> u64 {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let target = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut cumulative = 0u64;
-    for (i, &c) in counts.iter().enumerate() {
-        cumulative += c;
-        if cumulative >= target {
-            return bucket_bound_us(i.min(LATENCY_BUCKETS - 1));
-        }
-    }
-    bucket_bound_us(LATENCY_BUCKETS - 1)
 }
 
 /// Per-tenant slice of the serving metrics (see [`EngineStats::tenants`]).
@@ -323,24 +319,81 @@ pub struct EngineStats {
     pub latency_bounds_us: Vec<u64>,
     /// Count per latency bucket (one extra trailing overflow slot).
     pub latency_counts: Vec<u64>,
+    /// Saturating sum of all completed-request latencies, microseconds.
+    pub latency_sum_us: u64,
     /// Per-tenant breakdowns, keyed by tenant name (only requests
     /// submitted with a tenant appear here).
     pub tenants: BTreeMap<String, TenantStats>,
 }
 
+impl EngineStats {
+    /// The latency histogram as a mergeable `csq-obs` snapshot.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.latency_counts.clone(),
+            sum: self.latency_sum_us,
+        }
+    }
+
+    /// Renders every engine metric into a `csq-obs`
+    /// [`MetricsSnapshot`] under a `prefix` (e.g. `serve`), ready for
+    /// JSON or Prometheus-text exposition and fleet merging.
+    pub fn to_metrics_snapshot(&self, prefix: &str) -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        self.publish_to(&registry, prefix);
+        let mut snap = registry.snapshot();
+        snap.hists.insert(
+            format!("{prefix}.latency_us"),
+            self.latency_histogram(),
+        );
+        snap
+    }
+
+    /// Publishes the scalar counters and gauges into `registry` under
+    /// `prefix` (the latency histogram is attached by
+    /// [`to_metrics_snapshot`](Self::to_metrics_snapshot), which is
+    /// what scrapers should call).
+    pub fn publish_to(&self, registry: &MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("shed", self.shed),
+            ("rejected", self.rejected),
+            ("expired", self.expired),
+            ("failed", self.failed),
+            ("batches", self.batches),
+            ("worker_restarts", self.worker_restarts),
+            ("panics_contained", self.panics_contained),
+            ("swaps", self.swaps),
+        ] {
+            registry.counter(&format!("{prefix}.{name}")).add(value);
+        }
+        registry
+            .gauge(&format!("{prefix}.queue_depth"))
+            .set(self.queue_depth as i64);
+        registry
+            .gauge(&format!("{prefix}.model_version"))
+            .set(self.model_version as i64);
+        for (tenant, t) in &self.tenants {
+            for (name, value) in [
+                ("submitted", t.submitted),
+                ("completed", t.completed),
+                ("shed", t.shed),
+                ("rejected", t.rejected),
+                ("expired", t.expired),
+                ("failed", t.failed),
+            ] {
+                registry
+                    .counter(&format!("{prefix}.tenant.{tenant}.{name}"))
+                    .add(value);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_indexing_is_geometric() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(1024), 10);
-        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS);
-    }
 
     #[test]
     fn percentiles_walk_the_histogram() {
@@ -357,6 +410,7 @@ mod tests {
         assert_eq!(s.p50_us, 2);
         assert_eq!(s.p95_us, 1024);
         assert_eq!(s.p99_us, 1024);
+        assert_eq!(s.latency_sum_us, 90 * 2 + 10 * 1000);
     }
 
     #[test]
@@ -425,5 +479,44 @@ mod tests {
         assert_eq!(s.panics_contained, 1);
         assert_eq!(s.swaps, 2);
         assert_eq!(s.model_version, 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_every_engine_metric() {
+        let inner = StatsInner::new(4);
+        inner.record_submitted(Some("acme"));
+        inner.record_dequeued(1);
+        inner.record_batch(1);
+        inner.record_completed(Duration::from_micros(3), Some("acme"));
+        inner.record_worker_restart();
+        let stats = inner.snapshot(2);
+        let snap = stats.to_metrics_snapshot("serve");
+        let text = snap.to_prometheus();
+        assert!(text.contains("serve_submitted 1"));
+        assert!(text.contains("serve_completed 1"));
+        assert!(text.contains("serve_batches 1"));
+        assert!(text.contains("serve_worker_restarts 1"));
+        assert!(text.contains("serve_queue_depth 0"));
+        assert!(text.contains("serve_model_version 2"));
+        assert!(text.contains("serve_tenant_acme_completed 1"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"4\"} 1"));
+        assert!(text.contains("serve_latency_us_count 1"));
+        assert!(text.contains("serve_latency_us_sum 3"));
+    }
+
+    #[test]
+    fn snapshots_merge_across_replicas() {
+        let a = StatsInner::new(4);
+        let b = StatsInner::new(4);
+        a.record_submitted(None);
+        a.record_completed(Duration::from_micros(2), None);
+        b.record_submitted(None);
+        b.record_completed(Duration::from_micros(900), None);
+        let mut merged = a.snapshot(1).to_metrics_snapshot("serve");
+        merged.merge(&b.snapshot(1).to_metrics_snapshot("serve"));
+        assert_eq!(merged.counters["serve.completed"], 2);
+        let lat = &merged.hists["serve.latency_us"];
+        assert_eq!(lat.total(), 2);
+        assert_eq!(lat.percentile(1.0), 1024);
     }
 }

@@ -149,6 +149,16 @@ where
         }
         f(t);
     };
+    // One region-level span (never per-task): while tracing is
+    // disabled this is a single relaxed atomic load, and the task →
+    // data mapping below is unaffected either way, so the determinism
+    // contract holds with tracing on or off.
+    let _region = csq_obs::span!(
+        "par",
+        "dispatch",
+        "tasks" => n_tasks,
+        "threads" => threads,
+    );
     std::thread::scope(|s| {
         for _ in 1..threads {
             s.spawn(work);

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy csq-obs (-D warnings)"
+cargo clippy -p csq-obs --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -18,6 +21,21 @@ cargo test -q
 
 echo "==> serve chaos suite (deterministic fault drills)"
 cargo test -q --release --test serve_chaos
+
+echo "==> flight-recorder chaos drill (postmortem must be well-formed JSONL)"
+postmortem_dir="$(mktemp -d)"
+trap 'rm -rf "$postmortem_dir"' EXIT
+CSQ_POSTMORTEM_DIR="$postmortem_dir" cargo test -q --release --test serve_chaos \
+  flight_recorder_postmortem_names_worker_trace_ids_and_restart
+dumps=("$postmortem_dir"/postmortem-*.jsonl)
+[ -e "${dumps[0]}" ] || { echo "FAIL: chaos drill produced no postmortem dump"; exit 1; }
+for dump in "${dumps[@]}"; do
+  if grep -qv '^{' "$dump"; then
+    echo "FAIL: $dump contains a non-JSON line"
+    exit 1
+  fi
+done
+echo "    $(ls "$postmortem_dir" | wc -l) postmortem dump(s), all well-formed"
 
 echo "==> serve smoke load (2s closed loop + overload sweep)"
 CSQ_EPOCHS=1 CSQ_TRAIN_PER_CLASS=2 CSQ_TEST_PER_CLASS=2 CSQ_WIDTH=4 \

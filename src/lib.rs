@@ -11,6 +11,8 @@
 //! * [`baselines`] — STE-Uniform, DoReFa, PACT, LQ-Nets-style, BSQ
 //! * [`serve`] — deployment: `.csqm` artifacts, activation calibration,
 //!   micro-batching integer inference engine
+//! * [`obs`] — telemetry: metrics registry, span tracing, kernel
+//!   profiler, crash flight recorder
 //!
 //! See the repository README for a walkthrough and `cargo run --example
 //! quickstart --release` for a first contact.
@@ -19,5 +21,6 @@ pub use csq_baselines as baselines;
 pub use csq_core as csq;
 pub use csq_data as data;
 pub use csq_nn as nn;
+pub use csq_obs as obs;
 pub use csq_serve as serve;
 pub use csq_tensor as tensor;

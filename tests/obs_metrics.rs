@@ -1,0 +1,129 @@
+//! Property and concurrency tests for the `csq-obs` metrics registry.
+//!
+//! * Merged-histogram percentiles stay within the geometric-bucket
+//!   error bound of the exact order statistics: for any recorded
+//!   values, `v ≤ estimate ≤ max(2·v, 1)` where `v` is the exact
+//!   percentile of the pooled data — and merging two snapshots gives
+//!   exactly the histogram of recording everything into one.
+//! * Counter and gauge snapshots are race-free under concurrent
+//!   writers: no update is lost and no snapshot observes a torn or
+//!   retreating value.
+
+use csq_repro::obs::{GeoHistogram, MetricsRegistry};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exact q-th percentile of `values` by sorting, matching the
+/// histogram's rank convention (`ceil(total · q)`, 1-based).
+fn exact_percentile(values: &mut [u64], q: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Values are capped below the top finite bucket bound (2^23 for
+    /// the default 24 buckets) so the overflow clamp never kicks in and
+    /// the geometric bound is exact.
+    #[test]
+    fn merged_percentiles_stay_within_geometric_bound(
+        a in proptest::collection::vec(0u64..8_000_000, 1..200),
+        b in proptest::collection::vec(0u64..8_000_000, 0..200),
+    ) {
+        let ha = GeoHistogram::new(24);
+        let hb = GeoHistogram::new(24);
+        let hall = GeoHistogram::new(24);
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        prop_assert_eq!(&merged, &hall.snapshot(),
+            "merging snapshots must equal recording everything into one");
+
+        let mut pooled: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_percentile(&mut pooled, q);
+            let est = merged.percentile(q);
+            prop_assert!(est >= exact,
+                "p{q}: estimate {est} below exact {exact}");
+            prop_assert!(est <= (2 * exact).max(1),
+                "p{q}: estimate {est} beyond geometric bound of exact {exact}");
+        }
+    }
+}
+
+/// Concurrent counter/gauge writers against a snapshotting reader: the
+/// final tallies are exact (no lost updates) and every mid-flight
+/// snapshot sees the counter monotonically non-decreasing and within
+/// range (no torn reads).
+#[test]
+fn counter_and_gauge_snapshots_are_race_free_under_concurrent_writers() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let reg = MetricsRegistry::new();
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let reg = &reg;
+            scope.spawn(move || {
+                let c = reg.counter("hits");
+                let g = reg.gauge("level");
+                for i in 0..PER_WRITER {
+                    c.inc();
+                    // Writer w nets +w over its run.
+                    if i % 2 == 0 {
+                        g.add(w as i64 + 1);
+                    } else {
+                        g.add(-(w as i64 + 1));
+                    }
+                }
+                g.add(w as i64 + 1); // one unpaired add: net +(w+1)
+            });
+        }
+        let reader = scope.spawn(|| {
+            let mut last = 0u64;
+            let mut snapshots = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                let hits = snap.counters.get("hits").copied().unwrap_or(0);
+                assert!(hits >= last, "counter went backwards: {last} -> {hits}");
+                assert!(
+                    hits <= WRITERS as u64 * PER_WRITER,
+                    "counter overshot: {hits}"
+                );
+                last = hits;
+                snapshots += 1;
+            }
+            snapshots
+        });
+        // Writers finish, then release the reader.
+        // (Scope joins writer threads automatically; signal via a side
+        // channel once the counter is fully written.)
+        let c = reg.counter("hits");
+        while c.get() < WRITERS as u64 * PER_WRITER {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().unwrap();
+        assert!(snapshots > 0, "reader must have snapshotted at least once");
+    });
+
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counters["hits"],
+        WRITERS as u64 * PER_WRITER,
+        "every increment must land"
+    );
+    // Paired adds cancel; the unpaired tail sums 1+2+..+WRITERS.
+    let expected: i64 = (1..=WRITERS as i64).sum();
+    assert_eq!(snap.gauges["level"], expected, "gauge adds must not race");
+}

@@ -435,6 +435,100 @@ fn rate_limited_tenants_get_typed_errors_and_accounting() {
     assert_eq!(stats.tenants["noisy"].completed, 3);
 }
 
+/// With tracing on, a chaos kill leaves a flight-recorder postmortem on
+/// disk that names the killed worker, carries the failed batch's trace
+/// ids (the same ids the caller sees on its [`Ticket`]s), and records
+/// the supervisor restart — every line well-formed JSON.
+#[test]
+fn flight_recorder_postmortem_names_worker_trace_ids_and_restart() {
+    // `scripts/check.sh` runs this drill with CSQ_POSTMORTEM_DIR set so
+    // it can inspect the dump itself; standalone runs use a temp dir.
+    let dir = std::env::var_os("CSQ_POSTMORTEM_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("csq_postmortem_{}", std::process::id()))
+        });
+    std::fs::create_dir_all(&dir).unwrap();
+    csq_repro::obs::flight::set_postmortem_dir(Some(dir.clone()));
+    csq_repro::obs::trace::set_enabled(true);
+
+    let engine = Engine::start_with_chaos(
+        tiny(0),
+        EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            batch_window: Duration::from_millis(0),
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        },
+        ChaosPlan::new().kill_worker_at(0, 1),
+    );
+    let tickets: Vec<_> = (0..4).map(|i| engine.submit(sample(i)).unwrap()).collect();
+    let mut failed_ids = Vec::new();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let id = ticket.trace_id();
+        assert_ne!(id, 0, "every request gets a non-zero trace id");
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(ServeError::WorkerFailed { .. }) => failed_ids.push(id),
+            Err(other) => panic!("request {i}: unexpected error {other}"),
+        }
+    }
+    assert_eq!(failed_ids.len(), 1, "exactly the killed batch fails");
+    // The engine answering again proves the supervisor restarted the
+    // (only) worker — and the restart path dumps before respawning.
+    engine.infer(sample(0)).unwrap();
+    assert_eq!(engine.stats().worker_restarts, 1);
+    csq_repro::obs::trace::set_enabled(false);
+    csq_repro::obs::flight::set_postmortem_dir(None);
+
+    // Find the postmortem that covers our failure. Other tests in this
+    // binary share the process-global ring, so we search by our own
+    // trace id rather than assuming a single file.
+    let killed_id = failed_ids[0].to_string();
+    let mut saw_kill = false;
+    let mut saw_restart = false;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("postmortem-") || !name.ends_with(".jsonl") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let header: serde_json::Value =
+            serde_json::from_str(lines.next().expect("postmortem has a header")).unwrap();
+        assert!(
+            header.get("postmortem").is_some(),
+            "header line names the dump reason: {header}"
+        );
+        for line in lines {
+            let ev: serde_json::Value =
+                serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL line ({e}): {line}"));
+            let ev_name = ev["name"].as_str().unwrap_or("");
+            let field = |key: &str| -> Option<String> {
+                ev["fields"].as_array().and_then(|fields| {
+                    fields.iter().find_map(|kv| {
+                        (kv[0].as_str() == Some(key)).then(|| kv[1].as_str().unwrap_or("").to_string())
+                    })
+                })
+            };
+            if ev_name == "chaos_kill" {
+                let ids = field("trace_ids").unwrap_or_default();
+                if ids.split(',').any(|id| id == killed_id) {
+                    assert_eq!(field("worker").as_deref(), Some("0"), "kill names the worker");
+                    saw_kill = true;
+                }
+            }
+            if ev_name == "worker_restart" {
+                saw_restart = true;
+            }
+        }
+    }
+    assert!(saw_kill, "a postmortem records the chaos kill with the failed trace id");
+    assert!(saw_restart, "a postmortem records the supervisor restart");
+}
+
 /// The seeded chaos generator is deterministic: two plans from the same
 /// seed are equal, and a full drain of one leaves it spent. This is
 /// what makes a chaos drill reproducible from a single logged seed.
