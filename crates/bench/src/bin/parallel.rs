@@ -17,7 +17,7 @@
 use csq_bench::write_results;
 use csq_core::prelude::*;
 use csq_nn::models::{resnet_cifar, ModelConfig};
-use csq_nn::{softmax_cross_entropy, Adam, Layer, Sequential, WeightSource};
+use csq_nn::{softmax_cross_entropy, Adam, Layer, Sequential};
 use csq_tensor::{init, par};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -72,7 +72,10 @@ fn bench_workload(name: &str, iters: usize, mut iter: impl FnMut(), rows: &mut V
 }
 
 fn main() {
-    println!("=== Parallel runtime scaling (host has {} worker thread(s) by default) ===", par::current_threads());
+    println!(
+        "=== Parallel runtime scaling (host has {} worker thread(s) by default) ===",
+        par::current_threads()
+    );
     let mut rows = Vec::new();
 
     // Workload 1: dense matmul, the row-parallel kernel.
@@ -147,13 +150,21 @@ fn main() {
     let kernel_profile = profiler.snapshot();
     for row in kernel_profile.iter().take(5) {
         println!(
-            "kernel {:>14} {:>16}: {:>6} calls  {:>9.3} ms",
+            "kernel {:>14} {:>8}/{:>9} {:>16}: {:>6} calls  {:>9.3} ms",
             row.kind,
+            row.class,
+            row.routine,
             row.shape,
             row.calls,
             row.wall_ns as f64 / 1e6,
         );
     }
 
-    write_results("BENCH_parallel", &ParallelReport { rows, kernel_profile });
+    write_results(
+        "BENCH_parallel",
+        &ParallelReport {
+            rows,
+            kernel_profile,
+        },
+    );
 }

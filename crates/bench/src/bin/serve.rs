@@ -22,6 +22,12 @@
 //! deadline, so the sweep cannot hang no matter how saturated the
 //! engine gets.
 //!
+//! After the overload sweep, a **bit-width sweep** packs the same
+//! architecture at uniform 8/4/3/2 bits and times the integer,
+//! bit-plane, and auto-selected kernel paths, verifying bit-exactness
+//! at every width — the latency-vs-precision curve the bit-serial
+//! kernels exist for.
+//!
 //! Extra knobs on top of the usual `CSQ_*` scale variables:
 //! `CSQ_SERVE_SECONDS` (load duration, default 5), `CSQ_SERVE_WORKERS`
 //! (default 2), `CSQ_SERVE_MAX_BATCH` (default 8), `CSQ_SERVE_CLIENTS`
@@ -32,7 +38,9 @@ use csq_bench::{write_results, BenchScale};
 use csq_core::prelude::*;
 use csq_data::{Dataset, SyntheticSpec};
 use csq_nn::models::{resnet_cifar, ModelConfig};
-use csq_serve::{Engine, EngineConfig, ModelArtifact, ServeError, SubmitOptions, Ticket};
+use csq_serve::{
+    Engine, EngineConfig, KernelPolicy, ModelArtifact, ServeError, SubmitOptions, Ticket,
+};
 use csq_tensor::par::ScratchPool;
 use csq_tensor::Tensor;
 use serde::Serialize;
@@ -77,10 +85,38 @@ struct ServeBenchReport {
     batch_hist: Vec<u64>,
     multi_request_batches: u64,
     // Per-op kernel cost breakdown of the closed-loop section, sorted
-    // by total wall time (the csq-obs kernel profiler).
+    // by total wall time (the csq-obs kernel profiler). Each row is
+    // tagged with the kernel class (`integer`/`bitplane`/`float`) and
+    // routine the per-op selector chose.
     kernel_profile: Vec<csq_obs::profiler::OpProfile>,
+    // Wall time attributed per kernel class over the closed loop.
+    kernel_class_totals: Vec<csq_obs::profiler::ClassTotal>,
     // Open-loop overload sweep (offered load vs capacity).
     overload: Vec<OverloadPoint>,
+    // Same architecture packed at uniform 8/4/3/2 bits: latency per
+    // kernel policy, selector routing, and bit-exactness. The bitplane
+    // column must fall monotonically as the bit-width drops — that is
+    // the whole point of bit-serial kernels.
+    bits_sweep: Vec<BitsSweepPoint>,
+}
+
+/// One point of the bit-width sweep: the same architecture packed at a
+/// uniform width, timed under each kernel policy.
+#[derive(Debug, Serialize)]
+struct BitsSweepPoint {
+    bits: usize,
+    /// Ops the selector routes to each class at this width.
+    bitplane_ops: usize,
+    integer_ops: usize,
+    float_ops: usize,
+    /// Plane×sign passes pruned to empty across all weights.
+    skipped_passes: usize,
+    /// Best-of-reps per-sample latency under each policy, microseconds.
+    auto_us_per_sample: f32,
+    integer_us_per_sample: f32,
+    bitplane_us_per_sample: f32,
+    /// Bitplane and auto outputs are bit-identical to the integer path.
+    bit_exact: bool,
 }
 
 /// One point on the overload curve: open-loop traffic offered at a
@@ -156,16 +192,11 @@ fn main() {
     let num_classes = data.spec.num_classes;
     let calib_n = data.train.len().min(16);
     let calib = data.train.images.slice_axis0(0, calib_n);
-    let artifact = match ModelArtifact::export(
-        &mut model,
-        "resnet-csq",
-        &input_dims,
-        num_classes,
-        &calib,
-    ) {
-        Ok(a) => a,
-        Err(e) => panic!("artifact export failed: {e}"),
-    };
+    let artifact =
+        match ModelArtifact::export(&mut model, "resnet-csq", &input_dims, num_classes, &calib) {
+            Ok(a) => a,
+            Err(e) => panic!("artifact export failed: {e}"),
+        };
     std::fs::create_dir_all("bench_results").ok();
     let path = std::path::Path::new("bench_results").join("resnet-csq.csqm");
     if let Err(e) = artifact.save(&path) {
@@ -217,7 +248,10 @@ fn main() {
         "accuracy: train-reported {:.3}, float path {:.3}, integer path {:.3}; batched == single: {}",
         report.final_test_accuracy, float_accuracy, integer_accuracy, batched_bit_identical
     );
-    assert!(batched_bit_identical, "batched inference must be bit-identical");
+    assert!(
+        batched_bit_identical,
+        "batched inference must be bit-identical"
+    );
 
     // 4. Closed-loop load: each client waits for its answer before
     //    submitting the next request.
@@ -272,14 +306,25 @@ fn main() {
     profiler.set_enabled(false);
     let kernel_profile = profiler.snapshot();
     assert_eq!(errors.load(Ordering::Relaxed), 0, "no request may error");
+    let kernel_class_totals = profiler.class_totals();
     for row in kernel_profile.iter().take(5) {
         println!(
-            "kernel {:>14} {:>16}: {:>7} calls  {:>9.3} ms  {:>9.1} MB",
+            "kernel {:>14} {:>8}/{:>9} {:>16}: {:>7} calls  {:>9.3} ms  {:>9.1} MB",
             row.kind,
+            row.class,
+            row.routine,
             row.shape,
             row.calls,
             row.wall_ns as f64 / 1e6,
             row.bytes as f64 / 1e6,
+        );
+    }
+    for total in &kernel_class_totals {
+        println!(
+            "class  {:>14}: {:>7} calls  {:>9.3} ms",
+            total.class,
+            total.calls,
+            total.wall_ns as f64 / 1e6,
         );
     }
 
@@ -332,6 +377,34 @@ fn main() {
         overload.push(point);
     }
 
+    // 6. Bit-width sweep: the same architecture packed at uniform
+    //    8/4/3/2 bits, each policy timed on the test batch. Fewer bit
+    //    planes mean fewer AND/popcount passes, so the bitplane column
+    //    falls as the width drops; the integer column stays flat (dense
+    //    codes cost the same at any width).
+    let bits_sweep: Vec<BitsSweepPoint> = [8usize, 4, 3, 2]
+        .iter()
+        .map(|&bits| bits_sweep_point(bits, &scale, &data, &input_dims, num_classes))
+        .collect();
+    for p in &bits_sweep {
+        println!(
+            "bits {}: {} bitplane / {} integer / {} float ops, {} skipped passes; auto {:.1}us  integer {:.1}us  bitplane {:.1}us per sample, bit-exact {}",
+            p.bits,
+            p.bitplane_ops,
+            p.integer_ops,
+            p.float_ops,
+            p.skipped_passes,
+            p.auto_us_per_sample,
+            p.integer_us_per_sample,
+            p.bitplane_us_per_sample,
+            p.bit_exact,
+        );
+    }
+    assert!(
+        bits_sweep.iter().all(|p| p.bit_exact),
+        "bitplane kernels must be bit-exact against the integer path at every width"
+    );
+
     let out = ServeBenchReport {
         train_accuracy: report.final_test_accuracy,
         float_accuracy,
@@ -359,7 +432,9 @@ fn main() {
         batch_hist: stats.batch_hist.clone(),
         multi_request_batches,
         kernel_profile,
+        kernel_class_totals,
         overload,
+        bits_sweep,
     };
     write_results("BENCH_serve", &out);
 
@@ -373,6 +448,88 @@ fn main() {
     match std::fs::write(&prom_path, metrics.to_prometheus()) {
         Ok(()) => println!("wrote {}", prom_path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", prom_path.display()),
+    }
+}
+
+/// Trains + packs the bench architecture at one uniform bit-width and
+/// times a full test-batch forward under each kernel policy (best of
+/// several repetitions, per-sample microseconds). Also verifies the
+/// bitplane and auto paths are bit-identical to the integer path.
+fn bits_sweep_point(
+    bits: usize,
+    scale: &BenchScale,
+    data: &Dataset,
+    input_dims: &[usize],
+    num_classes: usize,
+) -> BitsSweepPoint {
+    let mut factory = csq_uniform_factory(bits);
+    let mut model = resnet_cifar(
+        ModelConfig::cifar_like(scale.width, Some(4), scale.seed),
+        &mut factory,
+        1,
+    );
+    let cfg = CsqConfig::fast(4.0).with_epochs(1).with_seed(scale.seed);
+    if let Err(e) = CsqTrainer::new(cfg).train(&mut model, data) {
+        panic!("sweep training failed at {bits} bits: {e}");
+    }
+    let calib = data.train.images.slice_axis0(0, data.train.len().min(16));
+    let artifact = match ModelArtifact::export(
+        &mut model,
+        &format!("resnet-csq-{bits}b"),
+        input_dims,
+        num_classes,
+        &calib,
+    ) {
+        Ok(a) => a,
+        Err(e) => panic!("sweep export failed at {bits} bits: {e}"),
+    };
+    let compiled = match artifact.compile() {
+        Ok(c) => c,
+        Err(e) => panic!("sweep compile failed at {bits} bits: {e}"),
+    };
+
+    let x = &data.test.images;
+    let batch = x.dims()[0];
+    let plan = compiled.kernel_plan(batch);
+    let count = |class: &str| plan.iter().filter(|e| e.class == class).count();
+    let skipped_passes = artifact
+        .plane_profile()
+        .iter()
+        .map(|e| e.skipped_passes)
+        .sum();
+
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let forward = |policy: KernelPolicy| match compiled.forward_batch_with(x, &scratch, policy) {
+        Ok(y) => y,
+        Err(e) => panic!("sweep forward failed at {bits} bits: {e}"),
+    };
+    let want = forward(KernelPolicy::ForceInteger);
+    let bit_exact = forward(KernelPolicy::ForceBitplane).data() == want.data()
+        && forward(KernelPolicy::Auto).data() == want.data();
+
+    // Best-of-reps per-sample latency: the minimum is the stable
+    // estimator under scheduler noise.
+    let time_us = |policy: KernelPolicy| -> f32 {
+        forward(policy); // warm-up
+        let mut best = f32::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            forward(policy);
+            best = best.min(t0.elapsed().as_secs_f32());
+        }
+        best / batch.max(1) as f32 * 1e6
+    };
+
+    BitsSweepPoint {
+        bits,
+        bitplane_ops: count("bitplane"),
+        integer_ops: count("integer"),
+        float_ops: count("float"),
+        skipped_passes,
+        auto_us_per_sample: time_us(KernelPolicy::Auto),
+        integer_us_per_sample: time_us(KernelPolicy::ForceInteger),
+        bitplane_us_per_sample: time_us(KernelPolicy::ForceBitplane),
+        bit_exact,
     }
 }
 

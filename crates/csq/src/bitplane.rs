@@ -1,0 +1,882 @@
+//! Bit-plane native inference kernels: u64-packed AND/popcount matmul.
+//!
+//! CSQ's central representation (Eq. 3) is that a quantized weight *is* a
+//! sum of bit planes: `w = s/(2^n−1) · Σ_b 2^b·(plane_b⁺ − plane_b⁻)`.
+//! The integer kernels in [`crate::qinfer`] ignore that structure — they
+//! multiply dense fixed-point codes element by element, paying the same
+//! `i64`-multiply cost whether the learned precision is 2 bits or 8.
+//! This module finally exploits the decomposition at inference time.
+//!
+//! # Kernel math
+//!
+//! Write the weight code as sign/magnitude planes and the (unsigned
+//! 8-bit) activation code as its bit planes:
+//!
+//! ```text
+//! w[o,k] = Σ_p ±2^p · W±p[o,k]        (W±p ∈ {0,1}, sign split per plane)
+//! x[b,k] = Σ_q  2^q · Xq[b,k]         (Xq  ∈ {0,1}, q < 8)
+//! ```
+//!
+//! then the integer dot product every quantized kernel computes factors
+//! into pure bit arithmetic:
+//!
+//! ```text
+//! Σ_k x[b,k]·w[o,k] = Σ_p Σ_q 2^(p+q) · ( |Xq ∧ W⁺p| − |Xq ∧ W⁻p| )
+//! ```
+//!
+//! where `|·|` is `popcount` over the K axis. At pack time
+//! ([`BitplaneWeight::from_packed`]) each weight plane is transposed into
+//! K-dim bit-packed `u64` lanes, one packed matrix per *active*
+//! plane×sign pair — planes with no set bit (CSQ's pruned planes) are
+//! dropped entirely and cost literally nothing at run time. At run time
+//! the activation codes of a row block are transposed into the same lane
+//! layout and every output element becomes `passes × 8` AND+`popcount`
+//! sweeps over `⌈K/64⌉` words: a 3-bit layer costs ~3 plane passes
+//! instead of K dense multiplies.
+//!
+//! All accumulation is exact integer arithmetic, and the single
+//! `acc as f32 * step_w·step_x` conversion at the end is the same
+//! expression the dense kernels use — so the bit-plane kernels are
+//! **bit-exact** against [`crate::qinfer::linear_integer`] and
+//! [`crate::qinfer::conv2d_integer`] by construction (and by proptest).
+//!
+//! # Routine selection
+//!
+//! [`select_kernel`] is a deterministic shape×bit-width cost table
+//! (measured on the dense kernels this module competes with): packed
+//! panel GEMM for batched inputs, a vecmat routine for batch-1, and a
+//! fall back to the dense integer kernel where planes are dense or
+//! shapes are tiny. The decision depends only on shapes and the packed
+//! plane structure — never on timing — so serving stays deterministic.
+//!
+//! Row parallelism goes through [`csq_tensor::par`]: output chunks are a
+//! function of the problem shape only and every chunk is an independent
+//! exact integer reduction, so results are bit-identical at any thread
+//! count.
+
+use crate::pack::PackedWeight;
+use crate::qinfer::{QinferError, QuantizedActivations};
+use csq_tensor::conv::ConvSpec;
+use csq_tensor::par::{self, ScratchPool};
+use csq_tensor::Tensor;
+
+/// Number of activation bit planes (activations are unsigned 8-bit
+/// codes, so the activation side always has at most 8 planes).
+pub const ACT_PLANES: usize = 8;
+
+/// One packed weight plane×sign pass: the K-dim bit-packed lanes of a
+/// single magnitude plane restricted to one code sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanePass {
+    /// Magnitude-plane index `p`: this pass contributes `±2^p` per hit.
+    pub shift: u32,
+    /// Whether this pass subtracts (negative weight codes).
+    pub negative: bool,
+    /// Bit-packed lanes, row-major: `rows × words` u64 words; bit `k%64`
+    /// of word `r·words + k/64` is plane bit `p` of `|codes[r,k]|` for
+    /// codes of this sign.
+    mask: Vec<u64>,
+    /// Per output row: does this pass have any set bit in that row?
+    /// Rows whose plane is empty are skipped without touching lanes.
+    nonzero: Vec<bool>,
+}
+
+/// Why a packed weight could not be transposed into bit-plane lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BitplaneError {
+    /// The weight tensor has no output axis or no reduction axis.
+    DegenerateShape {
+        /// The offending dims.
+        dims: Vec<usize>,
+    },
+    /// `codes.len()` disagrees with the dims product (corrupt artifact).
+    CodeCountMismatch {
+        /// Elements implied by the dims.
+        expected: usize,
+        /// Codes actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for BitplaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitplaneError::DegenerateShape { dims } => {
+                write!(f, "weight dims {dims:?} have no output or reduction axis")
+            }
+            BitplaneError::CodeCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "weight dims imply {expected} codes but {actual} are present"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitplaneError {}
+
+/// A weight matrix transposed into u64-packed bit-plane lanes, ready for
+/// AND/popcount matmul. Built once at artifact load/compile time from a
+/// [`PackedWeight`]; immutable afterwards.
+///
+/// The reduction axis is everything after the first dim: a linear weight
+/// `[OUT, IN]` packs `IN` per row; a conv weight `[OC, IC, KH, KW]`
+/// packs `IC·KH·KW` per row (exactly the im2col patch layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitplaneWeight {
+    /// Stable path of the source weight tensor.
+    pub path: String,
+    /// Output rows (dim 0 of the source weight).
+    pub rows: usize,
+    /// Reduction length (product of the remaining dims).
+    pub k: usize,
+    /// `⌈k/64⌉` — u64 words per packed row.
+    pub words: usize,
+    /// Grid step of the source codes (`float = code · step`).
+    pub step: f32,
+    /// Source weight dims (kept for kernel shape validation).
+    pub dims: Vec<usize>,
+    /// Active plane×sign passes, ascending `(shift, negative)` order.
+    passes: Vec<PlanePass>,
+    /// Magnitude planes spanned by the codes (`0` for an all-zero
+    /// weight): `max |code| < 2^total_planes`.
+    pub total_planes: usize,
+    /// Plane×sign pairs dropped at pack time because no code used them —
+    /// CSQ's pruned planes, which now cost nothing at run time.
+    pub skipped_passes: usize,
+}
+
+impl BitplaneWeight {
+    /// Transposes a packed weight's codes into bit-plane lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`BitplaneError::DegenerateShape`] when the weight has no output
+    /// or reduction axis; [`BitplaneError::CodeCountMismatch`] when the
+    /// code count disagrees with the dims (corrupt artifact).
+    pub fn from_packed(w: &PackedWeight) -> Result<BitplaneWeight, BitplaneError> {
+        if w.dims.len() < 2 || w.dims.contains(&0) {
+            return Err(BitplaneError::DegenerateShape {
+                dims: w.dims.clone(),
+            });
+        }
+        let rows = w.dims[0];
+        let k: usize = w.dims[1..].iter().product();
+        if w.codes.len() != rows * k {
+            return Err(BitplaneError::CodeCountMismatch {
+                expected: rows * k,
+                actual: w.codes.len(),
+            });
+        }
+        let words = k.div_ceil(64);
+        let max_mag = w.codes.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        let total_planes = (32 - max_mag.leading_zeros()) as usize;
+
+        let mut passes = Vec::new();
+        let mut skipped_passes = 0usize;
+        for shift in 0..total_planes as u32 {
+            for negative in [false, true] {
+                let mut mask = vec![0u64; rows * words];
+                let mut nonzero = vec![false; rows];
+                let mut any = false;
+                for r in 0..rows {
+                    let row = &w.codes[r * k..(r + 1) * k];
+                    let dst = &mut mask[r * words..(r + 1) * words];
+                    let mut hit = false;
+                    for (kk, &c) in row.iter().enumerate() {
+                        if (c < 0) != negative || c == 0 {
+                            continue;
+                        }
+                        if (c.unsigned_abs() >> shift) & 1 == 1 {
+                            dst[kk / 64] |= 1u64 << (kk % 64);
+                            hit = true;
+                        }
+                    }
+                    nonzero[r] = hit;
+                    any |= hit;
+                }
+                if any {
+                    passes.push(PlanePass {
+                        shift,
+                        negative,
+                        mask,
+                        nonzero,
+                    });
+                } else {
+                    skipped_passes += 1;
+                }
+            }
+        }
+        Ok(BitplaneWeight {
+            path: w.path.clone(),
+            rows,
+            k,
+            words,
+            step: w.step,
+            dims: w.dims.clone(),
+            passes,
+            total_planes,
+            skipped_passes,
+        })
+    }
+
+    /// Number of active plane×sign passes (the per-output cost driver).
+    pub fn pass_count(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Reconstructs the original integer codes from the packed lanes
+    /// (round-trip check: equals the source `PackedWeight::codes`).
+    pub fn reconstruct_codes(&self) -> Vec<i32> {
+        let mut codes = vec![0i32; self.rows * self.k];
+        for pass in &self.passes {
+            let contrib = 1i32 << pass.shift;
+            for r in 0..self.rows {
+                if !pass.nonzero[r] {
+                    continue;
+                }
+                let row = &pass.mask[r * self.words..(r + 1) * self.words];
+                for (wi, &word) in row.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let kk = wi * 64 + bits.trailing_zeros() as usize;
+                        if pass.negative {
+                            codes[r * self.k + kk] -= contrib;
+                        } else {
+                            codes[r * self.k + kk] += contrib;
+                        }
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        codes
+    }
+
+    /// Bytes held by the packed lanes (diagnostics).
+    pub fn lane_bytes(&self) -> usize {
+        self.passes.len() * self.rows * self.words * std::mem::size_of::<u64>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routine selection
+// ---------------------------------------------------------------------------
+
+/// Which bit-plane routine to run for a given problem shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routine {
+    /// Batched panel GEMM: activation planes packed per row block, all
+    /// outputs of a row computed together.
+    PanelGemm,
+    /// Batch-1 matrix–vector: one packed activation row, parallelism
+    /// over output rows instead of batch rows.
+    Vecmat,
+}
+
+impl Routine {
+    /// Short name used in kernel profiles (`panel_gemm` / `vecmat`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Routine::PanelGemm => "panel_gemm",
+            Routine::Vecmat => "vecmat",
+        }
+    }
+
+    /// The routine for a given GEMM row count: [`Routine::Vecmat`] for a
+    /// single row, [`Routine::PanelGemm`] otherwise.
+    pub fn for_batch(batch_rows: usize) -> Routine {
+        if batch_rows <= 1 {
+            Routine::Vecmat
+        } else {
+            Routine::PanelGemm
+        }
+    }
+}
+
+/// The kernel class a weighted op should run on, per the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Run the u64 AND/popcount kernels with the given routine.
+    Bitplane(Routine),
+    /// Fall back to the dense integer kernel (planes too dense or shape
+    /// too tiny for bit-serial arithmetic to win).
+    Integer,
+}
+
+/// Which dense kernel the bit-plane class competes against — their cost
+/// per multiply-accumulate differs enormously (the conv kernel is a
+/// branchy scalar loop; the linear kernel auto-vectorizes), so the
+/// selector must know which one it is displacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedOpKind {
+    /// `conv2d_integer`: padded, strided scalar loops.
+    Conv2d,
+    /// `linear_integer`: contiguous dense dot products.
+    Linear,
+}
+
+/// Cost-model constants, in units of one *vectorized* dense MAC
+/// (~0.2 ns on the reference machine). Measured against this
+/// workspace's own kernels; see DESIGN.md §14 for the calibration runs.
+mod cost {
+    /// One AND+popcount+accumulate over a u64 word (64 products).
+    pub const WORD_OP: u64 = 6;
+    /// Transposing one activation code into its bit-plane lanes
+    /// (includes the im2col gather on the conv path).
+    pub const PACK_PER_CODE: u64 = 25;
+    /// One MAC of the branchy scalar integer conv kernel.
+    pub const CONV_DENSE_MAC: u64 = 13;
+    /// One MAC of the auto-vectorized integer linear kernel.
+    pub const LINEAR_DENSE_MAC: u64 = 1;
+}
+
+/// Deterministic shape×bit-width routine table: picks the kernel class
+/// for one weighted op given the batch row count (`batch_rows` = im2col
+/// rows for conv, batch size for linear) and the packed plane structure.
+///
+/// The decision compares the estimated per-row cost of `passes × 8`
+/// AND/popcount sweeps (plus activation packing, amortized over the
+/// row's outputs) against the dense integer kernel it would displace.
+/// Everything is integer arithmetic on shapes — no timing feedback — so
+/// the same op on the same shape always picks the same routine.
+pub fn select_kernel(kind: WeightedOpKind, batch_rows: usize, w: &BitplaneWeight) -> KernelChoice {
+    let routine = Routine::for_batch(batch_rows);
+    // A fully pruned weight is free on the bit-plane path: no passes, no
+    // work, output identically zero.
+    if w.passes.is_empty() {
+        return KernelChoice::Bitplane(routine);
+    }
+    let words = w.words as u64;
+    let passes = w.passes.len() as u64;
+    let outs = w.rows as u64;
+    let k = w.k as u64;
+    let bitplane_per_row =
+        cost::PACK_PER_CODE * k + outs * passes * ACT_PLANES as u64 * words * cost::WORD_OP;
+    let dense_mac = match kind {
+        WeightedOpKind::Conv2d => cost::CONV_DENSE_MAC,
+        WeightedOpKind::Linear => cost::LINEAR_DENSE_MAC,
+    };
+    let integer_per_row = outs * k * dense_mac;
+    if bitplane_per_row < integer_per_row {
+        KernelChoice::Bitplane(routine)
+    } else {
+        KernelChoice::Integer
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activation packing
+// ---------------------------------------------------------------------------
+
+/// Transposes `rows` activation-code rows (`k` u8 codes each) into
+/// bit-plane lanes: `lanes[row][q][word]`, `ACT_PLANES·words` u64 per
+/// row. Returns nothing; per-row plane occupancy is written to `occ`
+/// (bit `q` set ⇔ some code in that row has bit `q`), so the kernels
+/// skip activation planes that are empty for a whole row — small
+/// activations never pay for their unused high planes.
+fn pack_act_rows(
+    codes: &[u8],
+    rows: usize,
+    k: usize,
+    words: usize,
+    lanes: &mut [u64],
+    occ: &mut [u8],
+) {
+    debug_assert_eq!(lanes.len(), rows * ACT_PLANES * words);
+    debug_assert_eq!(occ.len(), rows);
+    lanes.fill(0);
+    for r in 0..rows {
+        let base = r * ACT_PLANES * words;
+        let row = &codes[r * k..(r + 1) * k];
+        let mut seen: u8 = 0;
+        for (kk, &c) in row.iter().enumerate() {
+            seen |= c;
+            let mut bits = c;
+            let word = kk / 64;
+            let bit = 1u64 << (kk % 64);
+            while bits != 0 {
+                let q = bits.trailing_zeros() as usize;
+                lanes[base + q * words + word] |= bit;
+                bits &= bits - 1;
+            }
+        }
+        occ[r] = seen;
+    }
+}
+
+/// Exact integer dot products for one packed activation row against a
+/// range of weight output rows: `out[j] = Σ_k x·w[col0+j]` as `i64`.
+fn lanes_dot_cols(
+    lanes: &[u64],
+    occ: u8,
+    w: &BitplaneWeight,
+    col0: usize,
+    ncols: usize,
+    out: &mut [i64],
+) {
+    let words = w.words;
+    out[..ncols].fill(0);
+    for pass in &w.passes {
+        for (j, acc) in out[..ncols].iter_mut().enumerate() {
+            let oi = col0 + j;
+            if !pass.nonzero[oi] {
+                continue;
+            }
+            let wrow = &pass.mask[oi * words..(oi + 1) * words];
+            let mut part: i64 = 0;
+            for q in 0..ACT_PLANES {
+                if occ & (1 << q) == 0 {
+                    continue;
+                }
+                let xq = &lanes[q * words..(q + 1) * words];
+                let mut hits: u64 = 0;
+                for (a, b) in xq.iter().zip(wrow.iter()) {
+                    hits += (a & b).count_ones() as u64;
+                }
+                part += (hits as i64) << q;
+            }
+            if pass.negative {
+                *acc -= part << pass.shift;
+            } else {
+                *acc += part << pass.shift;
+            }
+        }
+    }
+}
+
+/// Panel body: packs `nrows` activation rows from `codes` and writes
+/// `nrows × w.rows` scaled f32 outputs. Serial — callers parallelize by
+/// carving disjoint row ranges.
+fn gemm_rows_into(
+    codes: &[u8],
+    row0: usize,
+    nrows: usize,
+    w: &BitplaneWeight,
+    scale: f32,
+    lanes_pool: &ScratchPool<u64>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), nrows * w.rows);
+    let (k, words) = (w.k, w.words);
+    let mut lanes = lanes_pool.take(ACT_PLANES * words);
+    let mut occ = [0u8; 1];
+    let mut accs = vec![0i64; w.rows];
+    for i in 0..nrows {
+        let r = row0 + i;
+        pack_act_rows(
+            &codes[r * k..(r + 1) * k],
+            1,
+            k,
+            words,
+            &mut lanes,
+            &mut occ,
+        );
+        lanes_dot_cols(&lanes, occ[0], w, 0, w.rows, &mut accs);
+        for (o, &a) in out[i * w.rows..(i + 1) * w.rows]
+            .iter_mut()
+            .zip(accs.iter())
+        {
+            *o = a as f32 * scale;
+        }
+    }
+    lanes_pool.give(lanes);
+}
+
+// ---------------------------------------------------------------------------
+// Public kernels
+// ---------------------------------------------------------------------------
+
+/// Bit-plane fully-connected layer: bit-exact replacement for
+/// [`crate::qinfer::linear_integer`] on the same operands.
+///
+/// `x` is `[B, IN]` quantized activations; `w` packs a `[OUT, IN]`
+/// weight. Returns float `[B, OUT]`. `routine` comes from
+/// [`select_kernel`]; `lanes` recycles the u64 packing buffers.
+pub fn bitplane_linear(
+    x: &QuantizedActivations,
+    w: &BitplaneWeight,
+    routine: Routine,
+    lanes: &ScratchPool<u64>,
+) -> Result<Tensor, QinferError> {
+    if x.dims.len() != 2 {
+        return Err(QinferError::BadRank {
+            what: "activations",
+            expected: 2,
+            actual: x.dims.len(),
+        });
+    }
+    if w.dims.len() != 2 {
+        return Err(QinferError::BadRank {
+            what: "weights",
+            expected: 2,
+            actual: w.dims.len(),
+        });
+    }
+    let (b, inf) = (x.dims[0], x.dims[1]);
+    if inf != w.k {
+        return Err(QinferError::ShapeMismatch {
+            what: "features",
+            activation: inf,
+            weight: w.k,
+        });
+    }
+    let scale = w.step * x.step;
+    let mut out = vec![0.0f32; b * w.rows];
+    match routine {
+        Routine::PanelGemm => {
+            let per_row = w.pass_count() * ACT_PLANES * w.words * w.rows + w.k;
+            let rows_per_task = par::chunk_len(b, per_row);
+            par::par_chunks_mut(&mut out, rows_per_task * w.rows, |_t, start, chunk| {
+                let row0 = start / w.rows;
+                let nrows = chunk.len() / w.rows;
+                gemm_rows_into(&x.codes, row0, nrows, w, scale, lanes, chunk);
+            });
+        }
+        Routine::Vecmat => {
+            // One packed activation row at a time (the selector picks
+            // this routine for batch 1); tasks carve disjoint
+            // output-column ranges of that row.
+            let mut xl = lanes.take(ACT_PLANES * w.words);
+            let mut occ = [0u8; 1];
+            let cols_per_task = par::chunk_len(w.rows, w.pass_count() * ACT_PLANES * w.words + 1);
+            for r in 0..b {
+                pack_act_rows(
+                    &x.codes[r * w.k..(r + 1) * w.k],
+                    1,
+                    w.k,
+                    w.words,
+                    &mut xl,
+                    &mut occ,
+                );
+                let xl_ref: &[u64] = &xl;
+                let occ0 = occ[0];
+                par::par_chunks_mut(
+                    &mut out[r * w.rows..(r + 1) * w.rows],
+                    cols_per_task,
+                    |_t, start, chunk| {
+                        let mut accs = vec![0i64; chunk.len()];
+                        lanes_dot_cols(xl_ref, occ0, w, start, chunk.len(), &mut accs);
+                        for (o, &a) in chunk.iter_mut().zip(accs.iter()) {
+                            *o = a as f32 * scale;
+                        }
+                    },
+                );
+            }
+            lanes.give(xl);
+        }
+    }
+    Ok(Tensor::from_vec(out, &[b, w.rows]))
+}
+
+/// Bit-plane 2-D convolution: bit-exact replacement for
+/// [`crate::qinfer::conv2d_integer`] on the same operands.
+///
+/// Lowers the convolution to the bit-plane GEMM over im2col patch rows
+/// (zero padding is code 0, which contributes no set bit), then
+/// scatters the `[N·OH·OW, OC]` panel back to `[N, OC, OH, OW]`.
+/// `scratch` recycles the u8 patch buffer, `lanes` the u64 lane
+/// buffers.
+pub fn bitplane_conv2d(
+    x: &QuantizedActivations,
+    w: &BitplaneWeight,
+    spec: ConvSpec,
+    scratch: &ScratchPool<u8>,
+    lanes: &ScratchPool<u64>,
+) -> Result<Tensor, QinferError> {
+    if x.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "activations",
+            expected: 4,
+            actual: x.dims.len(),
+        });
+    }
+    if w.dims.len() != 4 {
+        return Err(QinferError::BadRank {
+            what: "weights",
+            expected: 4,
+            actual: w.dims.len(),
+        });
+    }
+    let (n, ic, h, wd) = (x.dims[0], x.dims[1], x.dims[2], x.dims[3]);
+    let (oc, wic, kh, kw) = (w.dims[0], w.dims[1], w.dims[2], w.dims[3]);
+    if ic != wic {
+        return Err(QinferError::ShapeMismatch {
+            what: "channels",
+            activation: ic,
+            weight: wic,
+        });
+    }
+    if kh != spec.kernel || kw != spec.kernel {
+        return Err(QinferError::ShapeMismatch {
+            what: "kernel",
+            activation: spec.kernel,
+            weight: kh.max(kw),
+        });
+    }
+    let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
+    let m = n * oh * ow;
+    let k = w.k;
+    let scale = w.step * x.step;
+
+    // 1. im2col the u8 codes, one patch row per output position, zero
+    //    padding as code 0. Samples own disjoint contiguous ranges.
+    let mut cols = scratch.take(m * k);
+    par::par_chunks_mut(&mut cols, oh * ow * k, |ni, _start, sample| {
+        let mut c = 0usize;
+        for oi in 0..oh {
+            for oj in 0..ow {
+                for ici in 0..ic {
+                    let xbase = (ni * ic + ici) * h * wd;
+                    for ki in 0..kh {
+                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                        if ii < 0 || ii >= h as isize {
+                            for _ in 0..kw {
+                                sample[c] = 0;
+                                c += 1;
+                            }
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                            sample[c] = if jj < 0 || jj >= wd as isize {
+                                0
+                            } else {
+                                x.codes[xbase + ii as usize * wd + jj as usize]
+                            };
+                            c += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    // 2. Panel GEMM over the patch rows.
+    let mut panel = vec![0.0f32; m * oc];
+    let per_row = w.pass_count() * ACT_PLANES * w.words * oc + k;
+    let rows_per_task = par::chunk_len(m, per_row);
+    {
+        let cols_ref: &[u8] = &cols;
+        par::par_chunks_mut(&mut panel, rows_per_task * oc, |_t, start, chunk| {
+            let row0 = start / oc;
+            let nrows = chunk.len() / oc;
+            gemm_rows_into(cols_ref, row0, nrows, w, scale, lanes, chunk);
+        });
+    }
+    scratch.give(cols);
+
+    // 3. Scatter the `[m, oc]` panel into `[N, OC, OH, OW]`.
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let data = out.data_mut();
+    let per = oh * ow;
+    for ni in 0..n {
+        for s in 0..per {
+            let row = &panel[(ni * per + s) * oc..(ni * per + s + 1) * oc];
+            for (oci, &v) in row.iter().enumerate() {
+                data[(ni * oc + oci) * per + s] = v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qinfer::{conv2d_integer, linear_integer};
+
+    fn packed(dims: &[usize], codes: Vec<i32>, step: f32) -> PackedWeight {
+        PackedWeight {
+            path: "weight".to_string(),
+            codes,
+            step,
+            dims: dims.to_vec(),
+            bits: 8.0,
+        }
+    }
+
+    fn seeded_codes(n: usize, hi: i32, seed: u64) -> Vec<i32> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % (2 * hi as u64 + 1)) as i32 - hi
+            })
+            .collect()
+    }
+
+    fn seeded_acts(dims: &[usize], seed: u64) -> QuantizedActivations {
+        let n: usize = dims.iter().product();
+        let mut s = seed | 1;
+        QuantizedActivations {
+            codes: (0..n)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s % 256) as u8
+                })
+                .collect(),
+            step: 0.01,
+            dims: dims.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trip_reconstructs_codes() {
+        let codes = seeded_codes(6 * 10, 200, 3);
+        let pw = packed(&[6, 10], codes.clone(), 0.02);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        assert_eq!(bw.reconstruct_codes(), codes);
+        assert_eq!(bw.rows, 6);
+        assert_eq!(bw.k, 10);
+        assert_eq!(bw.words, 1);
+        assert_eq!(bw.total_planes, 8);
+    }
+
+    #[test]
+    fn all_zero_weight_has_no_passes_and_zero_output() {
+        let pw = packed(&[3, 70], vec![0; 210], 0.1);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        assert_eq!(bw.pass_count(), 0);
+        assert_eq!(bw.total_planes, 0);
+        let x = seeded_acts(&[2, 70], 5);
+        let lanes = ScratchPool::new();
+        let y = bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).unwrap();
+        assert!(y.iter().all(|&v| v == 0.0));
+        assert_eq!(
+            select_kernel(WeightedOpKind::Linear, 2, &bw),
+            KernelChoice::Bitplane(Routine::PanelGemm),
+            "a fully pruned weight is always free on the bit-plane path"
+        );
+    }
+
+    #[test]
+    fn pruned_planes_are_skipped_at_pack_time() {
+        // Codes only use plane 2 (value ±4): planes 0,1 are empty.
+        let pw = packed(
+            &[2, 8],
+            vec![4, -4, 0, 4, 0, 0, -4, 4, 4, 4, -4, 0, 0, 4, 0, -4],
+            0.1,
+        );
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        assert_eq!(bw.total_planes, 3);
+        assert_eq!(bw.pass_count(), 2, "one positive + one negative pass");
+        assert_eq!(bw.skipped_passes, 4, "planes 0 and 1, both signs");
+    }
+
+    #[test]
+    fn linear_matches_integer_kernel_bit_exactly() {
+        for (b, inf, outf, hi, seed) in [
+            (4usize, 70usize, 5usize, 255, 1u64),
+            (1, 9, 7, 3, 2),
+            (3, 130, 2, 7, 3),
+        ] {
+            let pw = packed(&[outf, inf], seeded_codes(outf * inf, hi, seed), 0.013);
+            let bw = BitplaneWeight::from_packed(&pw).unwrap();
+            let x = seeded_acts(&[b, inf], seed + 10);
+            let lanes = ScratchPool::new();
+            let dense = linear_integer(&x, &pw).unwrap();
+            for routine in [Routine::PanelGemm, Routine::Vecmat] {
+                if routine == Routine::Vecmat && b != 1 {
+                    continue;
+                }
+                let y = bitplane_linear(&x, &bw, routine, &lanes).unwrap();
+                assert_eq!(y.dims(), dense.dims());
+                assert_eq!(
+                    y.data(),
+                    dense.data(),
+                    "b={b} inf={inf} routine={routine:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conv_matches_integer_kernel_bit_exactly() {
+        let pw = packed(&[4, 3, 3, 3], seeded_codes(4 * 27, 100, 9), 0.02);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        let x = seeded_acts(&[2, 3, 6, 6], 11);
+        let spec = ConvSpec::new(3, 1, 1);
+        let dense = conv2d_integer(&x, &pw, spec).unwrap();
+        let scratch = ScratchPool::new();
+        let lanes = ScratchPool::new();
+        let y = bitplane_conv2d(&x, &bw, spec, &scratch, &lanes).unwrap();
+        assert_eq!(y.dims(), dense.dims());
+        assert_eq!(y.data(), dense.data());
+    }
+
+    #[test]
+    fn conv_strided_no_padding_matches() {
+        let pw = packed(&[2, 2, 3, 3], seeded_codes(2 * 18, 7, 21), 0.05);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        let x = seeded_acts(&[1, 2, 7, 7], 22);
+        let spec = ConvSpec::new(3, 2, 0);
+        let dense = conv2d_integer(&x, &pw, spec).unwrap();
+        let y = bitplane_conv2d(&x, &bw, spec, &ScratchPool::new(), &ScratchPool::new()).unwrap();
+        assert_eq!(y.data(), dense.data());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let pw = packed(&[16, 200], seeded_codes(16 * 200, 15, 31), 0.004);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        let x = seeded_acts(&[40, 200], 33);
+        let lanes = ScratchPool::new();
+        let serial = par::with_threads(1, || {
+            bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).unwrap()
+        });
+        let parallel = par::with_threads(4, || {
+            bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).unwrap()
+        });
+        assert_eq!(serial.data(), parallel.data());
+    }
+
+    #[test]
+    fn selector_prefers_bitplane_for_sparse_conv_and_dense_linear_falls_back() {
+        // 2-bit conv weight, big reduction axis: bit-plane wins.
+        let pw = packed(&[32, 32, 3, 3], seeded_codes(32 * 288, 3, 41), 0.1);
+        let bw = BitplaneWeight::from_packed(&pw).unwrap();
+        assert!(matches!(
+            select_kernel(WeightedOpKind::Conv2d, 256, &bw),
+            KernelChoice::Bitplane(Routine::PanelGemm)
+        ));
+        // The same structure against the vectorized linear kernel with a
+        // small output head: the dense kernel keeps it.
+        let pw_lin = packed(&[4, 128], seeded_codes(4 * 128, 255, 42), 0.1);
+        let bw_lin = BitplaneWeight::from_packed(&pw_lin).unwrap();
+        assert_eq!(
+            select_kernel(WeightedOpKind::Linear, 8, &bw_lin),
+            KernelChoice::Integer
+        );
+        // Batch-1 picks the vecmat routine when bit-plane is chosen.
+        let pw_zero = packed(&[8, 64], vec![0; 512], 0.1);
+        let bw_zero = BitplaneWeight::from_packed(&pw_zero).unwrap();
+        assert_eq!(
+            select_kernel(WeightedOpKind::Linear, 1, &bw_zero),
+            KernelChoice::Bitplane(Routine::Vecmat)
+        );
+    }
+
+    #[test]
+    fn degenerate_weights_are_rejected() {
+        let pw = packed(&[4], vec![0; 4], 0.1);
+        assert!(matches!(
+            BitplaneWeight::from_packed(&pw),
+            Err(BitplaneError::DegenerateShape { .. })
+        ));
+        let mut bad = packed(&[2, 3], vec![0; 5], 0.1);
+        bad.codes.truncate(5);
+        assert!(matches!(
+            BitplaneWeight::from_packed(&bad),
+            Err(BitplaneError::CodeCountMismatch {
+                expected: 6,
+                actual: 5
+            })
+        ));
+    }
+}

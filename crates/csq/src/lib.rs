@@ -51,6 +51,7 @@
 
 pub mod act_search;
 pub mod analysis;
+pub mod bitplane;
 pub mod bitrep;
 pub mod budget;
 pub mod fault;
@@ -65,6 +66,10 @@ pub mod trainer;
 pub use act_search::SearchedActQuant;
 pub use analysis::{
     logit_gate_stats, mask_gate_stats, model_summary, GateStats, LayerSummary, ModelSummary,
+};
+pub use bitplane::{
+    bitplane_conv2d, bitplane_linear, select_kernel, BitplaneError, BitplaneWeight, KernelChoice,
+    Routine, WeightedOpKind,
 };
 pub use bitrep::{
     csq_factory, csq_factory_per_channel, csq_uniform_factory, BitQuantizer, QuantMode,

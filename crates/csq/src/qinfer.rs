@@ -89,7 +89,7 @@ impl std::fmt::Display for QinferError {
 impl std::error::Error for QinferError {}
 
 /// An activation tensor quantized to unsigned 8-bit codes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedActivations {
     /// Codes in `0..=255`, row-major, same logical shape as the source.
     pub codes: Vec<u8>,
@@ -209,15 +209,34 @@ pub fn conv2d_integer(
     let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
     let scale = w.step * x.step;
 
+    // Pruned-weight fast paths. CSQ's bi-level sparsification drives
+    // whole filters — and whole input-channel slices of filters — to
+    // exactly zero, and a zero code contributes nothing to the `i64`
+    // sum, so skipping them is bit-exact by construction.
+    let slice_nonzero: Vec<bool> = (0..oc * ic)
+        .map(|i| {
+            let base = (i / ic) * ic * kh * kw + (i % ic) * kh * kw;
+            w.codes[base..base + kh * kw].iter().any(|&c| c != 0)
+        })
+        .collect();
+
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
     let mut oidx = 0usize;
     for ni in 0..n {
         for oci in 0..oc {
+            if !slice_nonzero[oci * ic..(oci + 1) * ic].iter().any(|&nz| nz) {
+                // Entire filter pruned: the output plane stays zero.
+                oidx += oh * ow;
+                continue;
+            }
             let wbase = oci * ic * kh * kw;
             for oi in 0..oh {
                 for oj in 0..ow {
                     let mut acc: i64 = 0;
                     for ici in 0..ic {
+                        if !slice_nonzero[oci * ic + ici] {
+                            continue;
+                        }
                         let xbase = (ni * ic + ici) * h * wd;
                         let wrow = wbase + ici * kh * kw;
                         for ki in 0..kh {
@@ -288,10 +307,23 @@ pub fn depthwise_conv2d_integer(
     let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
     let scale = w.step * x.step;
 
+    // Per-channel filters pruned to zero leave their output plane zero.
+    let filter_nonzero: Vec<bool> = (0..c)
+        .map(|ci| {
+            w.codes[ci * kh * kw..(ci + 1) * kh * kw]
+                .iter()
+                .any(|&v| v != 0)
+        })
+        .collect();
+
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut oidx = 0usize;
     for ni in 0..n {
         for ci in 0..c {
+            if !filter_nonzero[ci] {
+                oidx += oh * ow;
+                continue;
+            }
             let xbase = (ni * c + ci) * h * wd;
             let wrow = ci * kh * kw;
             for oi in 0..oh {
@@ -350,9 +382,17 @@ pub fn linear_integer(x: &QuantizedActivations, w: &PackedWeight) -> Result<Tens
         });
     }
     let scale = w.step * x.step;
+    // Output rows whose weights are all zero stay zero; skipping the
+    // dot product entirely is bit-exact.
+    let row_nonzero: Vec<bool> = (0..outf)
+        .map(|oi| w.codes[oi * inf..(oi + 1) * inf].iter().any(|&v| v != 0))
+        .collect();
     let mut out = Tensor::zeros(&[b, outf]);
     for bi in 0..b {
         for oi in 0..outf {
+            if !row_nonzero[oi] {
+                continue;
+            }
             let mut acc: i64 = 0;
             for k in 0..inf {
                 acc += x.codes[bi * inf + k] as i64 * w.codes[oi * inf + k] as i64;
@@ -544,6 +584,60 @@ mod tests {
         );
         let bad_rank = conv2d_integer(&xq, &pw, ConvSpec::new(3, 1, 1));
         assert!(matches!(bad_rank, Err(QinferError::BadRank { .. })));
+    }
+
+    #[test]
+    fn pruned_filter_fast_paths_stay_bit_exact() {
+        // Zero an entire output filter and one input-channel slice of
+        // another; the fast paths must skip them without changing a bit
+        // of the output (a skipped dot product and a computed-zero dot
+        // product are both exactly 0.0).
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let x = init::uniform(&[2, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let (mut pw, _) = packed_weight(&[4, 3, 3, 3], 22);
+        let flt = 3 * 3 * 3;
+        pw.codes[flt..2 * flt].iter_mut().for_each(|c| *c = 0);
+        pw.codes[2 * flt + 9..2 * flt + 18]
+            .iter_mut()
+            .for_each(|c| *c = 0);
+        let xq = QuantizedActivations::quantize(&x).unwrap();
+        let spec = ConvSpec::new(3, 1, 1);
+        let y = conv2d_integer(&xq, &pw, spec).unwrap();
+        // Dense reference computed without the fast paths: the same
+        // accumulation on a weight where "zero" is spelled explicitly.
+        let y_ref = csq_tensor::conv::conv2d(&xq.dequantize(), &pw_to_tensor(&pw), spec);
+        assert!(y.approx_eq(&y_ref, 1e-4));
+        let per = 5 * 5;
+        assert!(
+            y.data()[per..2 * per].iter().all(|&v| v == 0.0),
+            "pruned filter's output plane must be exactly zero"
+        );
+
+        // Linear: a zero output row is skipped, not computed.
+        let (mut lw, _) = packed_weight(&[4, 8], 23);
+        lw.codes[8..16].iter_mut().for_each(|c| *c = 0);
+        let xl = init::uniform(&[3, 8], 0.0, 1.0, &mut rng);
+        let ql = QuantizedActivations::quantize(&xl).unwrap();
+        let yl = linear_integer(&ql, &lw).unwrap();
+        for bi in 0..3 {
+            assert_eq!(yl.data()[bi * 4 + 1], 0.0);
+        }
+
+        // Depthwise: zero one channel's filter.
+        let (mut dw, _) = packed_weight(&[3, 1, 3, 3], 24);
+        dw.codes[..9].iter_mut().for_each(|c| *c = 0);
+        let xd = init::uniform(&[1, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let qd = QuantizedActivations::quantize(&xd).unwrap();
+        let yd = depthwise_conv2d_integer(&qd, &dw, spec).unwrap();
+        assert!(yd.data()[..per].iter().all(|&v| v == 0.0));
+    }
+
+    /// Reconstructs the float tensor a packed weight's codes represent.
+    fn pw_to_tensor(w: &PackedWeight) -> Tensor {
+        Tensor::from_vec(
+            w.codes.iter().map(|&c| c as f32 * w.step).collect(),
+            &w.dims,
+        )
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property-based equivalence of the bit-plane kernels.
+//!
+//! The bit-plane path's correctness argument is structural — identical
+//! `i64` accumulation and identical scale conversion — so its outputs
+//! must equal the dense integer kernels *bit for bit*, not just within
+//! a tolerance. These properties pin that down across random shapes,
+//! bit-widths 1–8, signed and unsigned codes, both routines, thread
+//! counts, and pruned planes.
+
+use csq_core::bitplane::{bitplane_conv2d, bitplane_linear, BitplaneWeight, Routine};
+use csq_core::pack::PackedWeight;
+use csq_core::qinfer::{conv2d_integer, linear_integer, QuantizedActivations};
+use csq_tensor::conv::ConvSpec;
+use csq_tensor::par::{with_threads, ScratchPool};
+use proptest::prelude::*;
+
+/// A packed linear weight `[OUT, K]` with codes drawn from a random
+/// bit-width 1–8, signed or unsigned, plus matching `[B, K]` activation
+/// codes. `K` ranges past 64 so lanes cross the u64 word boundary.
+fn linear_case() -> impl Strategy<Value = (PackedWeight, QuantizedActivations)> {
+    (1usize..5, 1usize..70, 1usize..8, 1u32..=8, any::<bool>()).prop_flat_map(
+        |(b, k, out, bits, signed)| {
+            let hi = (1i32 << bits) - 1;
+            let lo = if signed { -hi } else { 0 };
+            (
+                proptest::collection::vec(lo..=hi, out * k),
+                proptest::collection::vec(any::<u8>(), b * k),
+            )
+                .prop_map(move |(codes, acts)| {
+                    (
+                        PackedWeight {
+                            path: "w".to_string(),
+                            codes,
+                            step: 0.03,
+                            dims: vec![out, k],
+                            bits: bits as f32,
+                        },
+                        QuantizedActivations {
+                            codes: acts,
+                            step: 0.01,
+                            dims: vec![b, k],
+                        },
+                    )
+                })
+        },
+    )
+}
+
+/// A packed conv weight `[OC, IC, K, K]`, a conv spec, and matching
+/// `[N, IC, H, W]` activation codes.
+fn conv_case() -> impl Strategy<Value = (PackedWeight, QuantizedActivations, ConvSpec)> {
+    (
+        1usize..3,
+        1usize..4,
+        1usize..4,
+        1usize..=3,
+        1u32..=8,
+        any::<bool>(),
+    )
+        .prop_flat_map(|(n, ic, oc, kernel, bits, signed)| {
+            let hi = (1i32 << bits) - 1;
+            let lo = if signed { -hi } else { 0 };
+            (
+                proptest::collection::vec(lo..=hi, oc * ic * kernel * kernel),
+                kernel..6usize,
+                kernel..6usize,
+                1usize..=2,
+                0usize..=1,
+            )
+                .prop_flat_map(move |(codes, h, w, stride, padding)| {
+                    proptest::collection::vec(any::<u8>(), n * ic * h * w).prop_map(move |acts| {
+                        (
+                            PackedWeight {
+                                path: "w".to_string(),
+                                codes: codes.clone(),
+                                step: 0.03,
+                                dims: vec![oc, ic, kernel, kernel],
+                                bits: bits as f32,
+                            },
+                            QuantizedActivations {
+                                codes: acts,
+                                step: 0.01,
+                                dims: vec![n, ic, h, w],
+                            },
+                            ConvSpec::new(kernel, stride, padding),
+                        )
+                    })
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plane transpose round-trip: lanes reconstruct the exact codes,
+    /// and every magnitude plane accounts for a positive and a negative
+    /// pass (active or skipped).
+    #[test]
+    fn lane_transpose_round_trips((w, _x) in linear_case()) {
+        let bw = BitplaneWeight::from_packed(&w).expect("transpose");
+        prop_assert_eq!(bw.reconstruct_codes(), w.codes);
+        prop_assert_eq!(
+            bw.pass_count() + bw.skipped_passes,
+            2 * bw.total_planes
+        );
+    }
+
+    /// Both bit-plane routines equal the dense integer linear kernel
+    /// bit for bit.
+    #[test]
+    fn bitplane_linear_equals_integer((w, x) in linear_case()) {
+        let bw = BitplaneWeight::from_packed(&w).expect("transpose");
+        let lanes: ScratchPool<u64> = ScratchPool::new();
+        let want = linear_integer(&x, &w).expect("integer");
+        for routine in [Routine::PanelGemm, Routine::Vecmat] {
+            let got = bitplane_linear(&x, &bw, routine, &lanes).expect("bitplane");
+            prop_assert_eq!(got.dims(), want.dims());
+            prop_assert_eq!(got.data(), want.data());
+        }
+    }
+
+    /// The bit-plane conv equals the dense integer conv bit for bit,
+    /// across strides and zero padding.
+    #[test]
+    fn bitplane_conv_equals_integer((w, x, spec) in conv_case()) {
+        let bw = BitplaneWeight::from_packed(&w).expect("transpose");
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let lanes: ScratchPool<u64> = ScratchPool::new();
+        let want = conv2d_integer(&x, &w, spec).expect("integer");
+        let got = bitplane_conv2d(&x, &bw, spec, &scratch, &lanes).expect("bitplane");
+        prop_assert_eq!(got.dims(), want.dims());
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    /// Thread-count determinism: 1 worker and 4 workers produce
+    /// identical bits (the row partition never changes the per-output
+    /// accumulation order).
+    #[test]
+    fn bitplane_results_are_thread_count_invariant((w, x) in linear_case()) {
+        let bw = BitplaneWeight::from_packed(&w).expect("transpose");
+        let lanes: ScratchPool<u64> = ScratchPool::new();
+        let y1 = with_threads(1, || {
+            bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).expect("1 thread")
+        });
+        let y4 = with_threads(4, || {
+            bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).expect("4 threads")
+        });
+        prop_assert_eq!(y1.data(), y4.data());
+    }
+
+    /// Pruned planes are free: shifting every code left by two empties
+    /// planes 0 and 1, which must show up as skipped passes (both
+    /// signs) while the kernel stays bit-exact.
+    #[test]
+    fn pruned_planes_are_skipped_and_exact((mut w, x) in linear_case()) {
+        for c in &mut w.codes {
+            // Keep magnitudes small enough that `<< 2` stays in-plane.
+            *c = (*c).clamp(-63, 63) << 2;
+        }
+        let bw = BitplaneWeight::from_packed(&w).expect("transpose");
+        if w.codes.iter().any(|&c| c != 0) {
+            // Planes 0 and 1 are empty for both signs.
+            prop_assert!(bw.skipped_passes >= 4, "skipped {}", bw.skipped_passes);
+        }
+        let lanes: ScratchPool<u64> = ScratchPool::new();
+        let want = linear_integer(&x, &w).expect("integer");
+        let got = bitplane_linear(&x, &bw, Routine::PanelGemm, &lanes).expect("bitplane");
+        prop_assert_eq!(got.data(), want.data());
+    }
+}

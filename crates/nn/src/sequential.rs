@@ -49,13 +49,19 @@ impl Sequential {
     }
 
     /// Shared access to the layer at `index`, if it exists.
-    pub fn get(&self, index: usize) -> Option<&dyn Layer> {
-        self.layers.get(index).map(|l| l.as_ref())
+    pub fn get(&self, index: usize) -> Option<&(dyn Layer + '_)> {
+        match self.layers.get(index) {
+            Some(l) => Some(l.as_ref()),
+            None => None,
+        }
     }
 
     /// Mutable access to the layer at `index`, if it exists.
-    pub fn get_mut(&mut self, index: usize) -> Option<&mut dyn Layer> {
-        self.layers.get_mut(index).map(|l| l.as_mut())
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut (dyn Layer + '_)> {
+        match self.layers.get_mut(index) {
+            Some(l) => Some(l.as_mut()),
+            None => None,
+        }
     }
 }
 

@@ -4,10 +4,16 @@
 //! Off by default — the per-op check is one relaxed atomic load, so
 //! `csq_serve::exec` pays nothing on the quiet path. When enabled
 //! (benches flip it on around their measured sections) every kernel
-//! invocation folds `(kind, shape) → {calls, wall_ns, bytes}` into a
-//! small map; [`KernelProfiler::snapshot`] returns the rows sorted by
-//! total wall time so BENCH reports lead with the most expensive op.
-//! This is the baseline data the bit-plane-kernel work must beat.
+//! invocation folds `(kind, class, routine, shape) → {calls, wall_ns,
+//! bytes}` into a small map; [`KernelProfiler::snapshot`] returns the
+//! rows sorted by total wall time so BENCH reports lead with the most
+//! expensive op. Each sample is tagged with the kernel *class* the
+//! executor's routine selector picked (`integer` / `bitplane` /
+//! `float`) and the routine name (`dense` / `panel_gemm` / `vecmat`),
+//! so [`KernelProfiler::class_totals`] can attribute wall time per
+//! class — the integer-vs-bitplane comparison data lives in
+//! `bench_results/BENCH_serve.json` (`kernel_class_totals` and the
+//! bits-vs-latency sweep).
 
 use crate::registry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
@@ -25,9 +31,15 @@ struct OpStat {
 /// One aggregated profile row (serialized into BENCH_serve.json).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpProfile {
-    /// Op kind, e.g. `conv2d.int` or `linear.float`.
+    /// Op kind, e.g. `conv2d` or `linear`.
     pub kind: String,
-    /// Shape key, e.g. `8x3x32x32->8x16x32x32`.
+    /// Kernel class the executor selected: `integer`, `bitplane`, or
+    /// `float` (non-weighted ops report `float` — they run float
+    /// arithmetic).
+    pub class: String,
+    /// Routine within the class, e.g. `dense`, `panel_gemm`, `vecmat`.
+    pub routine: String,
+    /// Shape key, e.g. `8x3x32x32`.
     pub shape: String,
     /// Number of kernel invocations.
     pub calls: u64,
@@ -37,11 +49,27 @@ pub struct OpProfile {
     pub bytes: u64,
 }
 
+/// Wall time, calls, and bytes aggregated over every op of one kernel
+/// class — the per-class attribution BENCH reports and the Prometheus
+/// exposition lead with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTotal {
+    /// Kernel class: `integer`, `bitplane`, or `float`.
+    pub class: String,
+    /// Kernel invocations in this class.
+    pub calls: u64,
+    /// Total wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Total bytes touched.
+    pub bytes: u64,
+}
+
 /// Aggregates kernel timings. Use [`global()`] from instrumented code.
 #[derive(Debug, Default)]
 pub struct KernelProfiler {
     enabled: AtomicBool,
-    stats: Mutex<BTreeMap<(String, String), OpStat>>,
+    #[allow(clippy::type_complexity)]
+    stats: Mutex<BTreeMap<(String, String, String, String), OpStat>>,
 }
 
 impl KernelProfiler {
@@ -61,16 +89,30 @@ impl KernelProfiler {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Folds one kernel invocation into the aggregate. Callers should
+    /// Folds one kernel invocation into the aggregate, tagged with the
+    /// kernel class and routine the executor selected. Callers should
     /// gate on [`enabled`](Self::enabled) before measuring; `record`
     /// re-checks and drops the sample when disabled.
-    pub fn record(&self, kind: &str, shape: &str, wall_ns: u64, bytes: u64) {
+    pub fn record(
+        &self,
+        kind: &str,
+        class: &str,
+        routine: &str,
+        shape: &str,
+        wall_ns: u64,
+        bytes: u64,
+    ) {
         if !self.enabled() {
             return;
         }
         let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         let stat = stats
-            .entry((kind.to_string(), shape.to_string()))
+            .entry((
+                kind.to_string(),
+                class.to_string(),
+                routine.to_string(),
+                shape.to_string(),
+            ))
             .or_default();
         stat.calls += 1;
         stat.wall_ns += wall_ns;
@@ -82,8 +124,10 @@ impl KernelProfiler {
         let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         let mut rows: Vec<OpProfile> = stats
             .iter()
-            .map(|((kind, shape), s)| OpProfile {
+            .map(|((kind, class, routine, shape), s)| OpProfile {
                 kind: kind.clone(),
+                class: class.clone(),
+                routine: routine.clone(),
                 shape: shape.clone(),
                 calls: s.calls,
                 wall_ns: s.wall_ns,
@@ -94,21 +138,61 @@ impl KernelProfiler {
         rows
     }
 
+    /// Wall time, calls, and bytes summed per kernel class, sorted by
+    /// wall time descending — how much of the forward each class
+    /// (integer / bitplane / float) actually costs.
+    pub fn class_totals(&self) -> Vec<ClassTotal> {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut by_class: BTreeMap<&str, OpStat> = BTreeMap::new();
+        for ((_, class, _, _), s) in stats.iter() {
+            let t = by_class.entry(class.as_str()).or_default();
+            t.calls += s.calls;
+            t.wall_ns += s.wall_ns;
+            t.bytes += s.bytes;
+        }
+        let mut rows: Vec<ClassTotal> = by_class
+            .into_iter()
+            .map(|(class, s)| ClassTotal {
+                class: class.to_string(),
+                calls: s.calls,
+                wall_ns: s.wall_ns,
+                bytes: s.bytes,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.class.cmp(&b.class)));
+        rows
+    }
+
     /// Drops all recorded rows (recording state is unchanged).
     pub fn reset(&self) {
         self.stats.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     /// Publishes every row into `registry` as counters
-    /// (`kernel.<kind>.<shape>.{calls,wall_ns,bytes}`), so the
+    /// (`kernel.<kind>.<class>.<routine>.<shape>.{calls,wall_ns,bytes}`)
+    /// plus per-class rollups
+    /// (`kernel_class.<class>.{calls,wall_ns,bytes}`), so the
     /// Prometheus exposition and merged fleet snapshots carry the
-    /// kernel breakdown too.
+    /// kernel breakdown and the class attribution.
     pub fn publish_to(&self, registry: &MetricsRegistry) {
         for row in self.snapshot() {
-            let base = format!("kernel.{}.{}", row.kind, row.shape);
+            let base = format!(
+                "kernel.{}.{}.{}.{}",
+                row.kind, row.class, row.routine, row.shape
+            );
             registry.counter(&format!("{base}.calls")).add(row.calls);
-            registry.counter(&format!("{base}.wall_ns")).add(row.wall_ns);
+            registry
+                .counter(&format!("{base}.wall_ns"))
+                .add(row.wall_ns);
             registry.counter(&format!("{base}.bytes")).add(row.bytes);
+        }
+        for total in self.class_totals() {
+            let base = format!("kernel_class.{}", total.class);
+            registry.counter(&format!("{base}.calls")).add(total.calls);
+            registry
+                .counter(&format!("{base}.wall_ns"))
+                .add(total.wall_ns);
+            registry.counter(&format!("{base}.bytes")).add(total.bytes);
         }
     }
 }
@@ -142,7 +226,7 @@ mod tests {
     #[test]
     fn disabled_profiler_drops_samples() {
         let p = KernelProfiler::new();
-        p.record("conv2d.int", "1x3x8x8", 100, 64);
+        p.record("conv2d", "integer", "dense", "1x3x8x8", 100, 64);
         assert!(p.snapshot().is_empty());
     }
 
@@ -150,32 +234,53 @@ mod tests {
     fn aggregates_and_sorts_by_wall_time() {
         let p = KernelProfiler::new();
         p.set_enabled(true);
-        p.record("linear.float", "1x10", 50, 40);
-        p.record("conv2d.int", "1x3x8x8", 100, 64);
-        p.record("conv2d.int", "1x3x8x8", 200, 64);
+        p.record("linear", "float", "dense", "1x10", 50, 40);
+        p.record("conv2d", "integer", "dense", "1x3x8x8", 100, 64);
+        p.record("conv2d", "integer", "dense", "1x3x8x8", 200, 64);
         let rows = p.snapshot();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].kind, "conv2d.int");
+        assert_eq!(rows[0].kind, "conv2d");
+        assert_eq!(rows[0].class, "integer");
+        assert_eq!(rows[0].routine, "dense");
         assert_eq!(rows[0].calls, 2);
         assert_eq!(rows[0].wall_ns, 300);
         assert_eq!(rows[0].bytes, 128);
-        assert_eq!(rows[1].kind, "linear.float");
+        assert_eq!(rows[1].kind, "linear");
         p.reset();
         assert!(p.snapshot().is_empty());
         assert!(p.enabled());
     }
 
     #[test]
+    fn class_totals_attribute_time_per_class() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record("conv2d", "bitplane", "panel_gemm", "1x3x8x8", 100, 10);
+        p.record("conv2d", "bitplane", "vecmat", "1x3x8x8", 50, 10);
+        p.record("linear", "integer", "dense", "1x10", 25, 10);
+        p.record("relu", "float", "dense", "1x10", 5, 10);
+        let totals = p.class_totals();
+        assert_eq!(totals.len(), 3);
+        assert_eq!(totals[0].class, "bitplane");
+        assert_eq!(totals[0].calls, 2);
+        assert_eq!(totals[0].wall_ns, 150);
+        assert_eq!(totals[1].class, "integer");
+        assert_eq!(totals[2].class, "float");
+    }
+
+    #[test]
     fn publishes_rows_as_counters() {
         let p = KernelProfiler::new();
         p.set_enabled(true);
-        p.record("relu", "1x10", 7, 80);
+        p.record("relu", "float", "dense", "1x10", 7, 80);
         let reg = MetricsRegistry::new();
         p.publish_to(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters["kernel.relu.1x10.calls"], 1);
-        assert_eq!(snap.counters["kernel.relu.1x10.wall_ns"], 7);
-        assert_eq!(snap.counters["kernel.relu.1x10.bytes"], 80);
+        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.calls"], 1);
+        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.wall_ns"], 7);
+        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.bytes"], 80);
+        assert_eq!(snap.counters["kernel_class.float.calls"], 1);
+        assert_eq!(snap.counters["kernel_class.float.wall_ns"], 7);
     }
 
     #[test]

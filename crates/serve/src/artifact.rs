@@ -27,6 +27,7 @@
 
 use crate::calibrate::{calibrate, grid_table, CalibrationEntry};
 use crate::exec::{BindError, CompiledModel, ServeError};
+use csq_core::bitplane::BitplaneWeight;
 use csq_core::pack::{PackError, PackedModel, PackedWeight};
 use csq_core::QuantScheme;
 use csq_nn::persist::{read_checksummed, write_checksummed, PersistError};
@@ -119,6 +120,24 @@ impl From<BindError> for ArtifactError {
     fn from(e: BindError) -> Self {
         ArtifactError::Bind(e)
     }
+}
+
+/// Bit-plane structure of one packed weight, as reported by
+/// [`ModelArtifact::plane_profile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaneProfileEntry {
+    /// Stable weight path.
+    pub path: String,
+    /// Learned bit-width recorded at pack time.
+    pub bits: f32,
+    /// Magnitude planes spanned by the codes (`max |code| < 2^planes`).
+    pub total_planes: usize,
+    /// Plane×sign passes with at least one set bit.
+    pub active_passes: usize,
+    /// Plane×sign pairs pruned to empty — free at run time.
+    pub skipped_passes: usize,
+    /// Bytes of the u64 lane transposition.
+    pub lane_bytes: usize,
 }
 
 /// A complete deployable model: op plan, packed weights, precision
@@ -219,8 +238,7 @@ impl ModelArtifact {
     /// (atomic temp-file + rename; a crash never leaves a half-written
     /// artifact under the final name).
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
-        let payload =
-            serde_json::to_vec(self).map_err(|e| ArtifactError::Json(e.to_string()))?;
+        let payload = serde_json::to_vec(self).map_err(|e| ArtifactError::Json(e.to_string()))?;
         write_checksummed(path, &payload).map_err(|e| ArtifactError::Persist(PersistError::Io(e)))
     }
 
@@ -242,6 +260,30 @@ impl ModelArtifact {
     /// Deployed weight payload in bytes (bit-packed codes plus scales).
     pub fn packed_weight_bytes(&self) -> usize {
         self.weights.iter().map(PackedWeight::size_bytes).sum()
+    }
+
+    /// Per-weight bit-plane structure without compiling the artifact:
+    /// for every packed weight with a valid bit-plane form, how many
+    /// magnitude planes its codes span, how many plane×sign passes are
+    /// active, how many were pruned to empty (and would cost nothing at
+    /// run time), and the u64 lane bytes the transposed form occupies.
+    /// Deployers use this to judge how much the bit-plane kernels can
+    /// exploit a model before shipping it.
+    pub fn plane_profile(&self) -> Vec<PlaneProfileEntry> {
+        self.weights
+            .iter()
+            .filter_map(|w| {
+                let bw = BitplaneWeight::from_packed(w).ok()?;
+                Some(PlaneProfileEntry {
+                    path: w.path.clone(),
+                    bits: w.bits,
+                    total_planes: bw.total_planes,
+                    active_passes: bw.pass_count(),
+                    skipped_passes: bw.skipped_passes,
+                    lane_bytes: bw.lane_bytes(),
+                })
+            })
+            .collect()
     }
 
     /// Whether this artifact can hot-swap into an engine serving models

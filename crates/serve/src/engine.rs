@@ -253,6 +253,16 @@ pub struct Ticket {
     shared: Arc<Shared>,
 }
 
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("trace_id", &self.trace_id)
+            .field("tenant", &self.tenant)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Ticket {
     /// Blocks until the engine answers, returning the logits `[K]` for
     /// the submitted sample (or the error the request failed with).
@@ -381,11 +391,7 @@ impl Engine {
     /// tenant). On top of the [`Engine::submit`] failures, a tenanted
     /// request over its [`TenantQuota`] fails fast with
     /// [`ServeError::RateLimited`].
-    pub fn submit_with(
-        &self,
-        input: Tensor,
-        opts: SubmitOptions,
-    ) -> Result<Ticket, ServeError> {
+    pub fn submit_with(&self, input: Tensor, opts: SubmitOptions) -> Result<Ticket, ServeError> {
         if input.dims() != self.shared.input_dims {
             return Err(ServeError::BadInput {
                 expected: self.shared.input_dims.clone(),
@@ -526,11 +532,7 @@ struct WorkerExit {
 /// `catch_unwind` so an abrupt death (a panic that escaped batch-level
 /// containment, e.g. a chaos kill) is reported to the supervisor
 /// instead of silently shrinking the pool.
-fn spawn_worker(
-    shared: Arc<Shared>,
-    id: usize,
-    exits: mpsc::Sender<WorkerExit>,
-) -> JoinHandle<()> {
+fn spawn_worker(shared: Arc<Shared>, id: usize, exits: mpsc::Sender<WorkerExit>) -> JoinHandle<()> {
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, id)));
         let _ = exits.send(WorkerExit {
@@ -699,7 +701,11 @@ fn run_batch(
     for request in expired {
         // If the waiter already timed out (and recorded the expiry),
         // the send fails and nothing is double-counted.
-        if request.reply.send(Err(ServeError::DeadlineExceeded)).is_ok() {
+        if request
+            .reply
+            .send(Err(ServeError::DeadlineExceeded))
+            .is_ok()
+        {
             shared.stats.record_expired(request.tenant.as_deref());
         }
         event!(
@@ -744,9 +750,13 @@ fn run_batch(
                 let row = Tensor::from_vec(y.data()[i * k..(i + 1) * k].to_vec(), &[k]);
                 let latency = request.enqueued.elapsed();
                 // A dropped ticket just discards the row; the work was
-                // still done and counts as completed.
+                // still done and counts as completed. Recorded *before*
+                // the reply: a caller woken by `Ticket::wait` must see
+                // its own request in the stats.
+                shared
+                    .stats
+                    .record_completed(latency, request.tenant.as_deref());
                 let _ = request.reply.send(Ok(row));
-                shared.stats.record_completed(latency, request.tenant.as_deref());
                 event!(
                     "engine",
                     "reply",
@@ -864,9 +874,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let tickets: Vec<Ticket> = (0..12)
-            .map(|i| engine.submit(sample(i)).unwrap())
-            .collect();
+        let tickets: Vec<Ticket> = (0..12).map(|i| engine.submit(sample(i)).unwrap()).collect();
         for (i, ticket) in tickets.into_iter().enumerate() {
             let got = ticket.wait().unwrap();
             let single = sample(i).reshape(&[1, 3]);
@@ -905,9 +913,7 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        let tickets: Vec<Ticket> = (0..6)
-            .map(|i| engine.submit(sample(i)).unwrap())
-            .collect();
+        let tickets: Vec<Ticket> = (0..6).map(|i| engine.submit(sample(i)).unwrap()).collect();
         drop(engine);
         for ticket in tickets {
             assert!(ticket.wait().is_ok(), "pending work must be drained");

@@ -7,10 +7,18 @@
 //!
 //! * **Integer mode** ([`CompiledModel::forward_batch`]) — the deployment
 //!   path. Inputs to each weighted op are quantized to 8-bit codes with
-//!   that op's *calibrated* step and the op runs on the integer kernels
-//!   (`i64` accumulation, one float scale per output). Ops whose
-//!   calibrated input range dips below zero (the raw-image stem) fall
-//!   back to exact float arithmetic on the unpacked weights — the
+//!   that op's *calibrated* step and the op runs on one of two exact
+//!   integer kernel classes, chosen per op by a deterministic
+//!   shape×bit-width selector (`csq_core::bitplane::select_kernel`):
+//!   the dense integer kernels (`i64` accumulation, one float scale per
+//!   output) or the u64-packed **bit-plane** AND/popcount kernels,
+//!   whose weight lanes are transposed once at bind time
+//!   ([`BitplaneWeight`]) so a 3-bit conv costs ~3 bitwise passes
+//!   instead of dense multiplies. Both classes are bit-exact against
+//!   each other, so the choice never changes an answer — only its
+//!   latency ([`KernelPolicy`] can pin a class for A/B checks). Ops
+//!   whose calibrated input range dips below zero (the raw-image stem)
+//!   fall back to exact float arithmetic on the unpacked weights — the
 //!   standard "keep the first layer in higher precision" deployment
 //!   practice.
 //! * **Float mode** ([`CompiledModel::forward_float`]) — the reference
@@ -22,6 +30,10 @@
 //! a batched forward is bit-identical to running each sample alone —
 //! the property the engine's micro-batching relies on.
 
+use csq_core::bitplane::{
+    bitplane_conv2d, bitplane_linear, select_kernel, BitplaneWeight, KernelChoice, Routine,
+    WeightedOpKind,
+};
 use csq_core::qinfer::{
     conv2d_integer, depthwise_conv2d_integer, linear_integer, QinferError, QuantizedActivations,
 };
@@ -96,7 +108,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::BadInput { expected, actual } => {
-                write!(f, "input shape {actual:?} does not match model input {expected:?}")
+                write!(
+                    f,
+                    "input shape {actual:?} does not match model input {expected:?}"
+                )
             }
             ServeError::QueueFull { capacity } => {
                 write!(f, "submission queue is full ({capacity} pending requests)")
@@ -198,11 +213,92 @@ enum BoundOp {
 }
 
 /// A packed weight plus its exact float reconstruction (for the float
-/// reference path and fallback ops).
+/// reference path and fallback ops) and, for integer-grid conv/linear
+/// ops, its u64 bit-plane transposition built once at bind time.
 #[derive(Debug, Clone)]
 struct BoundWeight {
     packed: PackedWeight,
     float: Tensor,
+    /// Bit-plane lanes, present when some conv/linear op runs this
+    /// weight on the integer grid (the only ops the bit-plane kernels
+    /// implement). `None` for float-fallback and depthwise weights.
+    bitplane: Option<BitplaneWeight>,
+}
+
+/// Which kernel class integer-grid weighted ops run on.
+///
+/// The default [`Auto`](KernelPolicy::Auto) asks the deterministic
+/// shape×bit-width selector per op and per batch shape; the force
+/// variants pin one class for A/B latency comparisons and bit-exactness
+/// gates. Every class computes identical results, so the policy never
+/// changes an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Per-op routine selection (`csq_core::bitplane::select_kernel`).
+    #[default]
+    Auto,
+    /// Always the dense integer kernels.
+    ForceInteger,
+    /// Always the bit-plane kernels where a bit-plane form exists
+    /// (depthwise ops stay dense — the bit-plane class does not
+    /// implement them).
+    ForceBitplane,
+}
+
+/// The execution path one weighted op takes in one forward, decided
+/// before the kernel runs so profiling and execution always agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathChoice {
+    /// Exact float arithmetic on the unpacked weight.
+    Float,
+    /// Dense integer kernels on quantized codes.
+    Integer,
+    /// u64 AND/popcount kernels on quantized codes.
+    Bitplane(Routine),
+}
+
+impl PathChoice {
+    fn class(self) -> &'static str {
+        match self {
+            PathChoice::Float => "float",
+            PathChoice::Integer => "integer",
+            PathChoice::Bitplane(_) => "bitplane",
+        }
+    }
+
+    fn routine(self) -> &'static str {
+        match self {
+            PathChoice::Bitplane(r) => r.name(),
+            _ => "dense",
+        }
+    }
+}
+
+/// Decides the path for one integer-capable weighted op. `batch_rows`
+/// is the GEMM row count the bit-plane kernel would see (im2col rows
+/// for conv, batch size for linear).
+fn decide_weighted(
+    kind: WeightedOpKind,
+    grid: &ActGrid,
+    bitplane: Option<&BitplaneWeight>,
+    batch_rows: usize,
+    integer: bool,
+    policy: KernelPolicy,
+) -> PathChoice {
+    if !(integer && grid.integer) {
+        return PathChoice::Float;
+    }
+    let Some(bw) = bitplane else {
+        return PathChoice::Integer;
+    };
+    match policy {
+        KernelPolicy::ForceInteger => PathChoice::Integer,
+        KernelPolicy::ForceBitplane => PathChoice::Bitplane(Routine::for_batch(batch_rows)),
+        KernelPolicy::Auto => match select_kernel(kind, batch_rows, bw) {
+            KernelChoice::Bitplane(r) => PathChoice::Bitplane(r),
+            KernelChoice::Integer => PathChoice::Integer,
+        },
+    }
 }
 
 /// Why an op plan could not be bound to weights/calibration.
@@ -225,7 +321,10 @@ impl std::fmt::Display for BindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BindError::MissingWeight { path } => {
-                write!(f, "op references weight `{path}` but the artifact has no such tensor")
+                write!(
+                    f,
+                    "op references weight `{path}` but the artifact has no such tensor"
+                )
             }
             BindError::MissingCalibration { path } => {
                 write!(f, "weighted op `{path}` has no calibrated activation step")
@@ -246,6 +345,11 @@ pub struct CompiledModel {
     num_classes: usize,
     plan: Vec<BoundOp>,
     weights: Vec<BoundWeight>,
+    /// Recycles the u64 lane buffers the bit-plane kernels pack
+    /// activations into. Owned here (mutex-guarded free list) so the
+    /// public forward signatures stay unchanged and all workers share
+    /// one pool per model.
+    lanes: ScratchPool<u64>,
 }
 
 impl CompiledModel {
@@ -261,11 +365,12 @@ impl CompiledModel {
         packed: &[PackedWeight],
         calibration: Option<&HashMap<String, ActGrid>>,
     ) -> Result<CompiledModel, BindError> {
-        let weights: Vec<BoundWeight> = packed
+        let mut weights: Vec<BoundWeight> = packed
             .iter()
             .map(|p| BoundWeight {
                 float: p.unpack(),
                 packed: p.clone(),
+                bitplane: None,
             })
             .collect();
         let by_path: HashMap<&str, usize> = weights
@@ -274,12 +379,24 @@ impl CompiledModel {
             .map(|(i, w)| (w.packed.path.as_str(), i))
             .collect();
         let plan = bind_ops(ops, &by_path, calibration)?;
+        // Transpose integer-grid conv/linear weights into bit-plane
+        // lanes once, here — never on the request path. A weight that
+        // fails the transposition (degenerate shape) simply keeps
+        // running the dense kernels.
+        let mut wants_bitplane = vec![false; weights.len()];
+        mark_bitplane_weights(&plan, &mut wants_bitplane);
+        for (w, wanted) in weights.iter_mut().zip(wants_bitplane) {
+            if wanted {
+                w.bitplane = BitplaneWeight::from_packed(&w.packed).ok();
+            }
+        }
         Ok(CompiledModel {
             name,
             input_dims,
             num_classes,
             plan,
             weights,
+            lanes: ScratchPool::new(),
         })
     }
 
@@ -307,6 +424,29 @@ impl CompiledModel {
     /// (calibrated input range included negatives — typically the stem).
     pub fn float_fallback_count(&self) -> usize {
         count_weighted(&self.plan, false)
+    }
+
+    /// Number of weighted ops the [`Auto`](KernelPolicy::Auto) selector
+    /// routes to the bit-plane kernels for a batch of `batch` samples.
+    pub fn bitplane_op_count(&self, batch: usize) -> usize {
+        self.kernel_plan(batch)
+            .iter()
+            .filter(|e| e.class == "bitplane")
+            .count()
+    }
+
+    /// The static per-weighted-op kernel decision for a batch of
+    /// `batch` samples under [`KernelPolicy::Auto`]: walks the plan
+    /// propagating activation shapes exactly as a forward would, and
+    /// asks the selector at every weighted op. One entry per weighted
+    /// op, in execution order.
+    pub fn kernel_plan(&self, batch: usize) -> Vec<KernelPlanEntry> {
+        let mut entries = Vec::new();
+        let mut dims = Vec::with_capacity(self.input_dims.len() + 1);
+        dims.push(batch.max(1));
+        dims.extend_from_slice(&self.input_dims);
+        walk_plan(&self.plan, &self.weights, dims, &mut entries);
+        entries
     }
 
     /// Validates a batched input `[N, C, H, W]` against the model's
@@ -338,15 +478,27 @@ impl CompiledModel {
         x: &Tensor,
         scratch: &ScratchPool<u8>,
     ) -> Result<Tensor, ServeError> {
+        self.forward_batch_with(x, scratch, KernelPolicy::Auto)
+    }
+
+    /// [`forward_batch`](Self::forward_batch) with an explicit kernel
+    /// policy. `ForceInteger` / `ForceBitplane` pin one kernel class —
+    /// the result is bit-identical under every policy (asserted by the
+    /// e2e suite); only the latency differs.
+    pub fn forward_batch_with(
+        &self,
+        x: &Tensor,
+        scratch: &ScratchPool<u8>,
+        policy: KernelPolicy,
+    ) -> Result<Tensor, ServeError> {
         self.check_batch(x)?;
-        run_ops(
-            &self.plan,
-            &self.weights,
-            x.clone(),
-            true,
+        let ctx = ExecCtx {
+            weights: &self.weights,
+            policy,
             scratch,
-            &mut |_, _, _| {},
-        )
+            lanes: &self.lanes,
+        };
+        run_ops(&ctx, &self.plan, x.clone(), true, &mut |_, _, _| {})
     }
 
     /// Reference forward: identical dataflow on unpacked weights with no
@@ -355,14 +507,13 @@ impl CompiledModel {
     pub fn forward_float(&self, x: &Tensor) -> Result<Tensor, ServeError> {
         self.check_batch(x)?;
         let scratch: ScratchPool<u8> = ScratchPool::new();
-        run_ops(
-            &self.plan,
-            &self.weights,
-            x.clone(),
-            false,
-            &scratch,
-            &mut |_, _, _| {},
-        )
+        let ctx = ExecCtx {
+            weights: &self.weights,
+            policy: KernelPolicy::Auto,
+            scratch: &scratch,
+            lanes: &self.lanes,
+        };
+        run_ops(&ctx, &self.plan, x.clone(), false, &mut |_, _, _| {})
     }
 
     /// Float forward that also reports, for every weighted op, the
@@ -377,14 +528,159 @@ impl CompiledModel {
         self.check_batch(x)?;
         let scratch: ScratchPool<u8> = ScratchPool::new();
         let weights = &self.weights;
-        run_ops(
-            &self.plan,
+        let ctx = ExecCtx {
             weights,
-            x.clone(),
-            false,
-            &scratch,
-            &mut |widx, lo, hi| observer(&weights[widx].packed.path, lo, hi),
-        )
+            policy: KernelPolicy::Auto,
+            scratch: &scratch,
+            lanes: &self.lanes,
+        };
+        run_ops(&ctx, &self.plan, x.clone(), false, &mut |widx, lo, hi| {
+            observer(&weights[widx].packed.path, lo, hi)
+        })
+    }
+}
+
+/// One weighted op's static kernel decision, as reported by
+/// [`CompiledModel::kernel_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPlanEntry {
+    /// Stable weight path of the op.
+    pub path: String,
+    /// Op kind: `conv2d`, `depthwise`, or `linear`.
+    pub op: &'static str,
+    /// Selected kernel class: `integer`, `bitplane`, or `float`.
+    pub class: &'static str,
+    /// Routine within the class: `dense`, `panel_gemm`, or `vecmat`.
+    pub routine: &'static str,
+    /// Magnitude planes spanned by the weight codes (0 when the op has
+    /// no bit-plane form).
+    pub total_planes: usize,
+    /// Active plane×sign passes the bit-plane kernel would run.
+    pub active_passes: usize,
+    /// Plane×sign pairs pruned to empty and dropped at bind time.
+    pub skipped_passes: usize,
+}
+
+/// Marks weights that integer-grid conv/linear ops reference — the ops
+/// the bit-plane kernels implement — so `bind` transposes exactly those.
+fn mark_bitplane_weights(plan: &[BoundOp], wants: &mut [bool]) {
+    for op in plan {
+        match op {
+            BoundOp::Conv { widx, grid, .. } | BoundOp::Linear { widx, grid, .. } => {
+                if grid.integer {
+                    wants[*widx] = true;
+                }
+            }
+            BoundOp::Residual {
+                main,
+                shortcut,
+                post,
+            } => {
+                mark_bitplane_weights(main, wants);
+                mark_bitplane_weights(shortcut, wants);
+                mark_bitplane_weights(post, wants);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walks a plan propagating activation dims exactly as [`run_ops`]
+/// transforms them, recording every weighted op's Auto kernel decision.
+/// Returns the output dims of the sub-plan.
+fn walk_plan(
+    plan: &[BoundOp],
+    weights: &[BoundWeight],
+    mut dims: Vec<usize>,
+    out: &mut Vec<KernelPlanEntry>,
+) -> Vec<usize> {
+    for op in plan {
+        dims = match op {
+            BoundOp::Conv {
+                widx, spec, grid, ..
+            } => {
+                let w = &weights[*widx];
+                let (n, h, wd) = (dims[0], dims[2], dims[3]);
+                let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
+                let choice = decide_weighted(
+                    WeightedOpKind::Conv2d,
+                    grid,
+                    w.bitplane.as_ref(),
+                    n * oh * ow,
+                    true,
+                    KernelPolicy::Auto,
+                );
+                out.push(plan_entry("conv2d", w, choice));
+                vec![n, w.packed.dims[0], oh, ow]
+            }
+            BoundOp::Depthwise { widx, spec, grid } => {
+                let w = &weights[*widx];
+                let (n, c, h, wd) = (dims[0], dims[1], dims[2], dims[3]);
+                let (oh, ow) = (spec.out_size(h), spec.out_size(wd));
+                let choice = if grid.integer {
+                    PathChoice::Integer
+                } else {
+                    PathChoice::Float
+                };
+                out.push(plan_entry("depthwise", w, choice));
+                vec![n, c, oh, ow]
+            }
+            BoundOp::Linear { widx, grid, .. } => {
+                let w = &weights[*widx];
+                let n = dims[0];
+                let choice = decide_weighted(
+                    WeightedOpKind::Linear,
+                    grid,
+                    w.bitplane.as_ref(),
+                    n,
+                    true,
+                    KernelPolicy::Auto,
+                );
+                out.push(plan_entry("linear", w, choice));
+                vec![n, w.packed.dims[0]]
+            }
+            BoundOp::MaxPool { window, stride } | BoundOp::AvgPool { window, stride } => {
+                let (oh, ow) = (
+                    (dims[2] - window) / stride + 1,
+                    (dims[3] - window) / stride + 1,
+                );
+                vec![dims[0], dims[1], oh, ow]
+            }
+            BoundOp::GlobalAvgPool => vec![dims[0], dims[1]],
+            BoundOp::Flatten => {
+                let n = dims[0];
+                vec![n, dims[1..].iter().product()]
+            }
+            BoundOp::Residual {
+                main,
+                shortcut,
+                post,
+            } => {
+                let merged = walk_plan(main, weights, dims.clone(), out);
+                if !shortcut.is_empty() {
+                    walk_plan(shortcut, weights, dims, out);
+                }
+                walk_plan(post, weights, merged, out)
+            }
+            _ => dims,
+        };
+    }
+    dims
+}
+
+fn plan_entry(op: &'static str, w: &BoundWeight, choice: PathChoice) -> KernelPlanEntry {
+    let (total_planes, active_passes, skipped_passes) = match &w.bitplane {
+        Some(bw) => (bw.total_planes, bw.pass_count(), bw.skipped_passes),
+        None => (0, 0, 0),
+    };
+    KernelPlanEntry {
+        path: w.packed.path.clone(),
+        op,
+        class: choice.class(),
+        routine: choice.routine(),
+        total_planes,
+        active_passes,
+        skipped_passes,
     }
 }
 
@@ -414,11 +710,12 @@ fn lookup_grid(
 ) -> Result<ActGrid, BindError> {
     match calibration {
         None => Ok(ActGrid::uncalibrated()),
-        Some(table) => table.get(path).copied().ok_or_else(|| {
-            BindError::MissingCalibration {
+        Some(table) => table
+            .get(path)
+            .copied()
+            .ok_or_else(|| BindError::MissingCalibration {
                 path: path.to_string(),
-            }
-        }),
+            }),
     }
 }
 
@@ -448,7 +745,9 @@ fn bind_ops(
             } => BoundOp::Conv {
                 widx: resolve(weight)?,
                 spec: ConvSpec::new(*kernel, *stride, *padding),
-                bias: bias.as_ref().map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
+                bias: bias
+                    .as_ref()
+                    .map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
                 grid: lookup_grid(weight, calibration)?,
             },
             InferOp::DepthwiseConv2d {
@@ -464,7 +763,9 @@ fn bind_ops(
             },
             InferOp::Linear { weight, bias, .. } => BoundOp::Linear {
                 widx: resolve(weight)?,
-                bias: bias.as_ref().map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
+                bias: bias
+                    .as_ref()
+                    .map(|b| Tensor::from_vec(b.clone(), &[b.len()])),
                 grid: lookup_grid(weight, calibration)?,
             },
             InferOp::ChannelAffine { scale, shift } => BoundOp::ChannelAffine {
@@ -503,63 +804,133 @@ fn bind_ops(
 }
 
 fn minmax(x: &Tensor) -> (f32, f32) {
-    x.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    })
+    x.iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
 }
 
-/// Profiler metadata for one op: the kind label and the bytes of weight
-/// data it reads. `None` for ops that cost nothing worth attributing
-/// (`Flatten`, `Identity`) and for `Residual`, whose inner ops are
-/// recorded individually by the recursive [`run_ops`] calls.
+/// The path decision for one op of this forward: `Some` for weighted
+/// ops (needed by both execution and profiling, so it is made exactly
+/// once), `None` for everything else.
+fn weighted_decision(
+    op: &BoundOp,
+    weights: &[BoundWeight],
+    x: &Tensor,
+    integer: bool,
+    policy: KernelPolicy,
+) -> Option<PathChoice> {
+    match op {
+        BoundOp::Conv {
+            widx, spec, grid, ..
+        } => {
+            // GEMM rows the bit-plane kernel would see = im2col rows.
+            let batch_rows = if x.rank() == 4 {
+                let (n, h, w) = (x.dims()[0], x.dims()[2], x.dims()[3]);
+                n * spec.out_size(h) * spec.out_size(w)
+            } else {
+                1
+            };
+            Some(decide_weighted(
+                WeightedOpKind::Conv2d,
+                grid,
+                weights[*widx].bitplane.as_ref(),
+                batch_rows,
+                integer,
+                policy,
+            ))
+        }
+        BoundOp::Depthwise { grid, .. } => Some(if integer && grid.integer {
+            PathChoice::Integer
+        } else {
+            PathChoice::Float
+        }),
+        BoundOp::Linear { widx, grid, .. } => Some(decide_weighted(
+            WeightedOpKind::Linear,
+            grid,
+            weights[*widx].bitplane.as_ref(),
+            x.dims().first().copied().unwrap_or(1),
+            integer,
+            policy,
+        )),
+        _ => None,
+    }
+}
+
+/// Profiler metadata for one op: the kind label, class, routine, and
+/// the bytes of weight data it reads. `None` for ops that cost nothing
+/// worth attributing (`Flatten`, `Identity`) and for `Residual`, whose
+/// inner ops are recorded individually by the recursive [`run_ops`]
+/// calls.
 fn profile_meta(
     op: &BoundOp,
     weights: &[BoundWeight],
-    integer: bool,
-) -> Option<(&'static str, u64)> {
-    let weight_bytes =
-        |widx: &usize| (weights[*widx].packed.codes.len() * std::mem::size_of::<i32>()) as u64;
+    decision: Option<PathChoice>,
+) -> Option<(&'static str, &'static str, &'static str, u64)> {
+    // Weight bytes actually read: the bit-plane class reads its packed
+    // lanes, the other classes the dense codes.
+    let weight_bytes = |widx: &usize| match (decision, &weights[*widx].bitplane) {
+        (Some(PathChoice::Bitplane(_)), Some(bw)) => bw.lane_bytes() as u64,
+        _ => (weights[*widx].packed.codes.len() * std::mem::size_of::<i32>()) as u64,
+    };
+    let weighted = |kind: &'static str, widx: &usize| {
+        let choice = decision.unwrap_or(PathChoice::Float);
+        Some((kind, choice.class(), choice.routine(), weight_bytes(widx)))
+    };
     match op {
-        BoundOp::Conv { widx, grid, .. } => Some((
-            if integer && grid.integer { "conv2d.int" } else { "conv2d.float" },
-            weight_bytes(widx),
-        )),
-        BoundOp::Depthwise { widx, grid, .. } => Some((
-            if integer && grid.integer { "depthwise.int" } else { "depthwise.float" },
-            weight_bytes(widx),
-        )),
-        BoundOp::Linear { widx, grid, .. } => Some((
-            if integer && grid.integer { "linear.int" } else { "linear.float" },
-            weight_bytes(widx),
-        )),
-        BoundOp::ChannelAffine { .. } => Some(("channel_affine", 0)),
-        BoundOp::Relu => Some(("relu", 0)),
-        BoundOp::UniformActQuant { .. } => Some(("act_quant", 0)),
-        BoundOp::MaxPool { .. } => Some(("maxpool2d", 0)),
-        BoundOp::AvgPool { .. } => Some(("avgpool2d", 0)),
-        BoundOp::GlobalAvgPool => Some(("global_avgpool", 0)),
+        BoundOp::Conv { widx, .. } => weighted("conv2d", widx),
+        BoundOp::Depthwise { widx, .. } => weighted("depthwise", widx),
+        BoundOp::Linear { widx, .. } => weighted("linear", widx),
+        BoundOp::ChannelAffine { .. } => Some(("channel_affine", "float", "dense", 0)),
+        BoundOp::Relu => Some(("relu", "float", "dense", 0)),
+        BoundOp::UniformActQuant { .. } => Some(("act_quant", "float", "dense", 0)),
+        BoundOp::MaxPool { .. } => Some(("maxpool2d", "float", "dense", 0)),
+        BoundOp::AvgPool { .. } => Some(("avgpool2d", "float", "dense", 0)),
+        BoundOp::GlobalAvgPool => Some(("global_avgpool", "float", "dense", 0)),
         BoundOp::Flatten | BoundOp::Identity | BoundOp::Residual { .. } => None,
     }
 }
 
-/// Runs a weighted op's input through the integer path if calibration
-/// allows, else through the exact float path on the unpacked weight.
+/// Everything a forward pass threads through the op loop unchanged:
+/// bound weights, the kernel policy, and the two scratch pools.
+struct ExecCtx<'a> {
+    weights: &'a [BoundWeight],
+    policy: KernelPolicy,
+    scratch: &'a ScratchPool<u8>,
+    lanes: &'a ScratchPool<u64>,
+}
+
+/// Runs a weighted op's input through the integer-class kernels (dense
+/// or bit-plane, per the decided path) if calibration allows, else
+/// through the exact float path on the unpacked weight.
 fn run_ops(
+    ctx: &ExecCtx<'_>,
     plan: &[BoundOp],
-    weights: &[BoundWeight],
     mut x: Tensor,
     integer: bool,
-    scratch: &ScratchPool<u8>,
     observer: &mut dyn FnMut(usize, f32, f32),
 ) -> Result<Tensor, ServeError> {
     let profiler = csq_obs::profiler::global();
+    let weights = ctx.weights;
     for op in plan {
+        // The kernel-class decision is made once, before the kernel
+        // runs, so execution and profiling can never disagree.
+        let decision = weighted_decision(op, weights, &x, integer, ctx.policy);
         // Kernel profiling (off by default; the disabled check is one
         // relaxed atomic load). Input shape is captured before the op
         // consumes `x`; bytes = input + output activations + weights.
         let prof = if profiler.enabled() {
-            profile_meta(op, weights, integer)
-                .map(|(kind, wbytes)| (kind, wbytes, x.dims().to_vec(), x.numel(), Instant::now()))
+            profile_meta(op, weights, decision).map(|(kind, class, routine, wbytes)| {
+                (
+                    kind,
+                    class,
+                    routine,
+                    wbytes,
+                    x.dims().to_vec(),
+                    x.numel(),
+                    Instant::now(),
+                )
+            })
         } else {
             None
         };
@@ -573,17 +944,23 @@ fn run_ops(
                 let (lo, hi) = minmax(&x);
                 observer(*widx, lo, hi);
                 let w = &weights[*widx];
-                let y = if integer && grid.integer {
-                    let q = QuantizedActivations::quantize_with_step_into(
-                        &x,
-                        grid.step,
-                        scratch.take(x.numel()),
-                    )?;
-                    let y = conv2d_integer(&q, &w.packed, *spec)?;
-                    scratch.give(q.codes);
-                    y
-                } else {
-                    conv2d(&x, &w.float, *spec)
+                let y = match decision.unwrap_or(PathChoice::Float) {
+                    PathChoice::Float => conv2d(&x, &w.float, *spec),
+                    choice => {
+                        let q = QuantizedActivations::quantize_with_step_into(
+                            &x,
+                            grid.step,
+                            ctx.scratch.take(x.numel()),
+                        )?;
+                        let y = match (choice, &w.bitplane) {
+                            (PathChoice::Bitplane(_), Some(bw)) => {
+                                bitplane_conv2d(&q, bw, *spec, ctx.scratch, ctx.lanes)?
+                            }
+                            _ => conv2d_integer(&q, &w.packed, *spec)?,
+                        };
+                        ctx.scratch.give(q.codes);
+                        y
+                    }
                 };
                 match bias {
                     Some(b) => y.add_channel_bias(b),
@@ -594,14 +971,14 @@ fn run_ops(
                 let (lo, hi) = minmax(&x);
                 observer(*widx, lo, hi);
                 let w = &weights[*widx];
-                if integer && grid.integer {
+                if decision == Some(PathChoice::Integer) {
                     let q = QuantizedActivations::quantize_with_step_into(
                         &x,
                         grid.step,
-                        scratch.take(x.numel()),
+                        ctx.scratch.take(x.numel()),
                     )?;
                     let y = depthwise_conv2d_integer(&q, &w.packed, *spec)?;
-                    scratch.give(q.codes);
+                    ctx.scratch.give(q.codes);
                     y
                 } else {
                     depthwise_conv2d(&x, &w.float, *spec)
@@ -611,17 +988,23 @@ fn run_ops(
                 let (lo, hi) = minmax(&x);
                 observer(*widx, lo, hi);
                 let w = &weights[*widx];
-                let y = if integer && grid.integer {
-                    let q = QuantizedActivations::quantize_with_step_into(
-                        &x,
-                        grid.step,
-                        scratch.take(x.numel()),
-                    )?;
-                    let y = linear_integer(&q, &w.packed)?;
-                    scratch.give(q.codes);
-                    y
-                } else {
-                    x.matmul_nt(&w.float)
+                let y = match decision.unwrap_or(PathChoice::Float) {
+                    PathChoice::Float => x.matmul_nt(&w.float),
+                    choice => {
+                        let q = QuantizedActivations::quantize_with_step_into(
+                            &x,
+                            grid.step,
+                            ctx.scratch.take(x.numel()),
+                        )?;
+                        let y = match (choice, &w.bitplane) {
+                            (PathChoice::Bitplane(routine), Some(bw)) => {
+                                bitplane_linear(&q, bw, routine, ctx.lanes)?
+                            }
+                            _ => linear_integer(&q, &w.packed)?,
+                        };
+                        ctx.scratch.give(q.codes);
+                        y
+                    }
                 };
                 match bias {
                     Some(b) => y.add_row_bias(b),
@@ -674,21 +1057,23 @@ fn run_ops(
                 shortcut,
                 post,
             } => {
-                let m = run_ops(main, weights, x.clone(), integer, scratch, observer)?;
+                let m = run_ops(ctx, main, x.clone(), integer, observer)?;
                 let s = if shortcut.is_empty() {
                     x
                 } else {
-                    run_ops(shortcut, weights, x, integer, scratch, observer)?
+                    run_ops(ctx, shortcut, x, integer, observer)?
                 };
                 let merged = m.add(&s);
-                run_ops(post, weights, merged, integer, scratch, observer)?
+                run_ops(ctx, post, merged, integer, observer)?
             }
         };
-        if let Some((kind, wbytes, in_dims, in_numel, start)) = prof {
+        if let Some((kind, class, routine, wbytes, in_dims, in_numel, start)) = prof {
             let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let act_bytes = ((in_numel + x.numel()) * std::mem::size_of::<f32>()) as u64;
             profiler.record(
                 kind,
+                class,
+                routine,
                 &csq_obs::profiler::shape_key(&in_dims),
                 wall_ns,
                 act_bytes + wbytes,

@@ -15,8 +15,13 @@
 //!   reference path, so every request shares one grid and batching is
 //!   bit-deterministic.
 //! * [`CompiledModel`] — an immutable executor over the artifact:
-//!   integer kernels with `i64` accumulation where calibration allows,
-//!   exact float fallback where it does not (signed stem inputs).
+//!   where calibration allows, each weighted op runs one of two exact
+//!   integer kernel classes — dense `i64` kernels or u64-packed
+//!   bit-plane AND/popcount kernels whose cost scales with the learned
+//!   bit-width — chosen per op by a deterministic shape selector
+//!   ([`KernelPolicy`] pins a class for A/B checks); exact float
+//!   fallback where calibration does not allow integer execution
+//!   (signed stem inputs).
 //! * [`Engine`] — a micro-batching server: bounded submission queue,
 //!   worker threads that fuse up to `max_batch` requests (or whatever
 //!   arrives within `batch_window`) into one forward, per-worker
@@ -55,8 +60,8 @@ pub mod engine;
 pub mod exec;
 pub mod metrics;
 
-pub use artifact::{ArtifactError, ModelArtifact, CSQM_FORMAT_VERSION};
+pub use artifact::{ArtifactError, ModelArtifact, PlaneProfileEntry, CSQM_FORMAT_VERSION};
 pub use calibrate::{calibrate, CalibrationEntry};
 pub use engine::{Engine, EngineConfig, SubmitOptions, TenantQuota, Ticket};
-pub use exec::{BindError, CompiledModel, ServeError};
+pub use exec::{BindError, CompiledModel, KernelPlanEntry, KernelPolicy, ServeError};
 pub use metrics::{EngineStats, TenantStats};

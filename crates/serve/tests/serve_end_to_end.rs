@@ -49,6 +49,36 @@ fn fixture() -> &'static Fixture {
     })
 }
 
+/// A second artifact trained at a uniform 2-bit width: few enough bit
+/// planes that the kernel selector routes its convolutions to the
+/// bit-plane class (the 8-bit [`fixture`] stays on dense integer).
+fn lowbit_fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let spec = SyntheticSpec::cifar_like(7)
+            .with_samples(3, 2)
+            .with_noise(0.5);
+        let data = Dataset::synthetic(&spec);
+        let mut factory = csq_uniform_factory(2);
+        let mut model = resnet_cifar(ModelConfig::cifar_like(4, Some(4), 7), &mut factory, 1);
+        let cfg = CsqConfig::fast(4.0).with_epochs(2).with_seed(7);
+        CsqTrainer::new(cfg)
+            .train(&mut model, &data)
+            .expect("training");
+        let input_dims = data.test.images.dims()[1..].to_vec();
+        let calib = data.train.images.slice_axis0(0, data.train.len().min(8));
+        let artifact = ModelArtifact::export(
+            &mut model,
+            "test-model-2bit",
+            &input_dims,
+            data.spec.num_classes,
+            &calib,
+        )
+        .expect("export");
+        Fixture { artifact, data }
+    })
+}
+
 fn temp_path(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("csq-serve-tests");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -140,6 +170,81 @@ fn batched_engine_is_bit_identical_to_single_requests_at_1_and_4_workers() {
         let stats = engine.stats();
         assert_eq!(stats.completed as usize, n, "workers={workers}");
         assert_eq!(stats.failed, 0);
+    }
+}
+
+#[test]
+fn bitplane_kernels_are_bit_exact_against_integer_at_1_and_4_threads() {
+    let fix = lowbit_fixture();
+    let compiled = fix.artifact.compile().expect("compile");
+    let scratch: ScratchPool<u8> = ScratchPool::new();
+    let images = &fix.data.test.images;
+    let batch = images.dims()[0];
+
+    // The trained fixture must actually exercise the bit-plane class,
+    // otherwise this test would vacuously compare integer to itself.
+    assert!(
+        compiled.bitplane_op_count(batch) >= 1,
+        "selector chose no bitplane ops: {:?}",
+        compiled.kernel_plan(batch)
+    );
+    // The plan tags every op with the class the executor will run.
+    for entry in compiled.kernel_plan(batch) {
+        assert!(["integer", "bitplane", "float"].contains(&entry.class));
+    }
+
+    let want = compiled
+        .forward_batch_with(images, &scratch, csq_serve::KernelPolicy::ForceInteger)
+        .expect("integer forward");
+    for threads in [1usize, 4] {
+        csq_tensor::par::with_threads(threads, || {
+            let auto = compiled
+                .forward_batch(images, &scratch)
+                .expect("auto forward");
+            let forced = compiled
+                .forward_batch_with(images, &scratch, csq_serve::KernelPolicy::ForceBitplane)
+                .expect("bitplane forward");
+            assert_eq!(
+                auto.data(),
+                want.data(),
+                "auto policy diverges from integer at {threads} threads"
+            );
+            assert_eq!(
+                forced.data(),
+                want.data(),
+                "bitplane kernels diverge from integer at {threads} threads"
+            );
+        });
+    }
+
+    // Batch-1 routes through the vecmat routine; still bit-exact.
+    let one = images.slice_axis0(0, 1);
+    let want1 = compiled
+        .forward_batch_with(&one, &scratch, csq_serve::KernelPolicy::ForceInteger)
+        .expect("integer batch-1");
+    let got1 = compiled
+        .forward_batch_with(&one, &scratch, csq_serve::KernelPolicy::ForceBitplane)
+        .expect("bitplane batch-1");
+    assert_eq!(got1.data(), want1.data());
+}
+
+#[test]
+fn plane_profile_reports_bitplane_structure() {
+    let fix = fixture();
+    let profile = fix.artifact.plane_profile();
+    assert_eq!(profile.len(), fix.artifact.weights.len());
+    assert!(
+        profile.iter().any(|e| e.active_passes >= 1),
+        "a trained model must have at least one non-empty plane"
+    );
+    for entry in &profile {
+        assert_eq!(
+            entry.active_passes + entry.skipped_passes,
+            2 * entry.total_planes,
+            "{}: every plane has a positive and a negative pass",
+            entry.path
+        );
+        assert!(entry.active_passes == 0 || entry.lane_bytes > 0);
     }
 }
 
@@ -242,7 +347,9 @@ fn export_rejects_mismatched_calibration_samples() {
     let fix = fixture();
     // Wrong spatial size for this model.
     let bad = csq_tensor::Tensor::zeros(&[2, 3, 8, 8]);
-    let spec = SyntheticSpec::cifar_like(9).with_samples(2, 1).with_noise(0.5);
+    let spec = SyntheticSpec::cifar_like(9)
+        .with_samples(2, 1)
+        .with_noise(0.5);
     let data = Dataset::synthetic(&spec);
     let mut factory = csq_factory(8);
     let mut model = resnet_cifar(ModelConfig::cifar_like(4, Some(4), 9), &mut factory, 1);

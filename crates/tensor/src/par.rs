@@ -210,6 +210,10 @@ impl<'a, T> SharedSliceMut<'a, T> {
     ///
     /// Concurrent callers must request pairwise-disjoint ranges, and the
     /// range must lie within the slice (checked only in debug builds).
+    // `&mut` out of `&self` is this type's entire purpose: the safe
+    // constructor holds the unique borrow, and the safety contract above
+    // makes concurrent sub-borrows disjoint.
+    #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start + len <= self.len, "disjoint range out of bounds");
         std::slice::from_raw_parts_mut(self.ptr.add(start), len)

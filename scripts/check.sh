@@ -37,7 +37,14 @@ for dump in "${dumps[@]}"; do
 done
 echo "    $(ls "$postmortem_dir" | wc -l) postmortem dump(s), all well-formed"
 
-echo "==> serve smoke load (2s closed loop + overload sweep)"
+echo "==> bitplane bit-exactness gate (proptest equivalence + serve e2e)"
+cargo test -q --release --test bitplane_equivalence
+cargo test -q --release --test serve_end_to_end \
+  bitplane_kernels_are_bit_exact_against_integer_at_1_and_4_threads
+
+echo "==> serve smoke load (2s closed loop + overload sweep + bits sweep)"
+# The serve bench asserts bitplane/auto outputs are bit-identical to the
+# integer path at every swept width; a mismatch fails the whole gate.
 CSQ_EPOCHS=1 CSQ_TRAIN_PER_CLASS=2 CSQ_TEST_PER_CLASS=2 CSQ_WIDTH=4 \
   CSQ_SERVE_SECONDS=2 CSQ_SERVE_OVERLOAD_SECONDS=0.5 ./target/release/serve
 
