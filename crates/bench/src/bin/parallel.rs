@@ -78,7 +78,17 @@ fn main() {
     );
     let mut rows = Vec::new();
 
-    // Workload 1: dense matmul, the row-parallel kernel.
+    // The kernel profiler stays on for every workload so the report's
+    // per-op breakdown carries the tensor-level GEMM/conv rows (tagged
+    // with the selected routine + blueprint) alongside the serve rows.
+    let profiler = csq_obs::profiler::global();
+    profiler.reset();
+    profiler.set_enabled(true);
+
+    // Workload 1: dense matmul through the selector (packed-panel GEMM
+    // at this shape), plus the historical blocked kernel pinned via
+    // `matmul_with` so the report shows the packed-vs-blocked margin on
+    // identical operands.
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let a = init::uniform(&[128, 256], -1.0, 1.0, &mut rng);
     let b = init::uniform(&[256, 128], -1.0, 1.0, &mut rng);
@@ -87,6 +97,14 @@ fn main() {
         50,
         || {
             black_box(a.matmul(&b));
+        },
+        &mut rows,
+    );
+    bench_workload(
+        "matmul_blocked_128x256x128",
+        50,
+        || {
+            black_box(a.matmul_with(&b, csq_tensor::routines::RoutineKind::Blocked));
         },
         &mut rows,
     );
@@ -135,9 +153,6 @@ fn main() {
         Err(e) => panic!("artifact compile failed: {e}"),
     };
     let scratch: csq_tensor::par::ScratchPool<u8> = csq_tensor::par::ScratchPool::new();
-    let profiler = csq_obs::profiler::global();
-    profiler.reset();
-    profiler.set_enabled(true);
     bench_workload(
         "integer_forward_resnet8",
         20,
@@ -148,12 +163,13 @@ fn main() {
     );
     profiler.set_enabled(false);
     let kernel_profile = profiler.snapshot();
-    for row in kernel_profile.iter().take(5) {
+    for row in kernel_profile.iter().take(8) {
         println!(
-            "kernel {:>14} {:>8}/{:>9} {:>16}: {:>6} calls  {:>9.3} ms",
+            "kernel {:>14} {:>8}/{:>12}@{:<13} {:>16}: {:>6} calls  {:>9.3} ms",
             row.kind,
             row.class,
             row.routine,
+            row.blueprint,
             row.shape,
             row.calls,
             row.wall_ns as f64 / 1e6,

@@ -309,10 +309,11 @@ fn main() {
     let kernel_class_totals = profiler.class_totals();
     for row in kernel_profile.iter().take(5) {
         println!(
-            "kernel {:>14} {:>8}/{:>9} {:>16}: {:>7} calls  {:>9.3} ms  {:>9.1} MB",
+            "kernel {:>14} {:>8}/{:>12}@{:<13} {:>16}: {:>7} calls  {:>9.3} ms  {:>9.1} MB",
             row.kind,
             row.class,
             row.routine,
+            row.blueprint,
             row.shape,
             row.calls,
             row.wall_ns as f64 / 1e6,

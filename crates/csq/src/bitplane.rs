@@ -42,12 +42,13 @@
 //!
 //! # Routine selection
 //!
-//! [`select_kernel`] is a deterministic shape×bit-width cost table
-//! (measured on the dense kernels this module competes with): packed
-//! panel GEMM for batched inputs, a vecmat routine for batch-1, and a
-//! fall back to the dense integer kernel where planes are dense or
-//! shapes are tiny. The decision depends only on shapes and the packed
-//! plane structure — never on timing — so serving stays deterministic.
+//! [`select_kernel`] adapts the workspace-wide selector's bit-serial
+//! cost table ([`csq_tensor::selector::bit_serial`], measured on the
+//! dense kernels this module competes with): packed panel GEMM for
+//! batched inputs, a vecmat routine for batch-1, and a fall back to the
+//! dense integer kernel where planes are dense or shapes are tiny. The
+//! decision depends only on shapes and the packed plane structure —
+//! never on timing — so serving stays deterministic.
 //!
 //! Row parallelism goes through [`csq_tensor::par`]: output chunks are a
 //! function of the problem shape only and every chunk is an independent
@@ -61,8 +62,9 @@ use csq_tensor::par::{self, ScratchPool};
 use csq_tensor::Tensor;
 
 /// Number of activation bit planes (activations are unsigned 8-bit
-/// codes, so the activation side always has at most 8 planes).
-pub const ACT_PLANES: usize = 8;
+/// codes, so the activation side always has at most 8 planes). Shared
+/// with the workspace-wide selector's bit-serial cost table.
+pub const ACT_PLANES: usize = bit_serial::ACT_PLANES;
 
 /// One packed weight plane×sign pass: the K-dim bit-packed lanes of a
 /// single magnitude plane restricted to one code sign.
@@ -284,13 +286,19 @@ impl Routine {
         }
     }
 
+    /// Name of the tiling blueprint both bit-plane routines run with
+    /// (the u64 lane layout, [`csq_tensor::blueprint::LANES_U64`]).
+    pub fn blueprint(self) -> &'static str {
+        csq_tensor::blueprint::LANES_U64.name
+    }
+
     /// The routine for a given GEMM row count: [`Routine::Vecmat`] for a
-    /// single row, [`Routine::PanelGemm`] otherwise.
+    /// single row, [`Routine::PanelGemm`] otherwise. Delegates to the
+    /// workspace-wide selector's bit-serial table.
     pub fn for_batch(batch_rows: usize) -> Routine {
-        if batch_rows <= 1 {
-            Routine::Vecmat
-        } else {
-            Routine::PanelGemm
+        match bit_serial::routine_for_rows(batch_rows) {
+            bit_serial::BitSerialRoutine::Vecmat => Routine::Vecmat,
+            bit_serial::BitSerialRoutine::PanelGemm => Routine::PanelGemm,
         }
     }
 }
@@ -317,52 +325,37 @@ pub enum WeightedOpKind {
     Linear,
 }
 
-/// Cost-model constants, in units of one *vectorized* dense MAC
-/// (~0.2 ns on the reference machine). Measured against this
-/// workspace's own kernels; see DESIGN.md §14 for the calibration runs.
-mod cost {
-    /// One AND+popcount+accumulate over a u64 word (64 products).
-    pub const WORD_OP: u64 = 6;
-    /// Transposing one activation code into its bit-plane lanes
-    /// (includes the im2col gather on the conv path).
-    pub const PACK_PER_CODE: u64 = 25;
-    /// One MAC of the branchy scalar integer conv kernel.
-    pub const CONV_DENSE_MAC: u64 = 13;
-    /// One MAC of the auto-vectorized integer linear kernel.
-    pub const LINEAR_DENSE_MAC: u64 = 1;
-}
+use csq_tensor::selector::bit_serial;
 
 /// Deterministic shape×bit-width routine table: picks the kernel class
 /// for one weighted op given the batch row count (`batch_rows` = im2col
 /// rows for conv, batch size for linear) and the packed plane structure.
 ///
-/// The decision compares the estimated per-row cost of `passes × 8`
-/// AND/popcount sweeps (plus activation packing, amortized over the
-/// row's outputs) against the dense integer kernel it would displace.
-/// Everything is integer arithmetic on shapes — no timing feedback — so
-/// the same op on the same shape always picks the same routine.
+/// This is a thin adapter over
+/// [`csq_tensor::selector::bit_serial::select`] — the cost table
+/// (constants and comparison) lives in the workspace-wide selector next
+/// to the float tables, so no kernel consumer carries a private cost
+/// model. Everything is integer arithmetic on shapes — no timing
+/// feedback — so the same op on the same shape always picks the same
+/// routine.
 pub fn select_kernel(kind: WeightedOpKind, batch_rows: usize, w: &BitplaneWeight) -> KernelChoice {
-    let routine = Routine::for_batch(batch_rows);
-    // A fully pruned weight is free on the bit-plane path: no passes, no
-    // work, output identically zero.
-    if w.passes.is_empty() {
-        return KernelChoice::Bitplane(routine);
-    }
-    let words = w.words as u64;
-    let passes = w.passes.len() as u64;
-    let outs = w.rows as u64;
-    let k = w.k as u64;
-    let bitplane_per_row =
-        cost::PACK_PER_CODE * k + outs * passes * ACT_PLANES as u64 * words * cost::WORD_OP;
-    let dense_mac = match kind {
-        WeightedOpKind::Conv2d => cost::CONV_DENSE_MAC,
-        WeightedOpKind::Linear => cost::LINEAR_DENSE_MAC,
+    let op = match kind {
+        WeightedOpKind::Conv2d => bit_serial::BitSerialOp::Conv2d,
+        WeightedOpKind::Linear => bit_serial::BitSerialOp::Linear,
     };
-    let integer_per_row = outs * k * dense_mac;
-    if bitplane_per_row < integer_per_row {
-        KernelChoice::Bitplane(routine)
-    } else {
-        KernelChoice::Integer
+    let shape = bit_serial::BitSerialShape {
+        batch_rows,
+        out_rows: w.rows,
+        k: w.k,
+        words: w.words,
+        passes: w.passes.len(),
+    };
+    match bit_serial::select(op, &shape).choice {
+        bit_serial::BitSerialChoice::Bitplane(r) => KernelChoice::Bitplane(match r {
+            bit_serial::BitSerialRoutine::PanelGemm => Routine::PanelGemm,
+            bit_serial::BitSerialRoutine::Vecmat => Routine::Vecmat,
+        }),
+        bit_serial::BitSerialChoice::DenseInteger => KernelChoice::Integer,
     }
 }
 

@@ -4,16 +4,18 @@
 //! Off by default — the per-op check is one relaxed atomic load, so
 //! `csq_serve::exec` pays nothing on the quiet path. When enabled
 //! (benches flip it on around their measured sections) every kernel
-//! invocation folds `(kind, class, routine, shape) → {calls, wall_ns,
-//! bytes}` into a small map; [`KernelProfiler::snapshot`] returns the
-//! rows sorted by total wall time so BENCH reports lead with the most
-//! expensive op. Each sample is tagged with the kernel *class* the
-//! executor's routine selector picked (`integer` / `bitplane` /
-//! `float`) and the routine name (`dense` / `panel_gemm` / `vecmat`),
-//! so [`KernelProfiler::class_totals`] can attribute wall time per
-//! class — the integer-vs-bitplane comparison data lives in
-//! `bench_results/BENCH_serve.json` (`kernel_class_totals` and the
-//! bits-vs-latency sweep).
+//! invocation folds `(kind, class, routine, blueprint, shape) →
+//! {calls, wall_ns, bytes}` into a small map;
+//! [`KernelProfiler::snapshot`] returns the rows sorted by total wall
+//! time so BENCH reports lead with the most expensive op. Each sample
+//! is tagged with the kernel *class* the routine selector picked
+//! (`integer` / `bitplane` / `float`), the routine name (`dense`,
+//! `panel_gemm`, `packed_panel`, …) and the tiling *blueprint* the
+//! routine ran with (`panel_f32`, `lanes_u64`, …), so
+//! [`KernelProfiler::class_totals`] can attribute wall time per class
+//! and BENCH reports can break latency down per selected
+//! routine/blueprint — the comparison data lives in
+//! `bench_results/BENCH_serve.json` and `BENCH_parallel.json`.
 
 use crate::registry::MetricsRegistry;
 use serde::{Deserialize, Serialize};
@@ -28,17 +30,22 @@ struct OpStat {
     bytes: u64,
 }
 
-/// One aggregated profile row (serialized into BENCH_serve.json).
+/// One aggregated profile row (serialized into BENCH reports).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpProfile {
-    /// Op kind, e.g. `conv2d` or `linear`.
+    /// Op kind, e.g. `conv2d` or `linear` (serve-level rows) or
+    /// `gemm_nn` / `conv_im2col` (tensor-level rows).
     pub kind: String,
-    /// Kernel class the executor selected: `integer`, `bitplane`, or
+    /// Kernel class the selector picked: `integer`, `bitplane`, or
     /// `float` (non-weighted ops report `float` — they run float
     /// arithmetic).
     pub class: String,
-    /// Routine within the class, e.g. `dense`, `panel_gemm`, `vecmat`.
+    /// Routine within the class, e.g. `dense`, `panel_gemm`,
+    /// `packed_panel`, `im2col_fused`.
     pub routine: String,
+    /// Tiling blueprint the routine ran with, e.g. `panel_f32`,
+    /// `blocked_kc64`, `lanes_u64`.
+    pub blueprint: String,
     /// Shape key, e.g. `8x3x32x32`.
     pub shape: String,
     /// Number of kernel invocations.
@@ -69,7 +76,7 @@ pub struct ClassTotal {
 pub struct KernelProfiler {
     enabled: AtomicBool,
     #[allow(clippy::type_complexity)]
-    stats: Mutex<BTreeMap<(String, String, String, String), OpStat>>,
+    stats: Mutex<BTreeMap<(String, String, String, String, String), OpStat>>,
 }
 
 impl KernelProfiler {
@@ -90,14 +97,17 @@ impl KernelProfiler {
     }
 
     /// Folds one kernel invocation into the aggregate, tagged with the
-    /// kernel class and routine the executor selected. Callers should
-    /// gate on [`enabled`](Self::enabled) before measuring; `record`
-    /// re-checks and drops the sample when disabled.
+    /// kernel class, routine, and tiling blueprint the selector picked.
+    /// Callers should gate on [`enabled`](Self::enabled) before
+    /// measuring; `record` re-checks and drops the sample when
+    /// disabled.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
         kind: &str,
         class: &str,
         routine: &str,
+        blueprint: &str,
         shape: &str,
         wall_ns: u64,
         bytes: u64,
@@ -111,6 +121,7 @@ impl KernelProfiler {
                 kind.to_string(),
                 class.to_string(),
                 routine.to_string(),
+                blueprint.to_string(),
                 shape.to_string(),
             ))
             .or_default();
@@ -124,10 +135,11 @@ impl KernelProfiler {
         let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         let mut rows: Vec<OpProfile> = stats
             .iter()
-            .map(|((kind, class, routine, shape), s)| OpProfile {
+            .map(|((kind, class, routine, blueprint, shape), s)| OpProfile {
                 kind: kind.clone(),
                 class: class.clone(),
                 routine: routine.clone(),
+                blueprint: blueprint.clone(),
                 shape: shape.clone(),
                 calls: s.calls,
                 wall_ns: s.wall_ns,
@@ -144,7 +156,7 @@ impl KernelProfiler {
     pub fn class_totals(&self) -> Vec<ClassTotal> {
         let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         let mut by_class: BTreeMap<&str, OpStat> = BTreeMap::new();
-        for ((_, class, _, _), s) in stats.iter() {
+        for ((_, class, _, _, _), s) in stats.iter() {
             let t = by_class.entry(class.as_str()).or_default();
             t.calls += s.calls;
             t.wall_ns += s.wall_ns;
@@ -169,7 +181,7 @@ impl KernelProfiler {
     }
 
     /// Publishes every row into `registry` as counters
-    /// (`kernel.<kind>.<class>.<routine>.<shape>.{calls,wall_ns,bytes}`)
+    /// (`kernel.<kind>.<class>.<routine>.<blueprint>.<shape>.{calls,wall_ns,bytes}`)
     /// plus per-class rollups
     /// (`kernel_class.<class>.{calls,wall_ns,bytes}`), so the
     /// Prometheus exposition and merged fleet snapshots carry the
@@ -177,8 +189,8 @@ impl KernelProfiler {
     pub fn publish_to(&self, registry: &MetricsRegistry) {
         for row in self.snapshot() {
             let base = format!(
-                "kernel.{}.{}.{}.{}",
-                row.kind, row.class, row.routine, row.shape
+                "kernel.{}.{}.{}.{}.{}",
+                row.kind, row.class, row.routine, row.blueprint, row.shape
             );
             registry.counter(&format!("{base}.calls")).add(row.calls);
             registry
@@ -197,7 +209,8 @@ impl KernelProfiler {
     }
 }
 
-/// The process-wide profiler used by the serve executor.
+/// The process-wide profiler used by the serve executor and the
+/// csq-tensor kernel entry points.
 pub fn global() -> &'static KernelProfiler {
     static GLOBAL: OnceLock<KernelProfiler> = OnceLock::new();
     GLOBAL.get_or_init(KernelProfiler::new)
@@ -226,7 +239,15 @@ mod tests {
     #[test]
     fn disabled_profiler_drops_samples() {
         let p = KernelProfiler::new();
-        p.record("conv2d", "integer", "dense", "1x3x8x8", 100, 64);
+        p.record(
+            "conv2d",
+            "integer",
+            "dense",
+            "dense_i64",
+            "1x3x8x8",
+            100,
+            64,
+        );
         assert!(p.snapshot().is_empty());
     }
 
@@ -234,14 +255,31 @@ mod tests {
     fn aggregates_and_sorts_by_wall_time() {
         let p = KernelProfiler::new();
         p.set_enabled(true);
-        p.record("linear", "float", "dense", "1x10", 50, 40);
-        p.record("conv2d", "integer", "dense", "1x3x8x8", 100, 64);
-        p.record("conv2d", "integer", "dense", "1x3x8x8", 200, 64);
+        p.record("linear", "float", "dense", "scalar_f32", "1x10", 50, 40);
+        p.record(
+            "conv2d",
+            "integer",
+            "dense",
+            "dense_i64",
+            "1x3x8x8",
+            100,
+            64,
+        );
+        p.record(
+            "conv2d",
+            "integer",
+            "dense",
+            "dense_i64",
+            "1x3x8x8",
+            200,
+            64,
+        );
         let rows = p.snapshot();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].kind, "conv2d");
         assert_eq!(rows[0].class, "integer");
         assert_eq!(rows[0].routine, "dense");
+        assert_eq!(rows[0].blueprint, "dense_i64");
         assert_eq!(rows[0].calls, 2);
         assert_eq!(rows[0].wall_ns, 300);
         assert_eq!(rows[0].bytes, 128);
@@ -252,13 +290,57 @@ mod tests {
     }
 
     #[test]
+    fn blueprint_is_part_of_the_aggregation_key() {
+        let p = KernelProfiler::new();
+        p.set_enabled(true);
+        p.record(
+            "gemm_nn",
+            "float",
+            "packed_panel",
+            "panel_f32",
+            "64x64x64",
+            10,
+            8,
+        );
+        p.record(
+            "gemm_nn",
+            "float",
+            "blocked",
+            "blocked_kc64",
+            "64x64x64",
+            30,
+            8,
+        );
+        let rows = p.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].blueprint, "blocked_kc64");
+        assert_eq!(rows[1].blueprint, "panel_f32");
+    }
+
+    #[test]
     fn class_totals_attribute_time_per_class() {
         let p = KernelProfiler::new();
         p.set_enabled(true);
-        p.record("conv2d", "bitplane", "panel_gemm", "1x3x8x8", 100, 10);
-        p.record("conv2d", "bitplane", "vecmat", "1x3x8x8", 50, 10);
-        p.record("linear", "integer", "dense", "1x10", 25, 10);
-        p.record("relu", "float", "dense", "1x10", 5, 10);
+        p.record(
+            "conv2d",
+            "bitplane",
+            "panel_gemm",
+            "lanes_u64",
+            "1x3x8x8",
+            100,
+            10,
+        );
+        p.record(
+            "conv2d",
+            "bitplane",
+            "vecmat",
+            "lanes_u64",
+            "1x3x8x8",
+            50,
+            10,
+        );
+        p.record("linear", "integer", "dense", "dense_i64", "1x10", 25, 10);
+        p.record("relu", "float", "dense", "scalar_f32", "1x10", 5, 10);
         let totals = p.class_totals();
         assert_eq!(totals.len(), 3);
         assert_eq!(totals[0].class, "bitplane");
@@ -272,13 +354,22 @@ mod tests {
     fn publishes_rows_as_counters() {
         let p = KernelProfiler::new();
         p.set_enabled(true);
-        p.record("relu", "float", "dense", "1x10", 7, 80);
+        p.record("relu", "float", "dense", "scalar_f32", "1x10", 7, 80);
         let reg = MetricsRegistry::new();
         p.publish_to(&reg);
         let snap = reg.snapshot();
-        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.calls"], 1);
-        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.wall_ns"], 7);
-        assert_eq!(snap.counters["kernel.relu.float.dense.1x10.bytes"], 80);
+        assert_eq!(
+            snap.counters["kernel.relu.float.dense.scalar_f32.1x10.calls"],
+            1
+        );
+        assert_eq!(
+            snap.counters["kernel.relu.float.dense.scalar_f32.1x10.wall_ns"],
+            7
+        );
+        assert_eq!(
+            snap.counters["kernel.relu.float.dense.scalar_f32.1x10.bytes"],
+            80
+        );
         assert_eq!(snap.counters["kernel_class.float.calls"], 1);
         assert_eq!(snap.counters["kernel_class.float.wall_ns"], 7);
     }

@@ -90,11 +90,14 @@ impl Histogram {
     }
 }
 
+/// Shared storage behind one [`Series`] handle.
+type SeriesCell = Arc<Mutex<Vec<(u64, f64)>>>;
+
 /// An append-only `(step, value)` time series handle — the registry's
 /// home for Fig. 2–4-style curves (per-epoch loss, average bit-width,
 /// gate sparsity, per-layer bits).
 #[derive(Debug, Clone)]
-pub struct Series(Arc<Mutex<Vec<(u64, f64)>>>);
+pub struct Series(SeriesCell);
 
 impl Series {
     /// Appends one `(step, value)` point.
@@ -123,7 +126,7 @@ struct Inner {
     counters: BTreeMap<String, Arc<AtomicU64>>,
     gauges: BTreeMap<String, Arc<AtomicI64>>,
     hists: BTreeMap<String, Arc<GeoHistogram>>,
-    series: BTreeMap<String, Arc<Mutex<Vec<(u64, f64)>>>>,
+    series: BTreeMap<String, SeriesCell>,
 }
 
 /// A named collection of metrics. Most code uses [`global()`], but

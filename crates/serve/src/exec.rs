@@ -272,6 +272,17 @@ impl PathChoice {
             _ => "dense",
         }
     }
+
+    /// The tiling-blueprint tag for profiler rows and the kernel plan:
+    /// the scalar float loops, the dense integer layout, or the u64
+    /// bit-plane lane layout (names from [`csq_tensor::blueprint`]).
+    fn blueprint(self) -> &'static str {
+        match self {
+            PathChoice::Float => csq_tensor::blueprint::SCALAR_F32.name,
+            PathChoice::Integer => csq_tensor::blueprint::DENSE_I64.name,
+            PathChoice::Bitplane(r) => r.blueprint(),
+        }
+    }
 }
 
 /// Decides the path for one integer-capable weighted op. `batch_rows`
@@ -552,6 +563,10 @@ pub struct KernelPlanEntry {
     pub class: &'static str,
     /// Routine within the class: `dense`, `panel_gemm`, or `vecmat`.
     pub routine: &'static str,
+    /// Tiling blueprint the routine runs with: `scalar_f32`,
+    /// `dense_i64`, or `lanes_u64` (names from
+    /// [`csq_tensor::blueprint`]).
+    pub blueprint: &'static str,
     /// Magnitude planes spanned by the weight codes (0 when the op has
     /// no bit-plane form).
     pub total_planes: usize,
@@ -678,6 +693,7 @@ fn plan_entry(op: &'static str, w: &BoundWeight, choice: PathChoice) -> KernelPl
         op,
         class: choice.class(),
         routine: choice.routine(),
+        blueprint: choice.blueprint(),
         total_planes,
         active_passes,
         skipped_passes,
@@ -857,16 +873,17 @@ fn weighted_decision(
     }
 }
 
-/// Profiler metadata for one op: the kind label, class, routine, and
-/// the bytes of weight data it reads. `None` for ops that cost nothing
-/// worth attributing (`Flatten`, `Identity`) and for `Residual`, whose
-/// inner ops are recorded individually by the recursive [`run_ops`]
-/// calls.
+/// Profiler metadata for one op: the kind label, class, routine,
+/// blueprint, and the bytes of weight data it reads. `None` for ops
+/// that cost nothing worth attributing (`Flatten`, `Identity`) and for
+/// `Residual`, whose inner ops are recorded individually by the
+/// recursive [`run_ops`] calls.
+#[allow(clippy::type_complexity)]
 fn profile_meta(
     op: &BoundOp,
     weights: &[BoundWeight],
     decision: Option<PathChoice>,
-) -> Option<(&'static str, &'static str, &'static str, u64)> {
+) -> Option<(&'static str, &'static str, &'static str, &'static str, u64)> {
     // Weight bytes actually read: the bit-plane class reads its packed
     // lanes, the other classes the dense codes.
     let weight_bytes = |widx: &usize| match (decision, &weights[*widx].bitplane) {
@@ -875,18 +892,25 @@ fn profile_meta(
     };
     let weighted = |kind: &'static str, widx: &usize| {
         let choice = decision.unwrap_or(PathChoice::Float);
-        Some((kind, choice.class(), choice.routine(), weight_bytes(widx)))
+        Some((
+            kind,
+            choice.class(),
+            choice.routine(),
+            choice.blueprint(),
+            weight_bytes(widx),
+        ))
     };
+    let scalar = csq_tensor::blueprint::SCALAR_F32.name;
     match op {
         BoundOp::Conv { widx, .. } => weighted("conv2d", widx),
         BoundOp::Depthwise { widx, .. } => weighted("depthwise", widx),
         BoundOp::Linear { widx, .. } => weighted("linear", widx),
-        BoundOp::ChannelAffine { .. } => Some(("channel_affine", "float", "dense", 0)),
-        BoundOp::Relu => Some(("relu", "float", "dense", 0)),
-        BoundOp::UniformActQuant { .. } => Some(("act_quant", "float", "dense", 0)),
-        BoundOp::MaxPool { .. } => Some(("maxpool2d", "float", "dense", 0)),
-        BoundOp::AvgPool { .. } => Some(("avgpool2d", "float", "dense", 0)),
-        BoundOp::GlobalAvgPool => Some(("global_avgpool", "float", "dense", 0)),
+        BoundOp::ChannelAffine { .. } => Some(("channel_affine", "float", "dense", scalar, 0)),
+        BoundOp::Relu => Some(("relu", "float", "dense", scalar, 0)),
+        BoundOp::UniformActQuant { .. } => Some(("act_quant", "float", "dense", scalar, 0)),
+        BoundOp::MaxPool { .. } => Some(("maxpool2d", "float", "dense", scalar, 0)),
+        BoundOp::AvgPool { .. } => Some(("avgpool2d", "float", "dense", scalar, 0)),
+        BoundOp::GlobalAvgPool => Some(("global_avgpool", "float", "dense", scalar, 0)),
         BoundOp::Flatten | BoundOp::Identity | BoundOp::Residual { .. } => None,
     }
 }
@@ -920,11 +944,12 @@ fn run_ops(
         // relaxed atomic load). Input shape is captured before the op
         // consumes `x`; bytes = input + output activations + weights.
         let prof = if profiler.enabled() {
-            profile_meta(op, weights, decision).map(|(kind, class, routine, wbytes)| {
+            profile_meta(op, weights, decision).map(|(kind, class, routine, blueprint, wbytes)| {
                 (
                     kind,
                     class,
                     routine,
+                    blueprint,
                     wbytes,
                     x.dims().to_vec(),
                     x.numel(),
@@ -1067,13 +1092,14 @@ fn run_ops(
                 run_ops(ctx, post, merged, integer, observer)?
             }
         };
-        if let Some((kind, class, routine, wbytes, in_dims, in_numel, start)) = prof {
+        if let Some((kind, class, routine, blueprint, wbytes, in_dims, in_numel, start)) = prof {
             let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let act_bytes = ((in_numel + x.numel()) * std::mem::size_of::<f32>()) as u64;
             profiler.record(
                 kind,
                 class,
                 routine,
+                blueprint,
                 &csq_obs::profiler::shape_key(&in_dims),
                 wall_ns,
                 act_bytes + wbytes,

@@ -1,0 +1,83 @@
+//! Dumps the kernel selector's routing table over a canonical shape
+//! sweep — one line per `(op, m, k, n)` with the chosen routine and
+//! blueprint, plus the bit-serial cost-table decisions.
+//!
+//! The dump is a pure function of the loaded profile (see
+//! `CSQ_KERNEL_PROFILE`): `scripts/check.sh` runs it twice and diffs
+//! the output to gate selector determinism.
+//!
+//! ```text
+//! cargo run -p csq-tensor --bin selector_dump
+//! ```
+
+use csq_tensor::selector::{self, bit_serial, FloatOp};
+
+/// Canonical GEMM extents: degenerate axes, primes, register-block
+/// edges and the hot serving/training shapes.
+const EXTENTS: &[usize] = &[1, 2, 4, 7, 8, 15, 16, 17, 32, 64, 128, 256];
+
+fn main() {
+    match selector::profile_status() {
+        Ok(Some(p)) => println!("# profile: loaded ({} entries)", p.len()),
+        Ok(None) => println!("# profile: none (static table)"),
+        Err(e) => println!("# profile: rejected ({e}); static table"),
+    }
+
+    println!("# op m k n -> routine blueprint");
+    for op in selector::FLOAT_OPS.iter().copied() {
+        for &m in EXTENTS {
+            for &k in EXTENTS {
+                for &n in EXTENTS {
+                    // Matvec is n==1 by construction; skip the rest of
+                    // the n axis so the sweep stays compact.
+                    if op == FloatOp::Matvec && n != 1 {
+                        continue;
+                    }
+                    let sel = selector::select(op, m, k, n);
+                    println!(
+                        "{} {m} {k} {n} -> {} {}",
+                        op.name(),
+                        sel.routine.name(),
+                        sel.blueprint.name
+                    );
+                }
+            }
+        }
+    }
+
+    println!("# bit_serial: op batch_rows out_rows k words passes -> choice blueprint");
+    for op in [
+        bit_serial::BitSerialOp::Conv2d,
+        bit_serial::BitSerialOp::Linear,
+    ] {
+        for &batch_rows in &[1usize, 4, 64, 256] {
+            for &out_rows in &[1usize, 16, 64] {
+                for &k in &[9usize, 64, 576] {
+                    for &passes in &[0usize, 2, 4, 8] {
+                        let shape = bit_serial::BitSerialShape {
+                            batch_rows,
+                            out_rows,
+                            k,
+                            words: k.div_ceil(64),
+                            passes,
+                        };
+                        let sel = bit_serial::select(op, &shape);
+                        let choice = match sel.choice {
+                            bit_serial::BitSerialChoice::Bitplane(r) => match r {
+                                bit_serial::BitSerialRoutine::PanelGemm => "bitplane/panel_gemm",
+                                bit_serial::BitSerialRoutine::Vecmat => "bitplane/vecmat",
+                            },
+                            bit_serial::BitSerialChoice::DenseInteger => "dense_integer",
+                        };
+                        println!(
+                            "{:?} {batch_rows} {out_rows} {k} {} {passes} -> {choice} {}",
+                            op,
+                            k.div_ceil(64),
+                            sel.blueprint.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

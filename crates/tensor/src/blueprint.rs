@@ -1,0 +1,207 @@
+//! Tiling blueprints: the tile hierarchy of every kernel routine, as
+//! data instead of hard-coded constants.
+//!
+//! A [`Blueprint`] names the cache/register blocking one routine runs
+//! with: how many left-operand rows a parallel task packs at once
+//! (`mc`), the depth-axis blocking (`kc`), the streamed right-operand
+//! panel width (`nc`), and the register-block micro-kernel shape
+//! (`mr × nr`). Routines read their shape from a blueprint rather than
+//! burying magic numbers in loop bounds, so the selector can report
+//! *which* tiling ran (profiler tags carry the blueprint name) and an
+//! autotune profile can, in the future, switch blueprints per shape
+//! class without touching kernel code.
+//!
+//! # The `kc = 0` convention
+//!
+//! Classic BLIS-style GEMM re-blocks the depth axis: it accumulates a
+//! `kc`-deep partial product into the output, then adds the next block.
+//! That changes the per-element floating-point accumulation order, and
+//! this workspace's contract is that every kernel accumulates each
+//! output element in strictly `p`-ascending order so results are
+//! bit-identical to the historical kernels at any thread count. The
+//! packed routines therefore hold their register accumulators across
+//! the **full** reduction depth — written as `kc = 0` ("unblocked") in
+//! their blueprints. A nonzero `kc` remains meaningful for routines
+//! that only use it as a read-locality hint (the blocked fallback loops
+//! `kc` rows of the right operand while sweeping a task's rows, which
+//! reorders *reads*, never the per-element accumulation).
+//!
+//! Axes a routine does not block at all are likewise written as `0`.
+
+/// The tile hierarchy of one kernel routine, as plain data.
+///
+/// All extents are in elements; `0` means "axis unblocked" (see the
+/// module docs for the `kc = 0` accumulation-order convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blueprint {
+    /// Stable name, used as the profiler/bench `blueprint` tag and in
+    /// autotune profile files.
+    pub name: &'static str,
+    /// Left-operand rows a parallel task packs per panel; row-chunk
+    /// boundaries are rounded to a multiple of this (shape-only, so
+    /// thread-count determinism is unaffected).
+    pub mc: usize,
+    /// Depth-axis block. `0` = the micro-kernel spans the full depth in
+    /// registers (the bit-exactness convention); nonzero only where the
+    /// block is a pure read-locality hint.
+    pub kc: usize,
+    /// Right-operand panel width streamed through the micro-kernel
+    /// (the fused-conv column-panel width).
+    pub nc: usize,
+    /// Micro-kernel register rows.
+    pub mr: usize,
+    /// Micro-kernel register columns.
+    pub nr: usize,
+}
+
+/// Packed-panel GEMM: both operands repacked into `mr`/`nr` strips, a
+/// 4×8 register micro-kernel spanning the full depth, with pack-time
+/// zero-row skip flags (the bit-plane adjoint fast path).
+pub static PANEL_F32: Blueprint = Blueprint {
+    name: "panel_f32",
+    mc: 64,
+    kc: 0,
+    nc: 0,
+    mr: 4,
+    nr: 8,
+};
+
+/// The historical blocked loop: no packing, no register tiling, a
+/// 64-row stripe of the right operand kept hot per task (read-locality
+/// blocking only — accumulation order is unchanged by `kc` here).
+pub static BLOCKED_KC64: Blueprint = Blueprint {
+    name: "blocked_kc64",
+    mc: 0,
+    kc: 64,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// Row-dot kernels for the fused-transpose gradient shapes
+/// (`matmul_tn` / `matmul_nt`): column-strided or row-dot loops with
+/// the per-element zero skip the bit-plane adjoint relies on.
+pub static ROWDOT_F32: Blueprint = Blueprint {
+    name: "rowdot_f32",
+    mc: 0,
+    kc: 0,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// Vector×matrix / matrix×vector: one operand is a single row, tasks
+/// carve the other axis.
+pub static VECMAT_F32: Blueprint = Blueprint {
+    name: "vecmat_f32",
+    mc: 0,
+    kc: 0,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// Fused im2col convolution: the weight matrix packed into `mr` strips
+/// once per call, column panels of `nc` output positions gathered and
+/// streamed straight through the GEMM micro-kernel — the full column
+/// matrix is never materialized.
+pub static COLSTREAM_F32: Blueprint = Blueprint {
+    name: "colstream_f32",
+    mc: 0,
+    kc: 0,
+    nc: 64,
+    mr: 4,
+    nr: 8,
+};
+
+/// Materialized im2col convolution: the per-sample column matrix built
+/// in scratch, then one blocked GEMM over it (the historical path, kept
+/// for tiny spatial extents where a panel is the whole matrix anyway).
+pub static IM2COL_F32: Blueprint = Blueprint {
+    name: "im2col_f32",
+    mc: 0,
+    kc: 64,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// u64 bit-plane lanes (`csq_core::bitplane`): weights transposed into
+/// 64-wide bit lanes, AND/popcount accumulation. Listed here so the
+/// serve executor and the obs profiler tag bit-plane ops with the same
+/// blueprint vocabulary as the float routines.
+pub static LANES_U64: Blueprint = Blueprint {
+    name: "lanes_u64",
+    mc: 0,
+    kc: 0,
+    nc: 0,
+    mr: 1,
+    nr: 64,
+};
+
+/// Dense integer kernels (`csq_core::qinfer`): scalar `i64`
+/// accumulation over dense codes, no tiling.
+pub static DENSE_I64: Blueprint = Blueprint {
+    name: "dense_i64",
+    mc: 0,
+    kc: 0,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// Unblocked scalar float ops (activations, pooling, the float
+/// fallback): the "no tiling at all" blueprint.
+pub static SCALAR_F32: Blueprint = Blueprint {
+    name: "scalar_f32",
+    mc: 0,
+    kc: 0,
+    nc: 0,
+    mr: 1,
+    nr: 1,
+};
+
+/// Every blueprint, for profile-file validation and the selector dump.
+pub static ALL: &[&Blueprint] = &[
+    &PANEL_F32,
+    &BLOCKED_KC64,
+    &ROWDOT_F32,
+    &VECMAT_F32,
+    &COLSTREAM_F32,
+    &IM2COL_F32,
+    &LANES_U64,
+    &DENSE_I64,
+    &SCALAR_F32,
+];
+
+/// Looks a blueprint up by its stable name (profile-file validation).
+pub fn by_name(name: &str) -> Option<&'static Blueprint> {
+    ALL.iter().copied().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for (i, a) in ALL.iter().enumerate() {
+            assert_eq!(by_name(a.name), Some(*a));
+            for b in ALL.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name, "duplicate blueprint name");
+            }
+        }
+        assert_eq!(by_name("no_such_blueprint"), None);
+    }
+
+    #[test]
+    fn register_blocks_are_positive() {
+        for b in ALL {
+            assert!(
+                b.mr >= 1 && b.nr >= 1,
+                "{} has a zero register block",
+                b.name
+            );
+        }
+    }
+}

@@ -20,9 +20,20 @@
 //! training allocates nothing per batch ([`conv2d_with_scratch`],
 //! [`conv2d_backward_with_scratch`]); the pool-less entry points exist
 //! for one-off calls and tests.
+//!
+//! Like the matrix-product entry points, the conv entry points carry no
+//! routine choice of their own: [`crate::selector::select`] picks
+//! between the materialized im2col GEMM and the fused column-streaming
+//! routine ([`crate::routines::im2col_fused`]) from the per-sample GEMM
+//! shape `(OC, IC·KH·KW, OH·OW)`. Both routines accumulate every output
+//! element in the identical `p`-ascending order, so the selection is
+//! latency-only — results are bit-identical either way.
 
-use crate::matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
 use crate::par::{self, ScratchPool, SharedSliceMut};
+use crate::routines::blocked::matmul_into;
+use crate::routines::tall_skinny::{matmul_nt_into, matmul_tn_into};
+use crate::routines::{self, im2col_fused, packed_gemm, RoutineKind};
+use crate::selector::{self, FloatOp};
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
@@ -119,7 +130,14 @@ fn im2col_sample(input: &[f32], c: usize, h: usize, w: usize, spec: ConvSpec, co
 
 /// Adjoint of [`im2col_sample`]: scatters a column matrix back into a
 /// `[C, H, W]` gradient buffer, accumulating overlaps.
-fn col2im_sample(cols: &[f32], c: usize, h: usize, w: usize, spec: ConvSpec, grad_input: &mut [f32]) {
+fn col2im_sample(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    grad_input: &mut [f32],
+) {
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
     let n_spatial = oh * ow;
@@ -179,6 +197,39 @@ pub fn conv2d_with_scratch(
     spec: ConvSpec,
     scratch: &ScratchPool,
 ) -> Tensor {
+    conv2d_impl(input, weight, spec, scratch, None)
+}
+
+/// [`conv2d_with_scratch`] through an explicitly chosen conv routine,
+/// bypassing the selector. Exists for equivalence tests, autotuning,
+/// and benches; results are bit-identical across every legal routine.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`conv2d`], or when `routine` is
+/// not a conv routine (see [`crate::selector::allowed`]).
+pub fn conv2d_with_routine(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &ScratchPool,
+    routine: RoutineKind,
+) -> Tensor {
+    assert!(
+        selector::allowed(FloatOp::Conv2d).contains(&routine),
+        "routine {} is not a conv2d routine",
+        routine.name()
+    );
+    conv2d_impl(input, weight, spec, scratch, Some(routine))
+}
+
+fn conv2d_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &ScratchPool,
+    forced: Option<RoutineKind>,
+) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be NCHW");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [OC, IC, KH, KW]");
     let (n, ic, h, w) = (
@@ -205,22 +256,57 @@ pub fn conv2d_with_scratch(
     let in_data = input.data();
     let sample_in = ic * h * w;
 
+    let sel = match forced {
+        Some(routine) => selector::Selection {
+            routine,
+            blueprint: selector::default_blueprint(routine),
+        },
+        None => selector::select(FloatOp::Conv2d, oc, kdim, n_spatial),
+    };
+    let t0 = selector::prof_start();
     let mut out = vec![0.0f32; n * oc * n_spatial];
     // One task per sample; each writes its own [oc, n_spatial] block. The
-    // inner matmul stays serial — the sample fan-out already saturates.
-    par::par_chunks_mut(&mut out, oc * n_spatial, |ni, _start, out_s| {
-        let mut cols = scratch.take(kdim * n_spatial);
-        im2col_sample(
-            &in_data[ni * sample_in..(ni + 1) * sample_in],
-            ic,
-            h,
-            w,
-            spec,
-            &mut cols,
-        );
-        matmul_into(wm, &cols, oc, kdim, n_spatial, out_s);
-        scratch.give(cols);
-    });
+    // inner GEMM stays serial — the sample fan-out already saturates.
+    match sel.routine {
+        RoutineKind::Im2colFused => {
+            // Weight strips are packed once, outside the fan-out; the
+            // packing pass records zero-row skip flags for free.
+            let wpack = packed_gemm::pack_rows(wm, 0, oc, kdim);
+            par::par_chunks_mut(&mut out, oc * n_spatial, |ni, _start, out_s| {
+                let mut panel = scratch.take(kdim * im2col_fused::NC);
+                im2col_fused::conv_sample(
+                    &in_data[ni * sample_in..(ni + 1) * sample_in],
+                    ic,
+                    h,
+                    w,
+                    spec,
+                    &wpack,
+                    oc,
+                    kdim,
+                    &mut panel,
+                    out_s,
+                );
+                scratch.give(panel);
+            });
+        }
+        _ => {
+            par::par_chunks_mut(&mut out, oc * n_spatial, |ni, _start, out_s| {
+                let mut cols = scratch.take(kdim * n_spatial);
+                im2col_sample(
+                    &in_data[ni * sample_in..(ni + 1) * sample_in],
+                    ic,
+                    h,
+                    w,
+                    spec,
+                    &mut cols,
+                );
+                matmul_into(wm, &cols, oc, kdim, n_spatial, out_s);
+                scratch.give(cols);
+            });
+        }
+    }
+    let bytes = 4 * (n * sample_in + oc * kdim + n * oc * n_spatial) as u64;
+    selector::prof_record("conv_im2col", sel, &[n, oc, kdim, n_spatial], bytes, t0);
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
 
@@ -281,6 +367,11 @@ pub fn conv2d_backward_with_scratch(
     let sample_in = ic * h * w;
     let sample_out = oc * n_spatial;
 
+    // Routine choices for the two per-sample adjoint GEMMs come from the
+    // shared selector (shape-only, so every sample — and every thread
+    // count — dispatches identically). dW is an NT product
+    // `[oc, n_spatial] · [kdim, n_spatial]ᵀ`; dcol is the TN product.
+    let gw_sel = selector::select(FloatOp::MatmulNt, oc, n_spatial, kdim);
     let mut grad_input = Tensor::zeros(input.dims());
     let gi = SharedSliceMut::new(grad_input.data_mut());
     let partials = par::par_map_collect(n, |ni| {
@@ -296,7 +387,14 @@ pub fn conv2d_backward_with_scratch(
         let go = &go_data[ni * sample_out..(ni + 1) * sample_out];
         // dW partial for this sample: dY · colᵀ (fully overwritten).
         let mut gw = scratch.take(oc * kdim);
-        matmul_nt_into(go, &cols, oc, n_spatial, kdim, &mut gw);
+        match gw_sel.routine {
+            // A single-output-channel dW is a matvec over the rows of
+            // the column matrix (bit-identical accumulation order).
+            RoutineKind::MatvecRows if oc == 1 => {
+                routines::vecmat::matvec_into(&cols, go, 0, kdim, n_spatial, &mut gw);
+            }
+            _ => matmul_nt_into(go, &cols, oc, n_spatial, kdim, &mut gw),
+        }
         // dcol = Wᵀ · dY, then scatter back into this sample's range.
         let mut gcols = scratch.take(kdim * n_spatial);
         matmul_tn_into(wm, go, oc, kdim, n_spatial, &mut gcols);

@@ -2,9 +2,9 @@
 //!
 //! This crate provides the numerical foundation that the rest of the
 //! workspace builds on: a contiguous row-major [`Tensor`] type with
-//! elementwise arithmetic, a blocked [`matmul`](Tensor::matmul), im2col-based
-//! 2-D convolution ([`conv`]), pooling ([`pool`]), reductions
-//! ([`reduce`]) and parameter initializers ([`init`]).
+//! elementwise arithmetic, matrix products ([`matmul`](Tensor::matmul)),
+//! im2col-based 2-D convolution ([`conv`]), pooling ([`pool`]),
+//! reductions ([`reduce`]) and parameter initializers ([`init`]).
 //!
 //! The design goal is *exactness and predictability*, not peak FLOPs: the
 //! CSQ paper's central claim is that its training path is fully
@@ -15,6 +15,24 @@
 //! Hot kernels fan out over the deterministic worker pool in [`par`]:
 //! results are bit-identical to serial execution at any thread count
 //! (see the `CSQ_THREADS` environment variable).
+//!
+//! # Kernel architecture
+//!
+//! GEMM-shaped work is layered three deep:
+//!
+//! 1. [`blueprint`] — tile-hierarchy descriptions (cache block and
+//!    register micro-kernel extents, packed panel layouts) as plain
+//!    data.
+//! 2. [`routines`] — the kernel implementations: the packed-panel GEMM,
+//!    the blocked fallback, fused-transpose gradient kernels, vecmat
+//!    (batch-1), and the im2col-fused conv. Every routine keeps
+//!    per-element `p`-ascending accumulation and shape-only parallel
+//!    chunking, so all routines are bit-identical on the same operands
+//!    at any thread count.
+//! 3. [`selector`] — the deterministic shape-keyed table (plus an
+//!    optional cached autotune profile from `CSQ_KERNEL_PROFILE`) that
+//!    the `Tensor` entry points dispatch through. Because of (2), the
+//!    selector only moves latency — never results.
 //!
 //! # Example
 //!
@@ -29,12 +47,15 @@
 
 #![deny(missing_docs)]
 
+pub mod blueprint;
 pub mod conv;
 pub mod init;
 pub mod matmul;
 pub mod par;
 pub mod pool;
 pub mod reduce;
+pub mod routines;
+pub mod selector;
 mod shape;
 mod tensor;
 

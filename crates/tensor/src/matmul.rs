@@ -1,128 +1,46 @@
-//! Matrix multiplication kernels.
+//! Matrix-product entry points: thin, selector-dispatched wrappers.
 //!
-//! Three variants cover the forward pass and both adjoints of a linear map
-//! without materializing transposes:
+//! Four variants cover the forward pass and both adjoints of a linear
+//! map without materializing transposes:
 //!
 //! * [`Tensor::matmul`] — `C = A · B`
 //! * [`Tensor::matmul_tn`] — `C = Aᵀ · B` (weight-gradient shape)
 //! * [`Tensor::matmul_nt`] — `C = A · Bᵀ` (input-gradient shape)
+//! * [`Tensor::matvec`] — `out = A · v` (batch-1 inference)
 //!
-//! All three parallelize over output rows through [`crate::par`]: rows are
-//! disjoint, so any thread count produces bit-identical results. Within a
-//! task the inner kernel blocks the shared `k` axis ([`KC`]) so a stripe
-//! of the right operand stays cache-resident across the task's rows; the
-//! per-element accumulation order stays `p`-ascending, so blocking does
-//! not change results either.
-//!
-//! `matmul_tn` keeps a `0.0` skip on the left operand: its main caller is
-//! the bit-plane adjoint where entire planes are gated to zero, so the
-//! branch pays for itself. The dense `matmul`/`matmul_nt` paths carry no
-//! such branch (it mispredicts on dense data).
+//! None of them contain kernel code: each asks
+//! [`crate::selector::select`] which routine/blueprint pair fits the
+//! shape and dispatches into [`crate::routines`]. Every routine keeps
+//! per-element `p`-ascending accumulation and carves parallel work
+//! through [`crate::par`] with shape-only chunk boundaries, so any
+//! selection — and any thread count — produces bit-identical results;
+//! the selector only moves latency. When the obs kernel profiler is
+//! recording, each call logs one sample tagged with the selected
+//! routine and blueprint (`gemm_nn` / `gemm_tn` / `gemm_nt` /
+//! `gemm_mv` rows in BENCH reports).
 
-use crate::{par, Tensor};
+use crate::routines::{self, RoutineKind};
+use crate::selector::{self, FloatOp};
+use crate::Tensor;
 
-/// k-axis block size for the inner kernels: `KC` rows of the right
-/// operand (`KC × n` floats) stay hot while a task sweeps its rows.
-const KC: usize = 64;
-
-/// `out[i0..i0+rows] += a[i0..i0+rows] · b`, serial, with `out` holding
-/// exactly `rows * n` pre-zeroed elements. Accumulation per element is
-/// `p`-ascending regardless of blocking.
-fn matmul_rows(a: &[f32], b: &[f32], i0: usize, rows: usize, k: usize, n: usize, out: &mut [f32]) {
-    for p0 in (0..k).step_by(KC) {
-        let pe = (p0 + KC).min(k);
-        for i in 0..rows {
-            let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for p in p0..pe {
-                let a_ip = a_row[p];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_ip * bv;
-                }
-            }
-        }
-    }
-}
-
-/// `out[i0..i0+rows] = a[i0..i0+rows] · bᵀ` for `b` of shape `[n, k]`,
-/// serial; `out` holds exactly `rows * n` elements (overwritten).
-fn matmul_nt_rows(
+/// Dispatches an NN-shape product to a specific routine. Routines that
+/// only cover single-row products fall back to the general blocked
+/// kernel on other shapes, so a stale profile entry can never produce a
+/// wrong result.
+fn dispatch_nn(
+    routine: RoutineKind,
     a: &[f32],
     b: &[f32],
-    i0: usize,
-    rows: usize,
-    k: usize,
-    n: usize,
-    out: &mut [f32],
-) {
-    for i in 0..rows {
-        let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
-        let c_row = &mut out[i * n..(i + 1) * n];
-        for (j, c) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *c = acc;
-        }
-    }
-}
-
-/// `out[i0..i0+rows] += (aᵀ)[i0..i0+rows] · b` for `a` of shape `[k, m]`,
-/// serial, `out` pre-zeroed. Reads of `a` are column-strided, but the
-/// `0.0` skip (bit-plane sparsity) makes this the cheaper layout for the
-/// quantized adjoint. Accumulation per element is `p`-ascending — the
-/// same order as the historical `p`-outer serial kernel.
-fn matmul_tn_rows(
-    a: &[f32],
-    b: &[f32],
-    i0: usize,
-    rows: usize,
-    k: usize,
     m: usize,
+    k: usize,
     n: usize,
     out: &mut [f32],
 ) {
-    for i in 0..rows {
-        let c_row = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
-            let a_pi = a[p * m + i0 + i];
-            if a_pi == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *c += a_pi * bv;
-            }
-        }
+    match routine {
+        RoutineKind::PackedPanel => routines::packed_gemm::matmul(a, b, m, k, n, out),
+        RoutineKind::VecmatCols if m == 1 => routines::vecmat::vecmat_cols(a, b, k, n, out),
+        _ => routines::blocked::matmul(a, b, m, k, n, out),
     }
-}
-
-/// Serial `out = a · b` into a caller-provided buffer (`a` `[m, k]`,
-/// `b` `[k, n]`, `out` `m * n`). Used inside already-parallel regions
-/// (per-sample conv tasks) where nesting another fan-out would only
-/// oversubscribe.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), m * n);
-    out.fill(0.0);
-    matmul_rows(a, b, 0, m, k, n, out);
-}
-
-/// Serial `out = a · bᵀ` into a caller-provided buffer (`a` `[m, k]`,
-/// `b` `[n, k]`, `out` `m * n`).
-pub(crate) fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), m * n);
-    matmul_nt_rows(a, b, 0, m, k, n, out);
-}
-
-/// Serial `out = aᵀ · b` into a caller-provided buffer (`a` `[k, m]`,
-/// `b` `[k, n]`, `out` `m * n`, pre-zeroed here).
-pub(crate) fn matmul_tn_into(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), m * n);
-    out.fill(0.0);
-    matmul_tn_rows(a, b, 0, m, k, m, n, out);
 }
 
 impl Tensor {
@@ -147,13 +65,42 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul inner dims mismatch: {k} vs {k2}");
 
-        let a = self.data();
-        let b = other.data();
+        let sel = selector::select(FloatOp::MatmulNn, m, k, n);
+        let t0 = selector::prof_start();
         let mut out = vec![0.0f32; m * n];
-        let rows_per_task = par::chunk_len(m, 2 * k * n);
-        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
-            matmul_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
-        });
+        dispatch_nn(sel.routine, self.data(), other.data(), m, k, n, &mut out);
+        selector::prof_record(
+            "gemm_nn",
+            sel,
+            &[m, k, n],
+            (4 * (m * k + k * n + m * n)) as u64,
+            t0,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self · other` through an explicitly chosen
+    /// routine, bypassing the selector. Exists for equivalence tests,
+    /// autotuning, and benches; results are bit-identical across every
+    /// legal routine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or a routine that is not legal for the
+    /// NN product (see [`crate::selector::allowed`]).
+    pub fn matmul_with(&self, other: &Tensor, routine: RoutineKind) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner dims mismatch: {k} vs {k2}");
+        assert!(
+            selector::allowed(FloatOp::MatmulNn).contains(&routine),
+            "routine {} is not a matmul routine",
+            routine.name()
+        );
+        let mut out = vec![0.0f32; m * n];
+        dispatch_nn(routine, self.data(), other.data(), m, k, n, &mut out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -169,13 +116,17 @@ impl Tensor {
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul_tn inner dims mismatch: {k} vs {k2}");
 
-        let a = self.data();
-        let b = other.data();
+        let sel = selector::select(FloatOp::MatmulTn, m, k, n);
+        let t0 = selector::prof_start();
         let mut out = vec![0.0f32; m * n];
-        let rows_per_task = par::chunk_len(m, 2 * k * n);
-        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
-            matmul_tn_rows(a, b, start / n, chunk.len() / n, k, m, n, chunk);
-        });
+        routines::tall_skinny::matmul_tn(self.data(), other.data(), k, m, n, &mut out);
+        selector::prof_record(
+            "gemm_tn",
+            sel,
+            &[m, k, n],
+            (4 * (m * k + k * n + m * n)) as u64,
+            t0,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -191,17 +142,28 @@ impl Tensor {
         let (n, k2) = (other.dims()[0], other.dims()[1]);
         assert_eq!(k, k2, "matmul_nt inner dims mismatch: {k} vs {k2}");
 
-        let a = self.data();
-        let b = other.data();
+        let sel = selector::select(FloatOp::MatmulNt, m, k, n);
+        let t0 = selector::prof_start();
         let mut out = vec![0.0f32; m * n];
-        let rows_per_task = par::chunk_len(m, 2 * k * n);
-        par::par_chunks_mut(&mut out, rows_per_task * n.max(1), |_t, start, chunk| {
-            matmul_nt_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
-        });
+        match sel.routine {
+            // A single-row NT product is a matvec over the rows of B.
+            RoutineKind::MatvecRows if m == 1 => {
+                routines::vecmat::matvec_rows(other.data(), self.data(), n, k, &mut out);
+            }
+            _ => routines::tall_skinny::matmul_nt(self.data(), other.data(), m, k, n, &mut out),
+        }
+        selector::prof_record(
+            "gemm_nt",
+            sel,
+            &[m, k, n],
+            (4 * (m * k + k * n + m * n)) as u64,
+            t0,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// Matrix–vector product `self · v` for `self` `[m, k]`, `v` `[k]`.
+    /// Matrix–vector product `self · v` for `self` `[m, k]`, `v` `[k]`,
+    /// routed through the row-parallel vecmat routine.
     ///
     /// # Panics
     ///
@@ -211,11 +173,11 @@ impl Tensor {
         assert_eq!(v.rank(), 1, "matvec rhs must be rank 1");
         let (m, k) = (self.dims()[0], self.dims()[1]);
         assert_eq!(v.dims()[0], k, "matvec inner dims mismatch");
+        let sel = selector::select(FloatOp::Matvec, m, k, 1);
+        let t0 = selector::prof_start();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &self.data()[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(v.data().iter()).map(|(&a, &b)| a * b).sum();
-        }
+        routines::vecmat::matvec_rows(self.data(), v.data(), m, k, &mut out);
+        selector::prof_record("gemm_mv", sel, &[m, k], (4 * (m * k + k + m)) as u64, t0);
         Tensor::from_vec(out, &[m])
     }
 }
@@ -223,6 +185,9 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::par;
+    use crate::routines::blocked::matmul_into;
+    use crate::routines::tall_skinny::{matmul_nt_into, matmul_tn_into};
 
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = (a.dims()[0], a.dims()[1]);
@@ -284,6 +249,29 @@ mod tests {
     }
 
     #[test]
+    fn single_row_variants_are_bit_identical_to_multi_row_kernels() {
+        // m = 1 dispatches to the vecmat routines; results must equal
+        // the general kernels bit-for-bit.
+        let a = arange(&[1, 37]);
+        let b = arange(&[37, 23]);
+        assert_eq!(
+            a.matmul(&b).data(),
+            a.matmul_with(&b, RoutineKind::Blocked).data()
+        );
+        let bt = arange(&[23, 37]);
+        let mut nt_general = vec![0.0f32; 23];
+        crate::routines::tall_skinny::matmul_nt(a.data(), bt.data(), 1, 37, 23, &mut nt_general);
+        assert_eq!(a.matmul_nt(&bt).data(), &nt_general[..]);
+        let v = arange(&[37]);
+        let am = arange(&[5, 37]);
+        let mv = am.matvec(&v);
+        for i in 0..5 {
+            let row = Tensor::from_vec(am.data()[i * 37..(i + 1) * 37].to_vec(), &[1, 37]);
+            assert_eq!(row.matvec(&v).data()[0], mv.data()[i]);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "inner dims mismatch")]
     fn matmul_dim_mismatch_panics() {
         let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
@@ -297,12 +285,8 @@ mod tests {
         let b = arange(&[47, 29]);
         let at = arange(&[47, 33]);
         let bt = arange(&[29, 47]);
-        let serial = par::with_threads(1, || {
-            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
-        });
-        let parallel = par::with_threads(4, || {
-            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
-        });
+        let serial = par::with_threads(1, || (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)));
+        let parallel = par::with_threads(4, || (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt)));
         assert_eq!(serial.0.data(), parallel.0.data());
         assert_eq!(serial.1.data(), parallel.1.data());
         assert_eq!(serial.2.data(), parallel.2.data());
@@ -326,5 +310,16 @@ mod tests {
         let mut out_nt = vec![1.0f32; 5 * 6];
         matmul_nt_into(a.data(), bt.data(), 5, 8, 6, &mut out_nt);
         assert_eq!(out_nt, a.matmul_nt(&bt).data());
+    }
+
+    /// Every legal NN routine returns bit-identical results on the same
+    /// operands.
+    #[test]
+    fn all_nn_routines_agree_bit_exactly() {
+        let a = arange(&[21, 50]);
+        let b = arange(&[50, 19]);
+        let blocked = a.matmul_with(&b, RoutineKind::Blocked);
+        let packed = a.matmul_with(&b, RoutineKind::PackedPanel);
+        assert_eq!(blocked.data(), packed.data());
     }
 }

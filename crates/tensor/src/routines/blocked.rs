@@ -1,0 +1,62 @@
+//! The historical unpacked `kc`-blocked GEMM loop.
+//!
+//! This is the kernel `Tensor::matmul` shipped with before the packed
+//! routines existed, kept as the small-problem fallback: no packing, no
+//! register tiling, just a stripe of the right operand held hot while a
+//! task sweeps its rows ([`crate::blueprint::BLOCKED_KC64`]). The
+//! `kc` blocking reorders *reads* only — each output element still
+//! accumulates its products in strictly `p`-ascending order from `0.0`,
+//! so this routine is bit-identical to every other GEMM routine here.
+
+use crate::blueprint::BLOCKED_KC64;
+use crate::par;
+
+/// `out[i0..i0+rows] += a[i0..i0+rows] · b`, serial, with `out` holding
+/// exactly `rows * n` pre-zeroed elements. Accumulation per element is
+/// `p`-ascending regardless of blocking.
+pub(crate) fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let kc = BLOCKED_KC64.kc;
+    for p0 in (0..k).step_by(kc) {
+        let pe = (p0 + kc).min(k);
+        for i in 0..rows {
+            let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for p in p0..pe {
+                let a_ip = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_ip * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Row-parallel `out = a · b` (`a` `[m, k]`, `b` `[k, n]`, `out` a
+/// pre-zeroed `m * n` buffer). Chunk boundaries depend on shape only,
+/// so results are bit-identical at any thread count.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    let rows_per_task = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out, rows_per_task * n.max(1), |_t, start, chunk| {
+        matmul_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
+    });
+}
+
+/// Serial `out = a · b` into a caller-provided buffer (`a` `[m, k]`,
+/// `b` `[k, n]`, `out` `m * n`). Used inside already-parallel regions
+/// (per-sample conv tasks) where nesting another fan-out would only
+/// oversubscribe.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    matmul_rows(a, b, 0, m, k, n, out);
+}

@@ -1,0 +1,129 @@
+//! Im2col-fused convolution: column panels streamed straight through
+//! the packed GEMM micro-kernel.
+//!
+//! The materialized conv path lowers one sample to a full
+//! `[kdim, OH·OW]` column matrix in scratch, then multiplies. This
+//! routine never builds that matrix: it gathers `nc` output positions
+//! at a time into a small `[kdim, nc]` panel
+//! ([`crate::blueprint::COLSTREAM_F32`]), runs the weight strips ×
+//! panel sub-strips through the register micro-kernel, and moves to the
+//! next panel — the workspace shrinks from `kdim · OH·OW` floats to
+//! `kdim · nc`, and panel data is still hot in cache when the
+//! micro-kernel reads it.
+//!
+//! The weight matrix is packed once per conv call (outside the
+//! per-sample fan-out) with [`super::packed_gemm::pack_rows`], so the
+//! pack-time zero-row skip flags apply here too. Every output element
+//! accumulates its `kdim` products in `p`-ascending order from `0.0` —
+//! the identical order to the materialized path — so the two conv
+//! routines are bit-identical at any thread count.
+
+use super::packed_gemm::{microkernel, microkernel_skip, PackedRows, MR, NR};
+use crate::conv::ConvSpec;
+
+/// Streamed column-panel width (`COLSTREAM_F32.nc`; asserted in tests).
+pub(crate) const NC: usize = 64;
+
+/// Gathers im2col columns `[s0, s0 + count)` of one `[C, H, W]` sample
+/// into a `[kdim, NC]` row-major panel; columns past `count` are
+/// zeroed so every `NR`-wide sub-strip is fully initialized.
+#[allow(clippy::too_many_arguments)]
+fn im2col_panel(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    s0: usize,
+    count: usize,
+    panel: &mut [f32],
+) {
+    let k = spec.kernel;
+    let ow = spec.out_size(w);
+    debug_assert_eq!(panel.len(), c * k * k * NC);
+    let mut row = 0usize;
+    for ci in 0..c {
+        let chan = &input[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let dst = &mut panel[row * NC..(row + 1) * NC];
+                for (idx, v) in dst.iter_mut().enumerate().take(count) {
+                    let s = s0 + idx;
+                    let (oi, oj) = (s / ow, s % ow);
+                    let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                    let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                    *v = if ii >= 0 && ii < h as isize && jj >= 0 && jj < w as isize {
+                        chan[ii as usize * w + jj as usize]
+                    } else {
+                        0.0
+                    };
+                }
+                for v in &mut dst[count..] {
+                    *v = 0.0;
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Convolves one `[C, H, W]` sample against the pre-packed weight
+/// strips, writing its `[oc, OH·OW]` output block. `panel` is a
+/// caller-pooled `kdim · NC` workspace. Serial — the conv entry point
+/// parallelizes over samples, exactly like the materialized path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_sample(
+    sample: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+    wpack: &PackedRows,
+    oc: usize,
+    kdim: usize,
+    panel: &mut [f32],
+    out_s: &mut [f32],
+) {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let n_spatial = oh * ow;
+    debug_assert_eq!(out_s.len(), oc * n_spatial);
+    for s0 in (0..n_spatial).step_by(NC) {
+        let pc = NC.min(n_spatial - s0);
+        im2col_panel(sample, ic, h, w, spec, s0, pc, panel);
+        let subs = pc.div_ceil(NR);
+        for strip in 0..wpack.strips {
+            let hrows = MR.min(oc - strip * MR);
+            let a_strip = &wpack.data[strip * kdim * MR..(strip + 1) * kdim * MR];
+            let flags = &wpack.skip[strip * wpack.skip_words..(strip + 1) * wpack.skip_words];
+            let dense = wpack.skippable[strip] == 0;
+            for sub in 0..subs {
+                let j0 = sub * NR;
+                let wcols = NR.min(pc - j0);
+                let b = &panel[j0..];
+                let mut acc = [[0.0f32; NR]; MR];
+                if dense {
+                    microkernel(a_strip, b, kdim, NC, &mut acc);
+                } else {
+                    microkernel_skip(a_strip, flags, b, kdim, NC, &mut acc);
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(hrows) {
+                    let base = (strip * MR + r) * n_spatial + s0 + j0;
+                    out_s[base..base + wcols].copy_from_slice(&acc_row[..wcols]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::COLSTREAM_F32;
+
+    #[test]
+    fn panel_width_matches_blueprint() {
+        assert_eq!(NC, COLSTREAM_F32.nc);
+        assert_eq!(MR, COLSTREAM_F32.mr);
+        assert_eq!(NR, COLSTREAM_F32.nr);
+    }
+}

@@ -1,0 +1,100 @@
+//! Concrete kernel routines behind the shape-keyed selector.
+//!
+//! Each routine is one implementation strategy for a GEMM-shaped
+//! problem, tiled per its [`Blueprint`](crate::blueprint::Blueprint):
+//!
+//! * [`packed_gemm`] — packed-panel GEMM with a register micro-kernel
+//!   and pack-time zero-row skip flags (large multi-row `matmul`).
+//! * [`blocked`] — the historical unpacked `kc`-blocked loop (small
+//!   problems where packing overhead dominates).
+//! * [`tall_skinny`] — the fused-transpose gradient kernels
+//!   (`matmul_tn` / `matmul_nt`), with the per-element zero skip the
+//!   bit-plane adjoint relies on.
+//! * [`vecmat`] — matrix×vector and vector×matrix (batch-1 inference).
+//! * [`im2col_fused`] — convolution that streams im2col column panels
+//!   straight through the GEMM micro-kernel without materializing the
+//!   full column matrix.
+//!
+//! Every routine upholds the workspace determinism contract: each
+//! output element accumulates its products in strictly `p`-ascending
+//! order starting from `0.0`, parallel work is dispatched through
+//! [`crate::par`] with shape-only chunk boundaries, and tasks write
+//! disjoint output ranges. Routines are therefore bit-identical to one
+//! another (and to the historical kernels) on the same operands at any
+//! thread count — the selector is free to pick any of them on latency
+//! grounds alone.
+
+pub mod blocked;
+pub mod im2col_fused;
+pub mod packed_gemm;
+pub mod tall_skinny;
+pub mod vecmat;
+
+/// Identity of one concrete routine: what the selector picks, what the
+/// profiler tags samples with, and what autotune profiles name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutineKind {
+    /// Packed-panel register-tiled GEMM ([`packed_gemm`]).
+    PackedPanel,
+    /// Unpacked `kc`-blocked row loop ([`blocked`]).
+    Blocked,
+    /// Fused-transpose `Aᵀ·B` gradient kernel ([`tall_skinny`]).
+    TallSkinnyTn,
+    /// Fused-transpose `A·Bᵀ` gradient kernel ([`tall_skinny`]).
+    TallSkinnyNt,
+    /// Matrix×vector, row-parallel dot products ([`vecmat`]).
+    MatvecRows,
+    /// Vector×matrix, column-chunk parallel ([`vecmat`]).
+    VecmatCols,
+    /// Column-panel streaming im2col convolution ([`im2col_fused`]).
+    Im2colFused,
+    /// Materialized im2col convolution (historical path).
+    Im2colGemm,
+}
+
+impl RoutineKind {
+    /// Stable name used in profiler tags, bench JSON, and autotune
+    /// profile files.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutineKind::PackedPanel => "packed_panel",
+            RoutineKind::Blocked => "blocked",
+            RoutineKind::TallSkinnyTn => "tall_skinny_tn",
+            RoutineKind::TallSkinnyNt => "tall_skinny_nt",
+            RoutineKind::MatvecRows => "matvec_rows",
+            RoutineKind::VecmatCols => "vecmat_cols",
+            RoutineKind::Im2colFused => "im2col_fused",
+            RoutineKind::Im2colGemm => "im2col_gemm",
+        }
+    }
+
+    /// Parses a stable routine name (autotune profile loading).
+    pub fn parse(name: &str) -> Option<RoutineKind> {
+        ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// Every routine, for profile validation and the selector dump.
+pub static ALL: &[RoutineKind] = &[
+    RoutineKind::PackedPanel,
+    RoutineKind::Blocked,
+    RoutineKind::TallSkinnyTn,
+    RoutineKind::TallSkinnyNt,
+    RoutineKind::MatvecRows,
+    RoutineKind::VecmatCols,
+    RoutineKind::Im2colFused,
+    RoutineKind::Im2colGemm,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for r in ALL {
+            assert_eq!(RoutineKind::parse(r.name()), Some(*r));
+        }
+        assert_eq!(RoutineKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,277 @@
+//! Packed-panel GEMM: both operands repacked into register-block
+//! strips, a full-depth `MR × NR` micro-kernel, and pack-time zero-row
+//! skip flags.
+//!
+//! Layout per [`crate::blueprint::PANEL_F32`]:
+//!
+//! * **B** is packed once per call into `NR`-wide column strips, depth
+//!   major (`strip[p·NR + j]`), edge strips zero-padded — so the
+//!   micro-kernel streams one contiguous panel per output tile.
+//! * **A** is packed per parallel task into `MR`-tall row strips, depth
+//!   major (`strip[p·MR + r]`), edge strips zero-padded. While packing,
+//!   depth rows whose `MR` values are all zero are flagged for free.
+//! * The micro-kernel holds an `MR × NR` block of accumulators in
+//!   registers across the **entire** depth `k` (the blueprint's
+//!   `kc = 0` convention): each output element accumulates its products
+//!   in strictly `p`-ascending order from `0.0`, exactly like the
+//!   blocked kernel — packing reorders reads, never the accumulation —
+//!   so this routine is bit-identical to [`super::blocked`] at any
+//!   thread count.
+//!
+//! # Zero-skip (the bit-plane adjoint fast path)
+//!
+//! The materialized bit-plane matrices the CSQ adjoint multiplies are
+//! mostly zero rows (gated planes). A strip whose packing pass found
+//! skippable depth rows runs a variant of the micro-kernel that tests
+//! one flag bit per depth row (one branch per `MR × NR` block, not per
+//! element); fully dense strips run the branch-free kernel. Skipping is
+//! bit-exact: every skipped product is `±0.0`, the accumulator is
+//! seeded from `+0.0` and can never become `-0.0` under
+//! round-to-nearest (only `(-0)+(-0)` yields `-0`), and `x ± 0.0 == x`
+//! for every other value — so the skip variant returns bit-identical
+//! results to the dense one (as the dense kernels throughout this
+//! crate, it assumes finite operands).
+
+use crate::par;
+
+/// Micro-kernel rows (must match [`PANEL_F32`]; checked in tests).
+pub(crate) const MR: usize = 4;
+/// Micro-kernel columns (must match [`PANEL_F32`]; checked in tests).
+pub(crate) const NR: usize = 8;
+
+/// Left-operand rows packed into `MR`-tall depth-major strips, plus the
+/// free zero-row flags the packing pass collected.
+pub(crate) struct PackedRows {
+    /// `strips × k × MR` floats, strip-major then depth-major.
+    pub(crate) data: Vec<f32>,
+    /// `strips × ⌈k/64⌉` bitset words; bit `p % 64` of word
+    /// `strip·words + p/64` is set when all `MR` values at depth `p`
+    /// are zero.
+    pub(crate) skip: Vec<u64>,
+    /// Per strip: number of skippable depth rows (0 ⇒ branch-free path).
+    pub(crate) skippable: Vec<u32>,
+    /// Number of `MR`-tall strips.
+    pub(crate) strips: usize,
+    /// Bitset words per strip.
+    pub(crate) skip_words: usize,
+}
+
+/// Packs `rows` rows of `a` (shape `[·, k]`, starting at row `i0`) into
+/// `MR`-tall strips, recording zero-row flags as a side effect of the
+/// copy. Edge strips are padded with zero rows, which are never written
+/// back.
+pub(crate) fn pack_rows(a: &[f32], i0: usize, rows: usize, k: usize) -> PackedRows {
+    let strips = rows.div_ceil(MR);
+    let skip_words = k.div_ceil(64);
+    let mut data = vec![0.0f32; strips * k * MR];
+    let mut skip = vec![0u64; strips * skip_words];
+    let mut skippable = vec![0u32; strips];
+    for s in 0..strips {
+        let r0 = s * MR;
+        let h = MR.min(rows - r0);
+        let dst = &mut data[s * k * MR..(s + 1) * k * MR];
+        let flags = &mut skip[s * skip_words..(s + 1) * skip_words];
+        let mut count = 0u32;
+        for p in 0..k {
+            let mut all_zero = true;
+            for r in 0..h {
+                let v = a[(i0 + r0 + r) * k + p];
+                dst[p * MR + r] = v;
+                all_zero &= v == 0.0;
+            }
+            if all_zero {
+                flags[p / 64] |= 1u64 << (p % 64);
+                count += 1;
+            }
+        }
+        skippable[s] = count;
+    }
+    PackedRows {
+        data,
+        skip,
+        skippable,
+        strips,
+        skip_words,
+    }
+}
+
+/// Packs `b` (`[k, n]`) into `NR`-wide depth-major column strips, edge
+/// strips zero-padded to `NR`.
+pub(crate) fn pack_cols(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let strips = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; strips * k * NR];
+    for s in 0..strips {
+        let j0 = s * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut packed[s * k * NR..(s + 1) * k * NR];
+        for p in 0..k {
+            dst[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Branch-free `MR × NR` register micro-kernel: `acc += Aᵖ ⊗ Bᵖ` for
+/// every depth row, `p`-ascending. `b` is read at `b_stride` floats per
+/// depth row (`NR` for packed strips, the panel width for the fused
+/// conv), with at least `NR` valid floats per row.
+#[inline]
+pub(crate) fn microkernel(
+    a_strip: &[f32],
+    b: &[f32],
+    k: usize,
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    for p in 0..k {
+        let ar: &[f32] = &a_strip[p * MR..p * MR + MR];
+        let br: &[f32] = &b[p * b_stride..p * b_stride + NR];
+        for r in 0..MR {
+            let av = ar[r];
+            for (c, &bv) in acc[r].iter_mut().zip(br.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// The skip variant: identical accumulation, but depth rows flagged
+/// all-zero at pack time are skipped (one branch per depth row).
+#[inline]
+pub(crate) fn microkernel_skip(
+    a_strip: &[f32],
+    flags: &[u64],
+    b: &[f32],
+    k: usize,
+    b_stride: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    for p in 0..k {
+        if flags[p / 64] >> (p % 64) & 1 == 1 {
+            continue;
+        }
+        let ar: &[f32] = &a_strip[p * MR..p * MR + MR];
+        let br: &[f32] = &b[p * b_stride..p * b_stride + NR];
+        for r in 0..MR {
+            let av = ar[r];
+            for (c, &bv) in acc[r].iter_mut().zip(br.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+}
+
+/// Runs every strip of `ap` against every packed column strip of
+/// `bpack`, writing the `rows × n` result block (serial; callers
+/// parallelize by carving disjoint row ranges).
+pub(crate) fn gemm_strips(
+    ap: &PackedRows,
+    bpack: &[f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), rows * n);
+    let bstrips = n.div_ceil(NR);
+    for s in 0..ap.strips {
+        let h = MR.min(rows - s * MR);
+        let a_strip = &ap.data[s * k * MR..(s + 1) * k * MR];
+        let flags = &ap.skip[s * ap.skip_words..(s + 1) * ap.skip_words];
+        let dense = ap.skippable[s] == 0;
+        for bs in 0..bstrips {
+            let j0 = bs * NR;
+            let w = NR.min(n - j0);
+            let b_strip = &bpack[bs * k * NR..(bs + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            if dense {
+                microkernel(a_strip, b_strip, k, NR, &mut acc);
+            } else {
+                microkernel_skip(a_strip, flags, b_strip, k, NR, &mut acc);
+            }
+            for (r, acc_row) in acc.iter().enumerate().take(h) {
+                let dst = &mut out[(s * MR + r) * n + j0..(s * MR + r) * n + j0 + w];
+                dst.copy_from_slice(&acc_row[..w]);
+            }
+        }
+    }
+}
+
+/// Row-parallel packed-panel `out = a · b` (`a` `[m, k]`, `b` `[k, n]`,
+/// `out` an `m * n` buffer, fully overwritten). B is packed once up
+/// front; each task packs its own row strips (collecting zero-row skip
+/// flags for free) and runs the register micro-kernel. Chunk boundaries
+/// are the same shape-only function the blocked kernel uses, so results
+/// are bit-identical at any thread count.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let bpack = pack_cols(b, k, n);
+    // Round the per-task row count up to a whole number of MR-tall
+    // strips: a task owning fewer rows than MR would pad its strip with
+    // zero rows and burn micro-kernel flops on them. Still a shape-only
+    // function, so chunk boundaries (and results) are thread-invariant.
+    let rows_per_task = par::chunk_len(m, 2 * k * n).next_multiple_of(MR);
+    par::par_chunks_mut(out, rows_per_task * n, |_t, start, chunk| {
+        let i0 = start / n;
+        let rows = chunk.len() / n;
+        let ap = pack_rows(a, i0, rows, k);
+        gemm_strips(&ap, &bpack, rows, k, n, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::PANEL_F32;
+
+    #[test]
+    fn register_block_matches_blueprint() {
+        assert_eq!(MR, PANEL_F32.mr);
+        assert_eq!(NR, PANEL_F32.nr);
+    }
+
+    #[test]
+    fn packing_flags_zero_rows() {
+        // 4 rows × 3 depth; depth 1 is zero in every row.
+        let a = [1.0, 0.0, 2.0, 3.0, 0.0, 4.0, 5.0, 0.0, 6.0, 7.0, 0.0, 8.0];
+        let ap = pack_rows(&a, 0, 4, 3);
+        assert_eq!(ap.strips, 1);
+        assert_eq!(ap.skippable[0], 1);
+        assert_eq!(ap.skip[0] & 0b111, 0b010);
+        // Depth-major layout: depth 0 holds column 0 of every row.
+        assert_eq!(&ap.data[0..4], &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn skip_variant_matches_dense_bit_exactly() {
+        // A strip with zero depth rows, random-ish B.
+        let k = 70usize;
+        let a: Vec<f32> = (0..MR * k)
+            .map(|i| {
+                if (i / MR).is_multiple_of(3) {
+                    0.0
+                } else {
+                    (i as f32).sin()
+                }
+            })
+            .collect();
+        // Re-layout row-major for pack_rows: a_rm[r][p].
+        let mut a_rm = vec![0.0f32; MR * k];
+        for p in 0..k {
+            for r in 0..MR {
+                a_rm[r * k + p] = a[p * MR + r];
+            }
+        }
+        let ap = pack_rows(&a_rm, 0, MR, k);
+        assert!(ap.skippable[0] > 0);
+        let b: Vec<f32> = (0..k * NR).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut dense = [[0.0f32; NR]; MR];
+        let mut skip = [[0.0f32; NR]; MR];
+        microkernel(&ap.data, &b, k, NR, &mut dense);
+        microkernel_skip(&ap.data, &ap.skip, &b, k, NR, &mut skip);
+        assert_eq!(dense, skip);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fused-transpose GEMM routines for the gradient shapes.
+//!
+//! `matmul_tn` (`C = Aᵀ·B`, the weight-gradient shape) and `matmul_nt`
+//! (`C = A·Bᵀ`, the input-gradient shape) never materialize the
+//! transpose; both run simple row loops per
+//! [`crate::blueprint::ROWDOT_F32`].
+//!
+//! The TN kernel keeps a per-element `0.0` skip on the left operand:
+//! its main caller is the bit-plane adjoint where entire planes are
+//! gated to zero, so the branch pays for itself there. The skip is
+//! bit-exact: an accumulator seeded from `+0.0` is never `-0.0` (IEEE
+//! round-to-nearest only yields `-0.0` from `(-0)+(-0)`), so dropping a
+//! `±0.0` product never changes the stored value.
+
+use crate::par;
+
+/// `out[i0..i0+rows] = a[i0..i0+rows] · bᵀ` for `b` of shape `[n, k]`,
+/// serial; `out` holds exactly `rows * n` elements (overwritten).
+pub(crate) fn matmul_nt_rows(
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    for i in 0..rows {
+        let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
+        let c_row = &mut out[i * n..(i + 1) * n];
+        for (j, c) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *c = acc;
+        }
+    }
+}
+
+/// `out[i0..i0+rows] += (aᵀ)[i0..i0+rows] · b` for `a` of shape `[k, m]`,
+/// serial, `out` pre-zeroed. Reads of `a` are column-strided, but the
+/// `0.0` skip (bit-plane sparsity) makes this the cheaper layout for the
+/// quantized adjoint. Accumulation per element is `p`-ascending — the
+/// same order as the historical `p`-outer serial kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    for i in 0..rows {
+        let c_row = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a_pi = a[p * m + i0 + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *c += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// Row-parallel `out = aᵀ · b` (`a` `[k, m]`, `b` `[k, n]`, `out` a
+/// pre-zeroed `m * n` buffer).
+pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    let rows_per_task = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out, rows_per_task * n.max(1), |_t, start, chunk| {
+        matmul_tn_rows(a, b, start / n, chunk.len() / n, k, m, n, chunk);
+    });
+}
+
+/// Row-parallel `out = a · bᵀ` (`a` `[m, k]`, `b` `[n, k]`, `out` an
+/// `m * n` buffer, fully overwritten).
+pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    let rows_per_task = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out, rows_per_task * n.max(1), |_t, start, chunk| {
+        matmul_nt_rows(a, b, start / n, chunk.len() / n, k, n, chunk);
+    });
+}
+
+/// Serial `out = a · bᵀ` into a caller-provided buffer (`a` `[m, k]`,
+/// `b` `[n, k]`, `out` `m * n`).
+pub fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    matmul_nt_rows(a, b, 0, m, k, n, out);
+}
+
+/// Serial `out = aᵀ · b` into a caller-provided buffer (`a` `[k, m]`,
+/// `b` `[k, n]`, `out` `m * n`, pre-zeroed here).
+pub fn matmul_tn_into(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    matmul_tn_rows(a, b, 0, m, k, m, n, out);
+}

@@ -1,0 +1,57 @@
+//! Matrix×vector and vector×matrix routines (batch-1 inference).
+//!
+//! Two shapes, two parallel axes (per
+//! [`crate::blueprint::VECMAT_F32`]):
+//!
+//! * [`matvec_rows`] — `out = A · v`: every output element is an
+//!   independent `k`-ascending dot product, so tasks carve output rows.
+//! * [`vecmat_cols`] — `out = v · B` (a batch-1 `matmul`): outputs
+//!   share the sweep over `v`, so tasks carve output *columns* and each
+//!   chunk runs the `p`-outer loop locally.
+//!
+//! Both orders match the dense GEMM routines element-for-element, so
+//! results are bit-identical to routing the same shape through
+//! `matmul`.
+
+use crate::par;
+
+/// Row-parallel `out = a · v` (`a` `[m, k]`, `v` `[k]`, `out` `m`,
+/// fully overwritten). Each element is a `k`-ascending dot from `0.0` —
+/// the same order as one output element of the NT row kernel.
+pub fn matvec_rows(a: &[f32], v: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m);
+    let rows_per_task = par::chunk_len(m, 2 * k);
+    par::par_chunks_mut(out, rows_per_task, |_t, start, chunk| {
+        matvec_into(a, v, start, chunk.len(), k, chunk);
+    });
+}
+
+/// Serial matvec over a row range: `out[i] = a[start+i] · v`.
+pub fn matvec_into(a: &[f32], v: &[f32], start: usize, rows: usize, k: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), rows);
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &a[(start + i) * k..(start + i + 1) * k];
+        let mut acc = 0.0f32;
+        for (av, bv) in row.iter().zip(v.iter()) {
+            acc += av * bv;
+        }
+        *o = acc;
+    }
+}
+
+/// Column-parallel `out = v · b` (`v` `[k]`, `b` `[k, n]`, `out` a
+/// pre-zeroed `n` buffer): the batch-1 case of `matmul`. Each chunk
+/// runs the `p`-outer sweep locally, so every element accumulates in
+/// `p`-ascending order — identical to the row kernels on `m = 1`.
+pub fn vecmat_cols(v: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n);
+    let cols_per_task = par::chunk_len(n, 2 * k);
+    par::par_chunks_mut(out, cols_per_task, |_t, start, chunk| {
+        for (p, &av) in v.iter().enumerate().take(k) {
+            let b_row = &b[p * n + start..p * n + start + chunk.len()];
+            for (c, &bv) in chunk.iter_mut().zip(b_row.iter()) {
+                *c += av * bv;
+            }
+        }
+    });
+}

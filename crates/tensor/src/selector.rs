@@ -1,0 +1,818 @@
+//! Shape-keyed routine selector with an optional cached autotune
+//! profile.
+//!
+//! Every GEMM-shaped entry point (`Tensor::{matmul,matmul_tn,matmul_nt,
+//! matvec}`, `conv2d*`) asks [`select`] which routine/blueprint pair to
+//! run. The decision is a pure function of the op class and problem
+//! shape:
+//!
+//! 1. If a **profile** is loaded (the `CSQ_KERNEL_PROFILE` environment
+//!    variable names a file in the committed text format below, read
+//!    once per process), an exact `(op, m, k, n)` entry overrides the
+//!    table.
+//! 2. Otherwise the **static table** ([`static_select`]) decides.
+//!
+//! Because every routine is bit-identical on the same operands (all
+//! keep per-element `p`-ascending accumulation and shape-only parallel
+//! chunking), selection affects latency only — a profile can never
+//! change a result, and the same profile file always yields the same
+//! selections. A missing or corrupt profile degrades to the static
+//! table with a typed warning ([`ProfileError`], printed once); it
+//! never panics.
+//!
+//! # Profile file format (v1)
+//!
+//! ```text
+//! csq-kernel-profile v1
+//! # comments and blank lines are ignored
+//! matmul    128 256 128  packed_panel  panel_f32
+//! conv2d     16  27 256  im2col_fused  colstream_f32
+//! ```
+//!
+//! One entry per line: op name ([`FloatOp::name`]), the three GEMM
+//! extents (`m k n`; conv uses `oc`, `kdim`, `OH·OW`), then the routine
+//! and blueprint names. The routine must be legal for the op
+//! ([`allowed`]) and the blueprint must be the routine's own
+//! ([`default_blueprint`]) — [`Profile::parse`] rejects anything else,
+//! so a loaded profile can only re-rank implemented routines.
+//!
+//! The [`bit_serial`] submodule is the quantized half of the same
+//! selector: the shape×bit-width cost table that decides between the
+//! u64 bit-plane kernels and the dense integer kernels for
+//! `csq_core::bitplane` / `csq_serve::exec`.
+
+use crate::blueprint::{self, Blueprint};
+use crate::routines::RoutineKind;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The float GEMM-shaped op classes the selector routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatOp {
+    /// `C = A · B` (`Tensor::matmul`): `m × k · k × n`.
+    MatmulNn,
+    /// `C = Aᵀ · B` (`Tensor::matmul_tn`, weight-gradient shape).
+    MatmulTn,
+    /// `C = A · Bᵀ` (`Tensor::matmul_nt`, input-gradient shape).
+    MatmulNt,
+    /// `out = A · v` (`Tensor::matvec`): `n` is 1.
+    Matvec,
+    /// Forward conv as per-sample GEMM: `m = OC`, `k = IC·KH·KW`,
+    /// `n = OH·OW`.
+    Conv2d,
+}
+
+/// Every float op class, for profile validation and the selector dump.
+pub static FLOAT_OPS: &[FloatOp] = &[
+    FloatOp::MatmulNn,
+    FloatOp::MatmulTn,
+    FloatOp::MatmulNt,
+    FloatOp::Matvec,
+    FloatOp::Conv2d,
+];
+
+impl FloatOp {
+    /// Stable name used in profile files and the selector dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            FloatOp::MatmulNn => "matmul",
+            FloatOp::MatmulTn => "matmul_tn",
+            FloatOp::MatmulNt => "matmul_nt",
+            FloatOp::Matvec => "matvec",
+            FloatOp::Conv2d => "conv2d",
+        }
+    }
+
+    /// Parses a stable op name.
+    pub fn parse(name: &str) -> Option<FloatOp> {
+        FLOAT_OPS.iter().copied().find(|o| o.name() == name)
+    }
+}
+
+/// What the selector picked: a routine and the tiling blueprint it runs
+/// with — the pair the obs profiler tags kernel samples with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The routine to dispatch to.
+    pub routine: RoutineKind,
+    /// The tiling the routine runs with (its canonical blueprint).
+    pub blueprint: &'static Blueprint,
+}
+
+/// The routines an op class may legally dispatch to. The first entry is
+/// never wrong (it handles every shape of the class); profiles may only
+/// pick from this list.
+pub fn allowed(op: FloatOp) -> &'static [RoutineKind] {
+    match op {
+        FloatOp::MatmulNn => &[
+            RoutineKind::Blocked,
+            RoutineKind::PackedPanel,
+            RoutineKind::VecmatCols,
+        ],
+        FloatOp::MatmulTn => &[RoutineKind::TallSkinnyTn],
+        FloatOp::MatmulNt => &[RoutineKind::TallSkinnyNt, RoutineKind::MatvecRows],
+        FloatOp::Matvec => &[RoutineKind::MatvecRows],
+        FloatOp::Conv2d => &[RoutineKind::Im2colGemm, RoutineKind::Im2colFused],
+    }
+}
+
+/// The canonical blueprint each routine runs with.
+pub fn default_blueprint(routine: RoutineKind) -> &'static Blueprint {
+    match routine {
+        RoutineKind::PackedPanel => &blueprint::PANEL_F32,
+        RoutineKind::Blocked => &blueprint::BLOCKED_KC64,
+        RoutineKind::TallSkinnyTn | RoutineKind::TallSkinnyNt => &blueprint::ROWDOT_F32,
+        RoutineKind::MatvecRows | RoutineKind::VecmatCols => &blueprint::VECMAT_F32,
+        RoutineKind::Im2colFused => &blueprint::COLSTREAM_F32,
+        RoutineKind::Im2colGemm => &blueprint::IM2COL_F32,
+    }
+}
+
+fn selection(routine: RoutineKind) -> Selection {
+    Selection {
+        routine,
+        blueprint: default_blueprint(routine),
+    }
+}
+
+/// The static shape table: the deterministic default when no profile
+/// entry covers `(op, m, k, n)`.
+///
+/// * Single-row products go to the vecmat routines (batch-1 inference).
+/// * Multi-row `matmul` takes the packed-panel GEMM once the problem is
+///   big enough to amortize packing; tiny problems keep the blocked
+///   loop.
+/// * The transposed gradient shapes keep their fused-transpose kernels
+///   (TN retains the per-element zero skip the bit-plane adjoint needs).
+/// * Conv streams fused column panels whenever a sample has at least
+///   one full panel of output positions; tiny spatial extents
+///   materialize (the "matrix" already fits a panel).
+pub fn static_select(op: FloatOp, m: usize, k: usize, n: usize) -> Selection {
+    match op {
+        FloatOp::MatmulNn => {
+            if m == 1 {
+                selection(RoutineKind::VecmatCols)
+            } else if m >= 16 && n >= 16 && k >= 32 {
+                selection(RoutineKind::PackedPanel)
+            } else {
+                selection(RoutineKind::Blocked)
+            }
+        }
+        FloatOp::MatmulTn => selection(RoutineKind::TallSkinnyTn),
+        FloatOp::MatmulNt => {
+            if m == 1 {
+                selection(RoutineKind::MatvecRows)
+            } else {
+                selection(RoutineKind::TallSkinnyNt)
+            }
+        }
+        FloatOp::Matvec => selection(RoutineKind::MatvecRows),
+        FloatOp::Conv2d => {
+            let _ = m;
+            if n >= blueprint::COLSTREAM_F32.nc {
+                selection(RoutineKind::Im2colFused)
+            } else {
+                selection(RoutineKind::Im2colGemm)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Autotune profiles
+// ---------------------------------------------------------------------------
+
+/// Why a kernel profile file was rejected. Rejection is never fatal:
+/// the selector warns once and falls back to [`static_select`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The file could not be read.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// OS error description.
+        detail: String,
+    },
+    /// The first non-blank line is not `csq-kernel-profile v1`.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// A line does not have the five fields `op m k n routine blueprint`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The routine named on a line is not legal for its op class.
+    IncompatibleRoutine {
+        /// 1-based line number.
+        line: usize,
+        /// The op class.
+        op: &'static str,
+        /// The offending routine name.
+        routine: String,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Io { path, detail } => {
+                write!(f, "cannot read kernel profile {path}: {detail}")
+            }
+            ProfileError::BadHeader { found } => write!(
+                f,
+                "kernel profile header must be `csq-kernel-profile v1`, found `{found}`"
+            ),
+            ProfileError::BadLine { line, detail } => {
+                write!(f, "kernel profile line {line}: {detail}")
+            }
+            ProfileError::IncompatibleRoutine { line, op, routine } => write!(
+                f,
+                "kernel profile line {line}: routine `{routine}` is not implemented for op `{op}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A parsed autotune profile: exact `(op, m, k, n)` → routine
+/// overrides. Entries are validated at parse time, so a loaded profile
+/// can only pick implemented routines.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    entries: HashMap<(FloatOp, usize, usize, usize), RoutineKind>,
+}
+
+impl Profile {
+    /// An empty profile (every lookup misses).
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Number of shape entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the profile has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds or replaces one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routine` is not in [`allowed`] for `op` — builders
+    /// (autotune) only offer legal candidates.
+    pub fn insert(&mut self, op: FloatOp, m: usize, k: usize, n: usize, routine: RoutineKind) {
+        assert!(
+            allowed(op).contains(&routine),
+            "routine {} is not implemented for op {}",
+            routine.name(),
+            op.name()
+        );
+        self.entries.insert((op, m, k, n), routine);
+    }
+
+    /// The override for an exact shape, if any.
+    pub fn get(&self, op: FloatOp, m: usize, k: usize, n: usize) -> Option<Selection> {
+        self.entries.get(&(op, m, k, n)).copied().map(selection)
+    }
+
+    /// Parses the committed v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed header, field count, number, unknown name, or
+    /// op/routine mismatch is a typed [`ProfileError`] naming the line.
+    pub fn parse(text: &str) -> Result<Profile, ProfileError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .map(|(_, l)| l.trim().to_string())
+            .unwrap_or_default();
+        if header != "csq-kernel-profile v1" {
+            return Err(ProfileError::BadHeader { found: header });
+        }
+        let mut profile = Profile::new();
+        for (idx, raw) in lines {
+            let line = idx + 1;
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = text.split_whitespace().collect();
+            if fields.len() != 6 {
+                return Err(ProfileError::BadLine {
+                    line,
+                    detail: format!(
+                        "expected `op m k n routine blueprint` (6 fields), found {}",
+                        fields.len()
+                    ),
+                });
+            }
+            let op = FloatOp::parse(fields[0]).ok_or_else(|| ProfileError::BadLine {
+                line,
+                detail: format!("unknown op `{}`", fields[0]),
+            })?;
+            let dims: Vec<usize> = fields[1..4]
+                .iter()
+                .map(|f| f.parse::<usize>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| ProfileError::BadLine {
+                    line,
+                    detail: format!(
+                        "non-numeric shape in `{} {} {}`",
+                        fields[1], fields[2], fields[3]
+                    ),
+                })?;
+            let routine = RoutineKind::parse(fields[4]).ok_or_else(|| ProfileError::BadLine {
+                line,
+                detail: format!("unknown routine `{}`", fields[4]),
+            })?;
+            if !allowed(op).contains(&routine) {
+                return Err(ProfileError::IncompatibleRoutine {
+                    line,
+                    op: op.name(),
+                    routine: fields[4].to_string(),
+                });
+            }
+            let bp = blueprint::by_name(fields[5]).ok_or_else(|| ProfileError::BadLine {
+                line,
+                detail: format!("unknown blueprint `{}`", fields[5]),
+            })?;
+            if bp.name != default_blueprint(routine).name {
+                return Err(ProfileError::BadLine {
+                    line,
+                    detail: format!(
+                        "routine `{}` runs blueprint `{}`, not `{}`",
+                        fields[4],
+                        default_blueprint(routine).name,
+                        bp.name
+                    ),
+                });
+            }
+            profile.insert(op, dims[0], dims[1], dims[2], routine);
+        }
+        Ok(profile)
+    }
+
+    /// Reads and parses a profile file.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Io`] when the file cannot be read, plus every
+    /// [`Profile::parse`] error.
+    pub fn load(path: &str) -> Result<Profile, ProfileError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ProfileError::Io {
+            path: path.to_string(),
+            detail: e.to_string(),
+        })?;
+        Profile::parse(&text)
+    }
+
+    /// Serializes to the committed v1 text format (entries in a stable
+    /// sorted order, so re-serializing is deterministic).
+    pub fn to_text(&self) -> String {
+        let mut rows: Vec<(&'static str, usize, usize, usize, RoutineKind)> = self
+            .entries
+            .iter()
+            .map(|(&(op, m, k, n), &r)| (op.name(), m, k, n, r))
+            .collect();
+        rows.sort_by(|a, b| {
+            (a.0, a.1, a.2, a.3, a.4.name()).cmp(&(b.0, b.1, b.2, b.3, b.4.name()))
+        });
+        let mut out = String::from("csq-kernel-profile v1\n");
+        for (op, m, k, n, r) in rows {
+            out.push_str(&format!(
+                "{op} {m} {k} {n} {} {}\n",
+                r.name(),
+                default_blueprint(r).name
+            ));
+        }
+        out
+    }
+}
+
+/// What the one-time `CSQ_KERNEL_PROFILE` load produced.
+enum LoadedProfile {
+    /// No profile requested.
+    Unset,
+    /// Loaded and validated.
+    Loaded(Profile),
+    /// Requested but rejected; the warning was printed at load time.
+    Failed(ProfileError),
+}
+
+fn global_profile() -> &'static LoadedProfile {
+    static PROFILE: OnceLock<LoadedProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| match std::env::var("CSQ_KERNEL_PROFILE") {
+        Err(_) => LoadedProfile::Unset,
+        Ok(path) if path.trim().is_empty() => LoadedProfile::Unset,
+        Ok(path) => match Profile::load(&path) {
+            Ok(p) => LoadedProfile::Loaded(p),
+            Err(e) => {
+                eprintln!("csq-tensor: {e}; falling back to the static selector table");
+                LoadedProfile::Failed(e)
+            }
+        },
+    })
+}
+
+/// The process-wide profile state: `Ok(Some)` when `CSQ_KERNEL_PROFILE`
+/// loaded, `Ok(None)` when unset, `Err` when it was rejected (the
+/// selector is already running on the static table).
+pub fn profile_status() -> Result<Option<&'static Profile>, &'static ProfileError> {
+    match global_profile() {
+        LoadedProfile::Unset => Ok(None),
+        LoadedProfile::Loaded(p) => Ok(Some(p)),
+        LoadedProfile::Failed(e) => Err(e),
+    }
+}
+
+/// Selects the routine for one op/shape against an explicit profile
+/// (`None` = static table only). Pure: same inputs, same selection.
+pub fn select_with(
+    profile: Option<&Profile>,
+    op: FloatOp,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Selection {
+    profile
+        .and_then(|p| p.get(op, m, k, n))
+        .unwrap_or_else(|| static_select(op, m, k, n))
+}
+
+/// Selects the routine for one op/shape using the process-wide profile
+/// (loaded once from `CSQ_KERNEL_PROFILE`).
+pub fn select(op: FloatOp, m: usize, k: usize, n: usize) -> Selection {
+    let profile = match global_profile() {
+        LoadedProfile::Loaded(p) => Some(p),
+        _ => None,
+    };
+    select_with(profile, op, m, k, n)
+}
+
+// ---------------------------------------------------------------------------
+// Bit-serial (quantized inference) selection
+// ---------------------------------------------------------------------------
+
+/// The quantized half of the selector: the deterministic shape×bit-width
+/// cost table deciding between the u64 bit-plane kernels and the dense
+/// integer kernels. `csq_core::bitplane::select_kernel` and the serve
+/// executor dispatch through here — neither carries a private cost
+/// model anymore.
+pub mod bit_serial {
+    use crate::blueprint::{self, Blueprint};
+
+    /// Activation bit planes (activations are unsigned 8-bit codes).
+    pub const ACT_PLANES: usize = 8;
+
+    /// Cost-model constants, in units of one *vectorized* dense MAC
+    /// (~0.2 ns on the reference machine). Measured against this
+    /// workspace's own kernels; see DESIGN.md §15 for the calibration
+    /// runs.
+    pub mod cost {
+        /// One AND+popcount+accumulate over a u64 word (64 products).
+        pub const WORD_OP: u64 = 6;
+        /// Transposing one activation code into its bit-plane lanes
+        /// (includes the im2col gather on the conv path).
+        pub const PACK_PER_CODE: u64 = 25;
+        /// One MAC of the branchy scalar integer conv kernel.
+        pub const CONV_DENSE_MAC: u64 = 13;
+        /// One MAC of the auto-vectorized integer linear kernel.
+        pub const LINEAR_DENSE_MAC: u64 = 1;
+    }
+
+    /// Which dense kernel the bit-plane class competes against — their
+    /// cost per multiply-accumulate differs enormously (the conv kernel
+    /// is a branchy scalar loop; the linear kernel auto-vectorizes), so
+    /// the selector must know which one it is displacing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BitSerialOp {
+        /// Displacing `conv2d_integer` (padded, strided scalar loops).
+        Conv2d,
+        /// Displacing `linear_integer` (contiguous dense dot products).
+        Linear,
+    }
+
+    /// Which bit-plane routine fits a GEMM row count.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BitSerialRoutine {
+        /// Batched panel GEMM: activation planes packed per row block.
+        PanelGemm,
+        /// Batch-1 matrix–vector: parallelism over output columns.
+        Vecmat,
+    }
+
+    /// The class the cost table picked.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BitSerialChoice {
+        /// Run the u64 AND/popcount kernels with the given routine.
+        Bitplane(BitSerialRoutine),
+        /// Fall back to the dense integer kernel.
+        DenseInteger,
+    }
+
+    /// A bit-serial selection: the class/routine choice plus the
+    /// blueprint tag for profiling.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BitSerialSelection {
+        /// What to run.
+        pub choice: BitSerialChoice,
+        /// `lanes_u64` for the bit-plane class, `dense_i64` otherwise.
+        pub blueprint: &'static Blueprint,
+    }
+
+    /// The packed shape of one quantized weighted op, as the cost table
+    /// sees it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BitSerialShape {
+        /// GEMM rows (im2col rows for conv, batch size for linear).
+        pub batch_rows: usize,
+        /// Output rows of the weight.
+        pub out_rows: usize,
+        /// Reduction length.
+        pub k: usize,
+        /// `⌈k/64⌉` packed words per lane row.
+        pub words: usize,
+        /// Active plane×sign passes (0 = fully pruned weight).
+        pub passes: usize,
+    }
+
+    /// The bit-plane routine for a GEMM row count: vecmat for a single
+    /// row, panel GEMM otherwise (the PanelGemm/Vecmat split that used
+    /// to live in `csq_core::bitplane::Routine::for_batch`).
+    pub fn routine_for_rows(batch_rows: usize) -> BitSerialRoutine {
+        if batch_rows <= 1 {
+            BitSerialRoutine::Vecmat
+        } else {
+            BitSerialRoutine::PanelGemm
+        }
+    }
+
+    /// Deterministic shape×bit-width kernel-class table: compares the
+    /// estimated per-row cost of `passes × ACT_PLANES` AND/popcount
+    /// sweeps (plus activation packing) against the dense integer
+    /// kernel it would displace. Integer arithmetic on shapes only — no
+    /// timing feedback — so the same op on the same shape always picks
+    /// the same class.
+    pub fn select(op: BitSerialOp, shape: &BitSerialShape) -> BitSerialSelection {
+        let routine = routine_for_rows(shape.batch_rows);
+        // A fully pruned weight is free on the bit-plane path: no
+        // passes, no work, output identically zero.
+        if shape.passes == 0 {
+            return BitSerialSelection {
+                choice: BitSerialChoice::Bitplane(routine),
+                blueprint: &blueprint::LANES_U64,
+            };
+        }
+        let bitplane_per_row = cost::PACK_PER_CODE * shape.k as u64
+            + shape.out_rows as u64
+                * shape.passes as u64
+                * ACT_PLANES as u64
+                * shape.words as u64
+                * cost::WORD_OP;
+        let dense_mac = match op {
+            BitSerialOp::Conv2d => cost::CONV_DENSE_MAC,
+            BitSerialOp::Linear => cost::LINEAR_DENSE_MAC,
+        };
+        let integer_per_row = shape.out_rows as u64 * shape.k as u64 * dense_mac;
+        if bitplane_per_row < integer_per_row {
+            BitSerialSelection {
+                choice: BitSerialChoice::Bitplane(routine),
+                blueprint: &blueprint::LANES_U64,
+            }
+        } else {
+            BitSerialSelection {
+                choice: BitSerialChoice::DenseInteger,
+                blueprint: &blueprint::DENSE_I64,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler glue (tensor-level kernel rows)
+// ---------------------------------------------------------------------------
+
+/// `Some(now)` when the obs kernel profiler is recording (one relaxed
+/// atomic load on the quiet path).
+pub(crate) fn prof_start() -> Option<std::time::Instant> {
+    csq_obs::profiler::global()
+        .enabled()
+        .then(std::time::Instant::now)
+}
+
+/// Records one tensor-level kernel sample tagged with the selection's
+/// routine + blueprint. Tensor rows use their own op kinds (`gemm_nn`,
+/// `gemm_tn`, `gemm_nt`, `gemm_mv`, `conv_im2col`) so they never
+/// collide with the serve executor's per-op rows.
+pub(crate) fn prof_record(
+    kind: &str,
+    sel: Selection,
+    dims: &[usize],
+    bytes: u64,
+    start: Option<std::time::Instant>,
+) {
+    if let Some(t0) = start {
+        let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        csq_obs::profiler::global().record(
+            kind,
+            "float",
+            sel.routine.name(),
+            sel.blueprint.name,
+            &csq_obs::profiler::shape_key(dims),
+            wall_ns,
+            bytes,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_routes_by_shape() {
+        assert_eq!(
+            static_select(FloatOp::MatmulNn, 128, 256, 128).routine,
+            RoutineKind::PackedPanel
+        );
+        assert_eq!(
+            static_select(FloatOp::MatmulNn, 4, 7, 5).routine,
+            RoutineKind::Blocked
+        );
+        assert_eq!(
+            static_select(FloatOp::MatmulNn, 1, 64, 32).routine,
+            RoutineKind::VecmatCols
+        );
+        assert_eq!(
+            static_select(FloatOp::MatmulTn, 64, 128, 32).routine,
+            RoutineKind::TallSkinnyTn
+        );
+        assert_eq!(
+            static_select(FloatOp::MatmulNt, 1, 64, 10).routine,
+            RoutineKind::MatvecRows
+        );
+        assert_eq!(
+            static_select(FloatOp::MatmulNt, 8, 64, 10).routine,
+            RoutineKind::TallSkinnyNt
+        );
+        assert_eq!(
+            static_select(FloatOp::Conv2d, 16, 27, 256).routine,
+            RoutineKind::Im2colFused
+        );
+        assert_eq!(
+            static_select(FloatOp::Conv2d, 16, 27, 16).routine,
+            RoutineKind::Im2colGemm
+        );
+    }
+
+    #[test]
+    fn every_selection_is_legal_and_canonically_tiled() {
+        for &op in FLOAT_OPS {
+            for (m, k, n) in [(1, 1, 1), (1, 64, 64), (7, 13, 5), (128, 256, 128)] {
+                let sel = static_select(op, m, k, n);
+                assert!(allowed(op).contains(&sel.routine), "{op:?} {m}x{k}x{n}");
+                assert_eq!(sel.blueprint.name, default_blueprint(sel.routine).name);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_and_overrides() {
+        let text = "csq-kernel-profile v1\n\n# tuned on host X\nmatmul 128 256 128 blocked blocked_kc64\nconv2d 16 27 256 im2col_gemm im2col_f32\n";
+        let p = Profile::parse(text).unwrap();
+        assert_eq!(p.len(), 2);
+        // Overrides hit on the exact shape…
+        assert_eq!(
+            select_with(Some(&p), FloatOp::MatmulNn, 128, 256, 128).routine,
+            RoutineKind::Blocked
+        );
+        assert_eq!(
+            select_with(Some(&p), FloatOp::Conv2d, 16, 27, 256).routine,
+            RoutineKind::Im2colGemm
+        );
+        // …and miss to the static table elsewhere.
+        assert_eq!(
+            select_with(Some(&p), FloatOp::MatmulNn, 128, 256, 64).routine,
+            RoutineKind::PackedPanel
+        );
+        // Re-serialization is stable.
+        let p2 = Profile::parse(&p.to_text()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn profile_selections_are_deterministic() {
+        let text = "csq-kernel-profile v1\nmatmul 33 47 29 packed_panel panel_f32\n";
+        let p = Profile::parse(text).unwrap();
+        let sweep = || {
+            let mut rows = Vec::new();
+            for &op in FLOAT_OPS {
+                for (m, k, n) in [(1, 3, 9), (33, 47, 29), (128, 256, 128)] {
+                    let s = select_with(Some(&p), op, m, k, n);
+                    rows.push((op.name(), m, k, n, s.routine.name(), s.blueprint.name));
+                }
+            }
+            rows
+        };
+        assert_eq!(sweep(), sweep());
+    }
+
+    #[test]
+    fn corrupt_profiles_are_typed_errors_never_panics() {
+        assert!(matches!(
+            Profile::parse("not-a-profile\n"),
+            Err(ProfileError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nmatmul 1 2 packed_panel panel_f32\n"),
+            Err(ProfileError::BadLine { line: 2, .. })
+        ));
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nmatmul x 2 3 packed_panel panel_f32\n"),
+            Err(ProfileError::BadLine { .. })
+        ));
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nbogus 1 2 3 packed_panel panel_f32\n"),
+            Err(ProfileError::BadLine { .. })
+        ));
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nmatmul 1 2 3 warp_mma panel_f32\n"),
+            Err(ProfileError::BadLine { .. })
+        ));
+        // Legal routine, wrong op: typed mismatch.
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nmatvec 1 2 3 packed_panel panel_f32\n"),
+            Err(ProfileError::IncompatibleRoutine { line: 2, .. })
+        ));
+        // Legal routine, wrong blueprint for it.
+        assert!(matches!(
+            Profile::parse("csq-kernel-profile v1\nmatmul 1 2 3 packed_panel blocked_kc64\n"),
+            Err(ProfileError::BadLine { .. })
+        ));
+        // Missing file is a typed Io error.
+        assert!(matches!(
+            Profile::load("/nonexistent/kernel.profile"),
+            Err(ProfileError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_serial_table_matches_documented_behavior() {
+        use bit_serial::*;
+        // Fully pruned weights are always bit-plane, routine by batch.
+        let pruned = BitSerialShape {
+            batch_rows: 1,
+            out_rows: 8,
+            k: 64,
+            words: 1,
+            passes: 0,
+        };
+        assert_eq!(
+            select(BitSerialOp::Linear, &pruned).choice,
+            BitSerialChoice::Bitplane(BitSerialRoutine::Vecmat)
+        );
+        // Sparse conv with a big reduction axis: bit-plane panel GEMM.
+        let conv = BitSerialShape {
+            batch_rows: 256,
+            out_rows: 32,
+            k: 288,
+            words: 5,
+            passes: 4,
+        };
+        assert_eq!(
+            select(BitSerialOp::Conv2d, &conv).choice,
+            BitSerialChoice::Bitplane(BitSerialRoutine::PanelGemm)
+        );
+        assert_eq!(
+            select(BitSerialOp::Conv2d, &conv).blueprint.name,
+            "lanes_u64"
+        );
+        // Dense 8-bit linear with a small head: the dense kernel keeps it.
+        let lin = BitSerialShape {
+            batch_rows: 8,
+            out_rows: 4,
+            k: 128,
+            words: 2,
+            passes: 16,
+        };
+        assert_eq!(
+            select(BitSerialOp::Linear, &lin).choice,
+            BitSerialChoice::DenseInteger
+        );
+        assert_eq!(
+            select(BitSerialOp::Linear, &lin).blueprint.name,
+            "dense_i64"
+        );
+    }
+}

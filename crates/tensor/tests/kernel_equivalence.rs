@@ -1,0 +1,217 @@
+//! Kernel-equivalence gate: every routine the selector can pick returns
+//! **bit-identical** results on the same operands, at 1 and 4 threads,
+//! across awkward shapes (register-block edges, primes, degenerate
+//! axes). This is the contract that makes the selector latency-only —
+//! a profile override can never change a result.
+//!
+//! Naive references accumulate in the same `p`-ascending order as the
+//! kernels, so equality is exact `==` on the raw f32 bits, not an
+//! epsilon comparison.
+
+use csq_tensor::conv::{conv2d, conv2d_naive, conv2d_with_routine, conv2d_with_scratch, ConvSpec};
+use csq_tensor::par::{self, ScratchPool};
+use csq_tensor::routines::RoutineKind;
+use csq_tensor::Tensor;
+
+/// Deterministic non-trivial fill (no RNG needed): varied magnitudes,
+/// signs, and exact zeros (so the packed GEMM's zero-skip path runs).
+fn fill(dims: &[usize], salt: u64) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(salt);
+            let v = ((h >> 33) % 2001) as f32 / 1000.0 - 1.0;
+            // Every 7th element exactly zero: exercises skip flags.
+            if i % 7 == 3 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    out
+}
+
+/// Shapes chosen to land on every routine and every edge case: 1×1,
+/// primes, single-row/column/depth, register-block non-multiples, and
+/// one shape big enough for the packed-panel table entry.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 7, 1),
+    (3, 1, 5),
+    (1, 64, 33),
+    (5, 3, 1),
+    (7, 13, 11),
+    (17, 23, 9),
+    (33, 65, 17),
+    (64, 64, 64),
+    (41, 37, 29),
+];
+
+#[test]
+fn every_matmul_routine_is_bit_identical_across_shapes_and_threads() {
+    for &(m, k, n) in GEMM_SHAPES {
+        let a = fill(&[m, k], 1);
+        let b = fill(&[k, n], 2);
+        let want = naive_matmul(&a, &b);
+        for threads in [1, 4] {
+            par::with_threads(threads, || {
+                let selected = a.matmul(&b);
+                let blocked = a.matmul_with(&b, RoutineKind::Blocked);
+                let packed = a.matmul_with(&b, RoutineKind::PackedPanel);
+                assert_eq!(
+                    selected.data(),
+                    want.data(),
+                    "selector path diverged from naive at {m}x{k}x{n}, {threads} threads"
+                );
+                assert_eq!(
+                    blocked.data(),
+                    want.data(),
+                    "blocked diverged at {m}x{k}x{n}, {threads} threads"
+                );
+                assert_eq!(
+                    packed.data(),
+                    want.data(),
+                    "packed_panel diverged at {m}x{k}x{n}, {threads} threads"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn transpose_variants_are_bit_identical_at_any_thread_count() {
+    for &(m, k, n) in GEMM_SHAPES {
+        let at = fill(&[k, m], 3);
+        let b = fill(&[k, n], 4);
+        let a = fill(&[m, k], 5);
+        let bt = fill(&[n, k], 6);
+        let (tn1, nt1) = par::with_threads(1, || (at.matmul_tn(&b), a.matmul_nt(&bt)));
+        let (tn4, nt4) = par::with_threads(4, || (at.matmul_tn(&b), a.matmul_nt(&bt)));
+        assert_eq!(tn1.data(), tn4.data(), "tn {m}x{k}x{n}");
+        assert_eq!(nt1.data(), nt4.data(), "nt {m}x{k}x{n}");
+        // Against the NN kernels on materialized transposes (the NN
+        // path is already proven against naive above).
+        assert_eq!(
+            tn1.data(),
+            at.transpose2().matmul(&b).data(),
+            "tn vs nn {m}x{k}x{n}"
+        );
+        assert_eq!(
+            nt1.data(),
+            a.matmul(&bt.transpose2()).data(),
+            "nt vs nn {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn matvec_routes_through_vecmat_and_matches_matmul_bit_exactly() {
+    for &(m, k) in &[(1usize, 1usize), (1, 17), (9, 1), (33, 65), (128, 50)] {
+        let a = fill(&[m, k], 7);
+        let v = fill(&[k], 8);
+        let want = a.matmul(&v.reshape(&[k, 1]));
+        for threads in [1, 4] {
+            let got = par::with_threads(threads, || a.matvec(&v));
+            assert_eq!(got.data(), want.data(), "matvec {m}x{k}, {threads} threads");
+        }
+    }
+}
+
+/// `(n, ic, h, w, oc, kernel, stride, padding)`.
+type ConvCase = (usize, usize, usize, usize, usize, usize, usize, usize);
+
+/// Conv geometries: 1×1 everything, strides, padding, a single output
+/// position, and spatial extents both below and above the fused
+/// routine's panel width (64), including non-multiples of it.
+const CONV_CASES: &[ConvCase] = &[
+    // (n, ic, h, w, oc, kernel, stride, padding)
+    (1, 1, 1, 1, 1, 1, 1, 0),
+    (2, 3, 5, 7, 4, 3, 1, 1),
+    (1, 2, 9, 9, 3, 3, 2, 0),
+    (1, 1, 4, 4, 1, 3, 1, 1),
+    (2, 2, 8, 8, 5, 1, 1, 0),
+    (1, 3, 12, 11, 6, 3, 1, 1),
+    (1, 3, 16, 16, 8, 3, 1, 1),
+];
+
+#[test]
+fn conv_routines_are_bit_identical_to_naive_at_1_and_4_threads() {
+    for &(n, ic, h, w, oc, kernel, stride, padding) in CONV_CASES {
+        let spec = ConvSpec::new(kernel, stride, padding);
+        let x = fill(&[n, ic, h, w], 9);
+        let wt = fill(&[oc, ic, kernel, kernel], 10);
+        let want = conv2d_naive(&x, &wt, spec);
+        let pool = ScratchPool::new();
+        for threads in [1, 4] {
+            par::with_threads(threads, || {
+                let selected = conv2d(&x, &wt, spec);
+                let gemm = conv2d_with_routine(&x, &wt, spec, &pool, RoutineKind::Im2colGemm);
+                let fused = conv2d_with_routine(&x, &wt, spec, &pool, RoutineKind::Im2colFused);
+                assert_eq!(
+                    selected.data(),
+                    want.data(),
+                    "selector conv diverged at {n}x{ic}x{h}x{w} k{kernel}s{stride}p{padding}, {threads} threads"
+                );
+                assert_eq!(
+                    gemm.data(),
+                    want.data(),
+                    "im2col_gemm diverged at {n}x{ic}x{h}x{w} k{kernel}s{stride}p{padding}, {threads} threads"
+                );
+                assert_eq!(
+                    fused.data(),
+                    want.data(),
+                    "im2col_fused diverged at {n}x{ic}x{h}x{w} k{kernel}s{stride}p{padding}, {threads} threads"
+                );
+            });
+        }
+        // Scratch reuse with dirty pooled buffers does not perturb results.
+        let again = conv2d_with_scratch(&x, &wt, spec, &pool);
+        assert_eq!(again.data(), want.data());
+    }
+}
+
+#[test]
+fn zero_weight_planes_take_the_skip_path_bit_exactly() {
+    // A weight whose rows contain long zero runs: packing flags those
+    // depth rows and the skip micro-kernel must still match the dense
+    // result bit-for-bit (and naive, which never skips).
+    let (m, k, n) = (19, 70, 23);
+    let mut a = fill(&[m, k], 11);
+    for i in 0..m {
+        for p in 0..k {
+            if p % 3 != 1 {
+                a.set(&[i, p], 0.0);
+            }
+        }
+    }
+    let b = fill(&[k, n], 12);
+    let want = naive_matmul(&a, &b);
+    for threads in [1, 4] {
+        par::with_threads(threads, || {
+            assert_eq!(
+                a.matmul_with(&b, RoutineKind::PackedPanel).data(),
+                want.data()
+            );
+            assert_eq!(a.matmul_with(&b, RoutineKind::Blocked).data(), want.data());
+        });
+    }
+}

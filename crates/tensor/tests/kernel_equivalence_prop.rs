@@ -1,0 +1,108 @@
+//! Property-based kernel-equivalence sweep: random shapes that are
+//! deliberately *not* multiples of the blueprint tile extents (MC, KC,
+//! NC, MR, NR) must produce bit-identical results across every float
+//! routine and across thread counts. Complements the fixed-shape sweep
+//! in `kernel_equivalence.rs` with randomized coverage.
+
+use csq_tensor::conv::{conv2d_naive, conv2d_with_routine, ConvSpec};
+use csq_tensor::par::{self, ScratchPool};
+use csq_tensor::routines::RoutineKind;
+use csq_tensor::Tensor;
+use proptest::prelude::*;
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.at(&[i, p]) * b.at(&[p, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    out
+}
+
+/// GEMM operands with shapes spanning degenerate (1) through
+/// just-past-register-block extents, including exact zeros so the
+/// packed kernel's skip flags fire.
+fn gemm_pair() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..18, 1usize..18, 1usize..18).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(prop_oneof![3 => -3.0f32..3.0, 1 => Just(0.0f32)], m * k),
+            proptest::collection::vec(-3.0f32..3.0, k * n),
+        )
+            .prop_map(move |(a, b)| (m, k, n, a, b))
+    })
+}
+
+/// Conv inputs small enough for the naive reference, with kernel,
+/// stride and padding varied so output extents hit 1 and non-multiples
+/// of the fused column-panel width.
+fn conv_case() -> impl Strategy<Value = (Tensor, Tensor, ConvSpec)> {
+    (
+        1usize..3,
+        1usize..4,
+        3usize..10,
+        3usize..10,
+        1usize..5,
+        1usize..4,
+        1usize..3,
+        0usize..2,
+    )
+        .prop_flat_map(|(n, ic, h, w, oc, kernel, stride, padding)| {
+            let kernel = kernel.min(h.min(w));
+            (
+                proptest::collection::vec(-2.0f32..2.0, n * ic * h * w),
+                proptest::collection::vec(-2.0f32..2.0, oc * ic * kernel * kernel),
+            )
+                .prop_map(move |(xv, wv)| {
+                    (
+                        Tensor::from_vec(xv, &[n, ic, h, w]),
+                        Tensor::from_vec(wv, &[oc, ic, kernel, kernel]),
+                        ConvSpec::new(kernel, stride, padding),
+                    )
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All NN routines equal the naive p-ascending reference bit-for-bit
+    /// at 1 and 4 threads.
+    #[test]
+    fn matmul_routines_bit_identical((m, k, n, av, bv) in gemm_pair()) {
+        let a = Tensor::from_vec(av, &[m, k]);
+        let b = Tensor::from_vec(bv, &[k, n]);
+        let want = naive_matmul(&a, &b);
+        for threads in [1usize, 4] {
+            par::with_threads(threads, || {
+                prop_assert_eq!(a.matmul(&b).data(), want.data());
+                prop_assert_eq!(a.matmul_with(&b, RoutineKind::Blocked).data(), want.data());
+                prop_assert_eq!(a.matmul_with(&b, RoutineKind::PackedPanel).data(), want.data());
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Both conv routines equal `conv2d_naive` bit-for-bit at 1 and 4
+    /// threads, regardless of which one the selector would pick.
+    #[test]
+    fn conv_routines_bit_identical((x, w, spec) in conv_case()) {
+        let want = conv2d_naive(&x, &w, spec);
+        let pool = ScratchPool::new();
+        for threads in [1usize, 4] {
+            par::with_threads(threads, || {
+                let gemm = conv2d_with_routine(&x, &w, spec, &pool, RoutineKind::Im2colGemm);
+                let fused = conv2d_with_routine(&x, &w, spec, &pool, RoutineKind::Im2colFused);
+                prop_assert_eq!(gemm.data(), want.data());
+                prop_assert_eq!(fused.data(), want.data());
+                Ok(())
+            })?;
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! A corrupt `CSQ_KERNEL_PROFILE` must degrade to the static table with
+//! a typed error — selection keeps working and nothing panics.
+//!
+//! The profile is read once per process (`OnceLock`), so this file
+//! holds a single test that sets the environment variable before the
+//! first selector call; pure `Profile::parse`/`load` error cases ride
+//! along since they don't touch the global.
+
+use csq_tensor::selector::{self, Profile, ProfileError};
+
+#[test]
+fn corrupt_env_profile_falls_back_to_static_table_without_panicking() {
+    let path = std::env::temp_dir().join(format!("csq_profile_bad_{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "not a profile\nmatmul 8 8 8 packed_panel panel_f32\n",
+    )
+    .expect("write temp profile");
+    std::env::set_var("CSQ_KERNEL_PROFILE", &path);
+
+    // The failure is surfaced as a typed error, not a panic.
+    let err = selector::profile_status().expect_err("bad header must be a load error");
+    assert!(
+        matches!(err, ProfileError::BadHeader { .. }),
+        "unexpected error: {err}"
+    );
+
+    // Selection still works and equals the static table everywhere.
+    for op in selector::FLOAT_OPS.iter().copied() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 8, 8),
+            (64, 64, 64),
+            (1, 512, 7),
+        ] {
+            assert_eq!(
+                selector::select(op, m, k, n),
+                selector::static_select(op, m, k, n),
+                "{} {m}x{k}x{n}",
+                op.name()
+            );
+        }
+    }
+
+    std::fs::remove_file(&path).ok();
+
+    // Every corruption class maps to its own typed ProfileError.
+    let missing = Profile::load("/nonexistent/kernel.profile").expect_err("missing file");
+    assert!(matches!(missing, ProfileError::Io { .. }), "{missing}");
+
+    let short = Profile::parse("csq-kernel-profile v1\nmatmul 8 8 packed_panel panel_f32\n")
+        .expect_err("five fields");
+    assert!(
+        matches!(short, ProfileError::BadLine { line: 2, .. }),
+        "{short}"
+    );
+
+    let wrong_routine =
+        Profile::parse("csq-kernel-profile v1\nmatvec 4 4 1 blocked blocked_kc64\n")
+            .expect_err("routine not allowed for op");
+    assert!(
+        matches!(
+            wrong_routine,
+            ProfileError::IncompatibleRoutine { line: 2, .. }
+        ),
+        "{wrong_routine}"
+    );
+
+    let wrong_blueprint =
+        Profile::parse("csq-kernel-profile v1\nmatmul 8 8 8 packed_panel blocked_kc64\n")
+            .expect_err("blueprint must match routine");
+    assert!(
+        matches!(wrong_blueprint, ProfileError::BadLine { line: 2, .. }),
+        "{wrong_blueprint}"
+    );
+}

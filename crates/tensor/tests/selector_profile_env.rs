@@ -1,0 +1,73 @@
+//! End-to-end test of `CSQ_KERNEL_PROFILE` loading: a valid profile
+//! file overrides exactly the shapes it names, everything else falls
+//! through to the static table, and the same profile always produces
+//! the same selections — with bit-identical outputs either way.
+//!
+//! The profile is read once per process (`OnceLock`), so this file
+//! holds a single test that sets the environment variable before the
+//! first selector call.
+
+use csq_tensor::routines::RoutineKind;
+use csq_tensor::selector::{self, FloatOp};
+use csq_tensor::Tensor;
+
+const PROFILE: &str = "csq-kernel-profile v1
+# override a shape the static table would send to the blocked kernel
+matmul 8 8 8 packed_panel panel_f32
+
+matmul_nt 1 6 5 matvec_rows vecmat_f32
+";
+
+#[test]
+fn env_profile_overrides_named_shapes_deterministically() {
+    let path = std::env::temp_dir().join(format!("csq_profile_env_{}.txt", std::process::id()));
+    std::fs::write(&path, PROFILE).expect("write temp profile");
+    std::env::set_var("CSQ_KERNEL_PROFILE", &path);
+
+    // The profile loaded cleanly.
+    let profile = selector::profile_status()
+        .expect("valid profile must not be a load error")
+        .expect("CSQ_KERNEL_PROFILE was set");
+    assert_eq!(profile.len(), 2);
+
+    // The named shape is overridden; a neighboring shape is not.
+    let hit = selector::select(FloatOp::MatmulNn, 8, 8, 8);
+    assert_eq!(hit.routine, RoutineKind::PackedPanel);
+    assert_eq!(hit.blueprint.name, "panel_f32");
+    let miss = selector::select(FloatOp::MatmulNn, 9, 8, 8);
+    assert_eq!(miss, selector::static_select(FloatOp::MatmulNn, 9, 8, 8));
+    assert_eq!(miss.routine, RoutineKind::Blocked);
+
+    // Same profile ⇒ same selections, every time (satellite 4: the
+    // selector is a pure function of profile + shape).
+    for op in selector::FLOAT_OPS.iter().copied() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 8, 8),
+            (17, 33, 5),
+            (128, 256, 128),
+        ] {
+            let first = selector::select(op, m, k, n);
+            for _ in 0..3 {
+                assert_eq!(
+                    selector::select(op, m, k, n),
+                    first,
+                    "{} {m}x{k}x{n}",
+                    op.name()
+                );
+            }
+        }
+    }
+
+    // The override changes the routine, not the numbers: the profiled
+    // matmul matches the blocked kernel the static table would have
+    // used, bit for bit.
+    let a = Tensor::from_vec((0..64).map(|i| (i as f32).sin()).collect(), &[8, 8]);
+    let b = Tensor::from_vec((0..64).map(|i| (i as f32).cos()).collect(), &[8, 8]);
+    assert_eq!(
+        a.matmul(&b).data(),
+        a.matmul_with(&b, RoutineKind::Blocked).data()
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,23 @@
+csq-kernel-profile v1
+# Sample autotune profile for the csq-tensor kernel selector, in the
+# committed v1 format (see DESIGN.md §15). Load it by exporting
+#
+#   CSQ_KERNEL_PROFILE=profiles/kernel.profile
+#
+# before the process starts; it is read once and overrides the static
+# selector table for exactly the (op, m, k, n) shapes listed here.
+# Every routine is bit-identical on the same operands, so entries can
+# only change latency, never results.
+#
+# op        m   k    n    routine       blueprint
+matmul      128 256  128  packed_panel  panel_f32
+matmul      64  64   64   packed_panel  panel_f32
+matmul      8   8    8    blocked       blocked_kc64
+# measured: packing overhead dominates at this border shape on the
+# reference machine, so it overrides the static table's packed pick
+matmul      16  32   16   blocked       blocked_kc64
+matmul      1   256  128  vecmat_cols   vecmat_f32
+matmul_nt   1   128  256  matvec_rows   vecmat_f32
+conv2d      8   27   256  im2col_fused  colstream_f32
+conv2d      16  72   64   im2col_fused  colstream_f32
+conv2d      8   27   16   im2col_gemm   im2col_f32

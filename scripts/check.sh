@@ -13,11 +13,31 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy csq-obs (-D warnings)"
 cargo clippy -p csq-obs --all-targets -- -D warnings
 
+echo "==> cargo clippy csq-tensor (-D warnings)"
+cargo clippy -p csq-tensor --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test"
 cargo test -q
+
+echo "==> selector determinism gate (routine mix must be identical run-to-run)"
+dump_dir="$(mktemp -d)"
+cargo run -q --release -p csq-tensor --bin selector_dump > "$dump_dir/static1.txt"
+cargo run -q --release -p csq-tensor --bin selector_dump > "$dump_dir/static2.txt"
+diff "$dump_dir/static1.txt" "$dump_dir/static2.txt" \
+  || { echo "FAIL: selector dump differs between runs (static table)"; exit 1; }
+CSQ_KERNEL_PROFILE=profiles/kernel.profile \
+  cargo run -q --release -p csq-tensor --bin selector_dump > "$dump_dir/prof1.txt"
+CSQ_KERNEL_PROFILE=profiles/kernel.profile \
+  cargo run -q --release -p csq-tensor --bin selector_dump > "$dump_dir/prof2.txt"
+diff "$dump_dir/prof1.txt" "$dump_dir/prof2.txt" \
+  || { echo "FAIL: selector dump differs between runs (committed profile)"; exit 1; }
+grep -q "^# profile: loaded" "$dump_dir/prof1.txt" \
+  || { echo "FAIL: committed profiles/kernel.profile did not load"; exit 1; }
+rm -rf "$dump_dir"
+echo "    selector dump stable across runs, with and without the committed profile"
 
 echo "==> serve chaos suite (deterministic fault drills)"
 cargo test -q --release --test serve_chaos
