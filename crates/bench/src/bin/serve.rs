@@ -28,6 +28,16 @@
 //! at every width — the latency-vs-precision curve the bit-serial
 //! kernels exist for.
 //!
+//! Finally, the bit-width artifacts become a **model fleet**: each is
+//! saved as `bench_results/fleet_registry/resnet<bits>b-v1.csqm`, the
+//! registry is scanned back, and an open-loop multi-tenant load
+//! generator offers paced traffic at 0.5×/1×/2×/4× capacity through a
+//! `csq-fleet` [`Router`] (two replicas per model, three tenants
+//! round-robining across every model, every request under a deadline).
+//! The per-model and per-tenant overload curves — latency percentiles
+//! merged bucket-wise across replicas, shed and expiry rates — land in
+//! `BENCH_serve.json` next to the single-engine curve.
+//!
 //! Extra knobs on top of the usual `CSQ_*` scale variables:
 //! `CSQ_SERVE_SECONDS` (load duration, default 5), `CSQ_SERVE_WORKERS`
 //! (default 2), `CSQ_SERVE_MAX_BATCH` (default 8), `CSQ_SERVE_CLIENTS`
@@ -37,6 +47,7 @@
 use csq_bench::{write_results, BenchScale};
 use csq_core::prelude::*;
 use csq_data::{Dataset, SyntheticSpec};
+use csq_fleet::{FleetConfig, FleetError, FleetStats, ModelRegistry, Router};
 use csq_nn::models::{resnet_cifar, ModelConfig};
 use csq_serve::{
     Engine, EngineConfig, KernelPolicy, ModelArtifact, ServeError, SubmitOptions, Ticket,
@@ -98,6 +109,65 @@ struct ServeBenchReport {
     // column must fall monotonically as the bit-width drops — that is
     // the whole point of bit-serial kernels.
     bits_sweep: Vec<BitsSweepPoint>,
+    // Open-loop multi-tenant fleet sweep: the bit-width artifacts as a
+    // versioned registry behind a `csq-fleet` router, offered traffic
+    // at multiples of single-engine capacity, with per-model and
+    // per-tenant latency/shed curves.
+    fleet: Vec<FleetOverloadPoint>,
+}
+
+/// Tenants the fleet load generator round-robins across every model.
+const FLEET_TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// One point on the fleet overload curve: open-loop traffic across
+/// every registry model and all three tenants at a multiple of the
+/// measured single-engine capacity, against a fresh router.
+#[derive(Debug, Serialize)]
+struct FleetOverloadPoint {
+    load_multiplier: f32,
+    offered_rps: f32,
+    /// Requests admitted into some replica's queue.
+    submitted: u64,
+    completed: u64,
+    /// Requests the fleet shed with every ranked replica's queue full.
+    shed: u64,
+    /// Admitted requests whose deadline lapsed before an answer.
+    expired: u64,
+    shed_rate: f32,
+    completed_rps: f32,
+    models: Vec<FleetModelRow>,
+    tenants: Vec<FleetTenantRow>,
+}
+
+/// Per-model rollup of one fleet overload point (replica engine stats
+/// merged bucket-wise; percentiles re-derived from the merged
+/// histogram). `replica_queue_full` counts queue-full hits at
+/// individual replicas — failover retries included — while the
+/// point-level `shed` counts only requests no replica could take.
+#[derive(Debug, Serialize)]
+struct FleetModelRow {
+    model_id: String,
+    completed: u64,
+    replica_queue_full: u64,
+    expired: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Per-tenant rollup of one fleet overload point, merged across every
+/// model the tenant touched. `fleet_shed` is the router-level count of
+/// this tenant's requests that found every replica full.
+#[derive(Debug, Serialize)]
+struct FleetTenantRow {
+    tenant: String,
+    submitted: u64,
+    completed: u64,
+    expired: u64,
+    fleet_shed: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
 }
 
 /// One point of the bit-width sweep: the same architecture packed at a
@@ -383,11 +453,11 @@ fn main() {
     //    planes mean fewer AND/popcount passes, so the bitplane column
     //    falls as the width drops; the integer column stays flat (dense
     //    codes cost the same at any width).
-    let bits_sweep: Vec<BitsSweepPoint> = [8usize, 4, 3, 2]
+    let sweep: Vec<(BitsSweepPoint, ModelArtifact)> = [8usize, 4, 3, 2]
         .iter()
         .map(|&bits| bits_sweep_point(bits, &scale, &data, &input_dims, num_classes))
         .collect();
-    for p in &bits_sweep {
+    for (p, _) in &sweep {
         println!(
             "bits {}: {} bitplane / {} integer / {} float ops, {} skipped passes; auto {:.1}us  integer {:.1}us  bitplane {:.1}us per sample, bit-exact {}",
             p.bits,
@@ -402,9 +472,82 @@ fn main() {
         );
     }
     assert!(
-        bits_sweep.iter().all(|p| p.bit_exact),
+        sweep.iter().all(|(p, _)| p.bit_exact),
         "bitplane kernels must be bit-exact against the integer path at every width"
     );
+
+    // 7. Fleet sweep: the bit-width artifacts become a versioned model
+    //    registry (`resnet<bits>b-v1.csqm`), scanned back and served
+    //    through a csq-fleet router under open-loop multi-tenant load
+    //    at multiples of the single-engine capacity. The directory is
+    //    rebuilt from scratch each run so stale artifacts from earlier
+    //    code can never leak into the curve.
+    let registry_dir = std::path::Path::new("bench_results").join("fleet_registry");
+    let _ = std::fs::remove_dir_all(&registry_dir);
+    if let Err(e) = std::fs::create_dir_all(&registry_dir) {
+        panic!("cannot create {}: {e}", registry_dir.display());
+    }
+    for (p, artifact) in &sweep {
+        let path = registry_dir.join(format!("resnet{}b-v1.csqm", p.bits));
+        if let Err(e) = artifact.save(&path) {
+            panic!("fleet registry save failed for {}: {e}", path.display());
+        }
+    }
+    let registry = match ModelRegistry::scan(&registry_dir) {
+        Ok(r) => r,
+        Err(e) => panic!("fleet registry scan failed: {e}"),
+    };
+    assert!(
+        registry.faults().is_empty(),
+        "freshly written registry must scan clean: {:?}",
+        registry.faults()
+    );
+    println!(
+        "fleet registry: {} model(s), {} version(s): {:?}",
+        registry.model_ids().len(),
+        registry.version_count(),
+        registry.model_ids(),
+    );
+    let mut fleet = Vec::new();
+    for &load_multiplier in &[0.5f32, 1.0, 2.0, 4.0] {
+        let point = fleet_overload_point(
+            &registry,
+            &data.test.images,
+            &input_dims,
+            workers,
+            max_batch,
+            load_multiplier,
+            capacity_rps * load_multiplier,
+            overload_seconds,
+        );
+        println!(
+            "fleet {:.1}x ({:.0} req/s offered over {} models x {} tenants): {} submitted, {} completed ({:.0} req/s), {} shed, {} expired, shed rate {:.1}%",
+            point.load_multiplier,
+            point.offered_rps,
+            point.models.len(),
+            point.tenants.len(),
+            point.submitted,
+            point.completed,
+            point.completed_rps,
+            point.shed,
+            point.expired,
+            point.shed_rate * 100.0,
+        );
+        for m in &point.models {
+            println!(
+                "  model {:>10}: {:>6} completed, {:>5} replica-queue-full, {:>5} expired, p50 {}us p99 {}us",
+                m.model_id, m.completed, m.replica_queue_full, m.expired, m.p50_us, m.p99_us,
+            );
+        }
+        for t in &point.tenants {
+            println!(
+                "  tenant {:>8}: {:>6} submitted, {:>6} completed, {:>5} expired, {:>5} fleet-shed, p50 {}us p99 {}us",
+                t.tenant, t.submitted, t.completed, t.expired, t.fleet_shed, t.p50_us, t.p99_us,
+            );
+        }
+        fleet.push(point);
+    }
+    let bits_sweep: Vec<BitsSweepPoint> = sweep.into_iter().map(|(p, _)| p).collect();
 
     let out = ServeBenchReport {
         train_accuracy: report.final_test_accuracy,
@@ -436,6 +579,7 @@ fn main() {
         kernel_class_totals,
         overload,
         bits_sweep,
+        fleet,
     };
     write_results("BENCH_serve", &out);
 
@@ -455,14 +599,16 @@ fn main() {
 /// Trains + packs the bench architecture at one uniform bit-width and
 /// times a full test-batch forward under each kernel policy (best of
 /// several repetitions, per-sample microseconds). Also verifies the
-/// bitplane and auto paths are bit-identical to the integer path.
+/// bitplane and auto paths are bit-identical to the integer path. The
+/// exported artifact rides along so the fleet sweep can deploy the
+/// same bits that were just timed.
 fn bits_sweep_point(
     bits: usize,
     scale: &BenchScale,
     data: &Dataset,
     input_dims: &[usize],
     num_classes: usize,
-) -> BitsSweepPoint {
+) -> (BitsSweepPoint, ModelArtifact) {
     let mut factory = csq_uniform_factory(bits);
     let mut model = resnet_cifar(
         ModelConfig::cifar_like(scale.width, Some(4), scale.seed),
@@ -521,7 +667,7 @@ fn bits_sweep_point(
         best / batch.max(1) as f32 * 1e6
     };
 
-    BitsSweepPoint {
+    let point = BitsSweepPoint {
         bits,
         bitplane_ops: count("bitplane"),
         integer_ops: count("integer"),
@@ -531,6 +677,136 @@ fn bits_sweep_point(
         integer_us_per_sample: time_us(KernelPolicy::ForceInteger),
         bitplane_us_per_sample: time_us(KernelPolicy::ForceBitplane),
         bit_exact,
+    };
+    (point, artifact)
+}
+
+/// Runs one open-loop fleet overload point: a fresh router deploys the
+/// newest version of every registry model (two replicas each, small
+/// queues), then a paced generator offers `offered_rps` for `seconds`,
+/// request `k` going to model `k % N` as tenant `k % 3`, every
+/// submission under a deadline. Waits out every ticket, then folds the
+/// fleet stats rollup into per-model and per-tenant rows.
+#[allow(clippy::too_many_arguments)]
+fn fleet_overload_point(
+    registry: &ModelRegistry,
+    images: &Tensor,
+    input_dims: &[usize],
+    workers: usize,
+    max_batch: usize,
+    load_multiplier: f32,
+    offered_rps: f32,
+    seconds: f32,
+) -> FleetOverloadPoint {
+    let router = Router::new(FleetConfig {
+        replicas_per_model: 2,
+        engine: EngineConfig {
+            workers,
+            max_batch,
+            batch_window: Duration::from_millis(2),
+            queue_capacity: (max_batch * workers * 4).max(8),
+            ..EngineConfig::default()
+        },
+        tenant_quota: None,
+    });
+    let model_ids: Vec<String> = registry.model_ids().iter().map(|s| s.to_string()).collect();
+    for id in &model_ids {
+        let version = match registry.latest(id) {
+            Some(v) => v,
+            None => panic!("registry lost model `{id}` between scan and deploy"),
+        };
+        if let Err(e) = router.deploy(version) {
+            panic!("fleet deploy of `{id}` failed: {e}");
+        }
+    }
+
+    let n_test = images.dims()[0];
+    let request_deadline = Duration::from_millis(250);
+    let interval = Duration::from_secs_f32(1.0 / offered_rps.max(1.0));
+    let start = Instant::now();
+    let end = start + Duration::from_secs_f32(seconds.max(0.1));
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut submitted: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut sent: u32 = 0;
+    loop {
+        let now = Instant::now();
+        if now >= end {
+            break;
+        }
+        let due = start + interval * sent;
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        sent += 1;
+        let k = sent as usize;
+        let model = &model_ids[k % model_ids.len()];
+        let tenant = FLEET_TENANTS[k % FLEET_TENANTS.len()];
+        let idx = k % n_test;
+        let x = images.slice_axis0(idx, idx + 1).reshape(input_dims);
+        let opts = SubmitOptions::default()
+            .with_deadline(request_deadline)
+            .with_tenant(tenant);
+        match router.submit(model, x, opts) {
+            Ok(t) => {
+                submitted += 1;
+                tickets.push(t);
+            }
+            Err(FleetError::Serve(ServeError::QueueFull { .. })) => shed += 1,
+            Err(e) => panic!("fleet submission failed unexpectedly: {e}"),
+        }
+    }
+    let mut completed: u64 = 0;
+    let mut expired: u64 = 0;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(e) => panic!("fleet ticket failed unexpectedly: {e}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f32();
+
+    let stats = FleetStats::collect(&router);
+    let models = stats
+        .models
+        .iter()
+        .map(|(id, m)| FleetModelRow {
+            model_id: id.clone(),
+            completed: m.merged.completed,
+            replica_queue_full: m.merged.shed,
+            expired: m.merged.expired,
+            p50_us: m.merged.p50_us,
+            p95_us: m.merged.p95_us,
+            p99_us: m.merged.p99_us,
+        })
+        .collect();
+    let tenants = stats
+        .tenants
+        .iter()
+        .map(|(name, t)| FleetTenantRow {
+            tenant: name.clone(),
+            submitted: t.submitted,
+            completed: t.completed,
+            expired: t.expired,
+            fleet_shed: stats.router.tenants.get(name).map(|d| d.shed).unwrap_or(0),
+            p50_us: t.p50_us,
+            p95_us: t.p95_us,
+            p99_us: t.p99_us,
+        })
+        .collect();
+    let offered = submitted + shed;
+    FleetOverloadPoint {
+        load_multiplier,
+        offered_rps,
+        submitted,
+        completed,
+        shed,
+        expired,
+        shed_rate: shed as f32 / offered.max(1) as f32,
+        completed_rps: completed as f32 / elapsed.max(1e-6),
+        models,
+        tenants,
     }
 }
 

@@ -27,6 +27,11 @@
 //!   by the test harness itself (overload generators, pre-swap file
 //!   corruption via [`flip_bit`]) so a whole chaos scenario lives in
 //!   one seeded plan.
+//! * **Fleet-level entries** — kill the entire replica group of one
+//!   model ([`ChaosPlan::kill_replica_group`]) and corrupt a specific
+//!   registry artifact before the scan
+//!   ([`ChaosPlan::corrupt_registry_entry`]), consumed by the
+//!   `csq-fleet` chaos harness.
 //!
 //! Each injection fires exactly once and is then spent, so a rewound
 //! epoch replays cleanly. File-corruption helpers ([`truncate_file`],
@@ -138,6 +143,8 @@ pub struct ChaosPlan {
     batch_delays: Vec<(u64, Duration)>,
     overload_bursts: Vec<(u64, usize)>,
     artifact_flips: Vec<(u64, u8)>,
+    replica_group_kills: Vec<String>,
+    registry_corruptions: Vec<(usize, u64, u8)>,
 }
 
 impl ChaosPlan {
@@ -187,6 +194,27 @@ impl ChaosPlan {
         self
     }
 
+    /// Schedules the fleet harness to kill the entire replica group
+    /// serving `model_id` (every engine in the group goes down at
+    /// once), exercising the router's group-down typed-error path and
+    /// its restart-from-artifact recovery. Consumed by the harness, not
+    /// the engine.
+    #[must_use]
+    pub fn kill_replica_group(mut self, model_id: impl Into<String>) -> ChaosPlan {
+        self.replica_group_kills.push(model_id.into());
+        self
+    }
+
+    /// Schedules one registry-artifact bit flip: the `entry`-th `.csqm`
+    /// file of a registry directory in deterministic scan order gets
+    /// bit `bit` of byte `byte_index` flipped with [`flip_bit`] before
+    /// the registry scan. Consumed by the harness, not the engine.
+    #[must_use]
+    pub fn corrupt_registry_entry(mut self, entry: usize, byte_index: u64, bit: u8) -> ChaosPlan {
+        self.registry_corruptions.push((entry, byte_index, bit));
+        self
+    }
+
     /// A seeded schedule: `kills` worker kills spread over `workers`
     /// workers and per-worker batch ordinals in `[0, batch_span)`, plus
     /// `delays` injected latencies of up to `max_delay` on global
@@ -200,7 +228,10 @@ impl ChaosPlan {
         max_delay: Duration,
     ) -> ChaosPlan {
         assert!(workers > 0, "seeded chaos requires at least one worker");
-        assert!(batch_span > 0, "seeded chaos requires a non-empty batch range");
+        assert!(
+            batch_span > 0,
+            "seeded chaos requires a non-empty batch range"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut plan = ChaosPlan::new();
         for _ in 0..kills {
@@ -227,6 +258,8 @@ impl ChaosPlan {
             && self.batch_delays.is_empty()
             && self.overload_bursts.is_empty()
             && self.artifact_flips.is_empty()
+            && self.replica_group_kills.is_empty()
+            && self.registry_corruptions.is_empty()
     }
 
     /// Consumes a pending kill for worker `worker` at its per-worker
@@ -258,6 +291,29 @@ impl ChaosPlan {
             None
         } else {
             Some(self.artifact_flips.remove(0))
+        }
+    }
+
+    /// Consumes a pending replica-group kill for `model_id`, if any.
+    pub fn take_replica_group_kill(&mut self, model_id: &str) -> bool {
+        match self.replica_group_kills.iter().position(|m| m == model_id) {
+            Some(i) => {
+                self.replica_group_kills.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes the next scheduled registry corruption, in insertion
+    /// order: `(entry, byte_index, bit)` — flip the given bit of the
+    /// `entry`-th registry file (deterministic scan order) with
+    /// [`flip_bit`].
+    pub fn take_registry_corruption(&mut self) -> Option<(usize, u64, u8)> {
+        if self.registry_corruptions.is_empty() {
+            None
+        } else {
+            Some(self.registry_corruptions.remove(0))
         }
     }
 }
@@ -358,7 +414,9 @@ mod tests {
             .poison_batch_at(5)
             .delay_batch_at(7, Duration::from_millis(2))
             .burst_at(4, 16)
-            .corrupt_artifact_at(10, 3);
+            .corrupt_artifact_at(10, 3)
+            .kill_replica_group("alpha")
+            .corrupt_registry_entry(2, 64, 5);
         assert!(!plan.take_worker_kill(0, 3), "wrong worker must not match");
         assert!(!plan.take_worker_kill(1, 2), "wrong batch must not match");
         assert!(plan.take_worker_kill(1, 3));
@@ -370,6 +428,11 @@ mod tests {
         assert_eq!(plan.take_burst(4), Some(16));
         assert_eq!(plan.take_artifact_flip(), Some((10, 3)));
         assert_eq!(plan.take_artifact_flip(), None);
+        assert!(!plan.take_replica_group_kill("beta"), "wrong group");
+        assert!(plan.take_replica_group_kill("alpha"));
+        assert!(!plan.take_replica_group_kill("alpha"), "spent");
+        assert_eq!(plan.take_registry_corruption(), Some((2, 64, 5)));
+        assert_eq!(plan.take_registry_corruption(), None);
         assert!(plan.is_spent());
     }
 

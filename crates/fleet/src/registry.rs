@@ -1,0 +1,289 @@
+//! Versioned on-disk model registry.
+//!
+//! A registry directory holds deployable `.csqm` artifacts named
+//! `<model_id>-v<version>.csqm` (e.g. `resnet8b-v3.csqm`). Scanning the
+//! directory produces, per model, a *lineage*: every loadable version
+//! in ascending order, each already past the container checksum, the
+//! format-version gate, and the schema decode of
+//! [`ModelArtifact::load`], plus a serving-contract check against the
+//! model's earlier versions (all versions of one model must agree on
+//! input shape and class count, or a rollout between them could never
+//! succeed).
+//!
+//! Damage never aborts a scan. Files that are misnamed, corrupted,
+//! written by a future format, or contract-drifted are recorded as
+//! typed [`RegistryFault`]s and skipped, so one bad artifact cannot
+//! take down a fleet restart: the remaining lineage keeps serving and
+//! [`ModelRegistry::latest`] silently falls back to the newest version
+//! that *did* load. The chaos variant
+//! [`ModelRegistry::scan_with_chaos`] injects deterministic file
+//! corruption before loading to prove exactly that recovery path.
+
+use csq_core::fault::{flip_bit, ChaosPlan};
+use csq_serve::{ArtifactError, ModelArtifact};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One loadable artifact version discovered by a registry scan.
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// Model identifier parsed from the file name.
+    pub model_id: String,
+    /// Version number parsed from the file name.
+    pub version: u32,
+    /// File the artifact was loaded from.
+    pub path: PathBuf,
+    /// The decoded artifact (checksum- and schema-validated).
+    pub artifact: ModelArtifact,
+}
+
+/// A damaged registry entry, recorded instead of aborting the scan.
+#[derive(Debug)]
+pub enum RegistryFault {
+    /// A `.csqm` file whose name is not `<model_id>-v<version>.csqm`.
+    BadName {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// A well-named file that failed [`ModelArtifact::load`]
+    /// (truncation, checksum mismatch, future format, schema drift).
+    BadArtifact {
+        /// The offending file.
+        path: PathBuf,
+        /// Why the load failed.
+        error: ArtifactError,
+    },
+    /// A version whose serving contract (input shape, class count)
+    /// disagrees with earlier versions of the same model.
+    ContractDrift {
+        /// The offending file.
+        path: PathBuf,
+        /// Contract of the model's earlier versions.
+        expected: (Vec<usize>, usize),
+        /// Contract this file declares.
+        found: (Vec<usize>, usize),
+    },
+}
+
+impl std::fmt::Display for RegistryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryFault::BadName { path } => write!(
+                f,
+                "registry file {} is not named <model_id>-v<version>.csqm",
+                path.display()
+            ),
+            RegistryFault::BadArtifact { path, error } => {
+                write!(
+                    f,
+                    "registry file {} failed to load: {error}",
+                    path.display()
+                )
+            }
+            RegistryFault::ContractDrift {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "registry file {} declares contract {found:?} but earlier versions of the \
+                 same model serve {expected:?}",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// Why a registry directory could not be scanned at all (as opposed to
+/// individual entries failing, which lands in [`RegistryFault`]).
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The registry root could not be read.
+    Io {
+        /// The directory that failed.
+        root: PathBuf,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io { root, error } => write!(
+                f,
+                "cannot scan registry directory {}: {error}",
+                root.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The result of scanning a registry directory: per-model version
+/// lineages plus the faults encountered along the way.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    root: PathBuf,
+    /// model id → versions ascending.
+    lineages: BTreeMap<String, Vec<ModelVersion>>,
+    faults: Vec<RegistryFault>,
+}
+
+/// Parses `<model_id>-v<version>` from a `.csqm` file stem. The split
+/// is on the *last* `-v`, so model ids may themselves contain dashes.
+fn parse_stem(stem: &str) -> Option<(String, u32)> {
+    let (id, ver) = stem.rsplit_once("-v")?;
+    if id.is_empty() {
+        return None;
+    }
+    let version: u32 = ver.parse().ok()?;
+    Some((id.to_string(), version))
+}
+
+impl ModelRegistry {
+    /// Scans `root` for versioned artifacts. Returns `Err` only when
+    /// the directory itself cannot be read; per-file damage is
+    /// recorded in [`faults`](Self::faults) instead.
+    pub fn scan(root: &Path) -> Result<ModelRegistry, RegistryError> {
+        Self::scan_with_chaos(root, &mut ChaosPlan::default())
+    }
+
+    /// [`scan`](Self::scan), with deterministic fault injection: every
+    /// `corrupt_registry_entry(i, byte, bit)` in `chaos` flips one bit
+    /// of the `i`-th `.csqm` file (in sorted file-name order — the
+    /// scan order, so ordinals are stable) before it is loaded. The
+    /// corrupted file then fails its checksum and must surface as a
+    /// typed [`RegistryFault::BadArtifact`], not a crash.
+    pub fn scan_with_chaos(
+        root: &Path,
+        chaos: &mut ChaosPlan,
+    ) -> Result<ModelRegistry, RegistryError> {
+        let io_err = |error| RegistryError::Io {
+            root: root.to_path_buf(),
+            error,
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(root)
+            .map_err(io_err)?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(io_err)?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "csqm"))
+            .collect();
+        // Sorted file names give the scan a stable order: chaos entry
+        // ordinals, fault ordering, and lineage construction are all
+        // reproducible across runs and platforms.
+        paths.sort();
+
+        while let Some((entry, byte_index, bit)) = chaos.take_registry_corruption() {
+            if let Some(path) = paths.get(entry) {
+                // Corruption that misses the file (offset beyond EOF)
+                // is simply a no-op fault injection, not a scan error.
+                let _ = flip_bit(path, byte_index, bit);
+            }
+        }
+
+        let mut lineages: BTreeMap<String, Vec<ModelVersion>> = BTreeMap::new();
+        let mut faults = Vec::new();
+        for path in paths {
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            let Some((model_id, version)) = parse_stem(stem) else {
+                faults.push(RegistryFault::BadName { path });
+                continue;
+            };
+            let artifact = match ModelArtifact::load(&path) {
+                Ok(a) => a,
+                Err(error) => {
+                    faults.push(RegistryFault::BadArtifact { path, error });
+                    continue;
+                }
+            };
+            let lineage = lineages.entry(model_id.clone()).or_default();
+            if let Some(first) = lineage.first() {
+                let expected = (
+                    first.artifact.input_dims.clone(),
+                    first.artifact.num_classes,
+                );
+                let found = (artifact.input_dims.clone(), artifact.num_classes);
+                if expected != found {
+                    faults.push(RegistryFault::ContractDrift {
+                        path,
+                        expected,
+                        found,
+                    });
+                    continue;
+                }
+            }
+            lineage.push(ModelVersion {
+                model_id,
+                version,
+                path,
+                artifact,
+            });
+        }
+        for lineage in lineages.values_mut() {
+            lineage.sort_by_key(|v| v.version);
+        }
+        lineages.retain(|_, lineage| !lineage.is_empty());
+        Ok(ModelRegistry {
+            root: root.to_path_buf(),
+            lineages,
+            faults,
+        })
+    }
+
+    /// The scanned directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Model ids with at least one loadable version, sorted.
+    pub fn model_ids(&self) -> Vec<&str> {
+        self.lineages.keys().map(String::as_str).collect()
+    }
+
+    /// All loadable versions of `model_id`, ascending. Empty when the
+    /// model is unknown.
+    pub fn lineage(&self, model_id: &str) -> &[ModelVersion] {
+        self.lineages
+            .get(model_id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The newest loadable version of `model_id`. When the newest file
+    /// on disk is damaged this is automatically the newest *healthy*
+    /// one — the registry's recovery guarantee.
+    pub fn latest(&self, model_id: &str) -> Option<&ModelVersion> {
+        self.lineage(model_id).last()
+    }
+
+    /// Every fault the scan encountered, in scan order.
+    pub fn faults(&self) -> &[RegistryFault] {
+        &self.faults
+    }
+
+    /// Total loadable versions across all models.
+    pub fn version_count(&self) -> usize {
+        self.lineages.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stem_parsing_accepts_dashed_ids_and_rejects_garbage() {
+        assert_eq!(
+            parse_stem("resnet-tiny-v12"),
+            Some(("resnet-tiny".into(), 12))
+        );
+        assert_eq!(parse_stem("m-v0"), Some(("m".into(), 0)));
+        assert_eq!(parse_stem("noversion"), None);
+        assert_eq!(parse_stem("-v3"), None);
+        assert_eq!(parse_stem("m-vx"), None);
+    }
+}

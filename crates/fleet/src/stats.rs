@@ -1,0 +1,323 @@
+//! Fleet-wide stats rollups.
+//!
+//! Every replica engine keeps its own [`EngineStats`] with geometric
+//! latency histograms (`csq-obs`). This module folds them into one
+//! fleet view without losing distribution shape: counters add,
+//! histograms merge bucket-wise ([`HistogramSnapshot::merge`]), and
+//! percentiles are re-derived from the *merged* histogram — never
+//! averaged across replicas, which would be statistically meaningless.
+//! The merged percentile carries the same guarantee as a single
+//! replica's: an upper bound within one geometric bucket (a factor of
+//! 2) of the pooled-sample exact percentile.
+//!
+//! Rollups come in three scopes: per model (live replicas plus the
+//! retired stats of killed/replaced replicas, so totals survive chaos
+//! and redeploys), per tenant across every model (engine-observed
+//! traffic plus the router's own fleet-level quota rejections and
+//! shed counts, which no engine ever saw), and the router itself.
+//! [`FleetStats::to_metrics_snapshot`] re-homes everything under
+//! `fleet.model.<id>`, `fleet.tenant.<name>`, and `fleet.router` via
+//! [`MetricsSnapshot::prefixed`], ready for JSON or Prometheus text
+//! exposition alongside the rest of the workspace's telemetry.
+
+use crate::router::{Router, RouterTenantDrops};
+use csq_obs::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use csq_serve::{EngineStats, TenantStats};
+use std::collections::BTreeMap;
+
+/// One model's merged serving stats.
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// Registry version the group currently serves.
+    pub registry_version: u32,
+    /// Live replicas (0 after a group kill).
+    pub live_replicas: usize,
+    /// Replica stats retired into the totals (killed or replaced).
+    pub retired_replicas: usize,
+    /// Engine stats merged across live and retired replicas.
+    pub merged: EngineStats,
+}
+
+/// Router-level totals (requests the engines never saw).
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// Requests rejected by the fleet-level tenant quota.
+    pub rejected: u64,
+    /// Requests shed with every ranked replica's queue full.
+    pub shed: u64,
+    /// The same, by tenant.
+    pub tenants: BTreeMap<String, RouterTenantDrops>,
+}
+
+/// A point-in-time fleet rollup; build one with [`FleetStats::collect`].
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-model rollups, keyed by model id.
+    pub models: BTreeMap<String, ModelStats>,
+    /// Per-tenant rollups merged across every model's replicas.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Fleet-level admission and shed totals.
+    pub router: RouterStats,
+}
+
+/// Merges engine stats across replicas: counters add, latency
+/// histograms merge, percentiles re-derive from the merged histogram.
+/// `model_version` is the maximum (replicas mid-rollout disagree;
+/// the furthest-along one defines the group).
+pub fn merge_engine_stats(stats: &[EngineStats]) -> EngineStats {
+    let mut latency = HistogramSnapshot::empty(1);
+    let mut batch_hist: Vec<u64> = Vec::new();
+    let mut merged = EngineStats {
+        submitted: 0,
+        completed: 0,
+        shed: 0,
+        rejected: 0,
+        expired: 0,
+        failed: 0,
+        batches: 0,
+        queue_depth: 0,
+        worker_restarts: 0,
+        panics_contained: 0,
+        swaps: 0,
+        model_version: 0,
+        avg_batch: 0.0,
+        batch_hist: Vec::new(),
+        p50_us: 0,
+        p95_us: 0,
+        p99_us: 0,
+        latency_bounds_us: Vec::new(),
+        latency_counts: Vec::new(),
+        latency_sum_us: 0,
+        tenants: BTreeMap::new(),
+    };
+    for s in stats {
+        merged.submitted += s.submitted;
+        merged.completed += s.completed;
+        merged.shed += s.shed;
+        merged.rejected += s.rejected;
+        merged.expired += s.expired;
+        merged.failed += s.failed;
+        merged.batches += s.batches;
+        merged.queue_depth += s.queue_depth;
+        merged.worker_restarts += s.worker_restarts;
+        merged.panics_contained += s.panics_contained;
+        merged.swaps += s.swaps;
+        merged.model_version = merged.model_version.max(s.model_version);
+        if s.batch_hist.len() > batch_hist.len() {
+            batch_hist.resize(s.batch_hist.len(), 0);
+        }
+        for (slot, &c) in batch_hist.iter_mut().zip(&s.batch_hist) {
+            *slot += c;
+        }
+        latency.merge(&s.latency_histogram());
+        for (tenant, t) in &s.tenants {
+            merge_tenant_into(&mut merged.tenants, tenant, t);
+        }
+    }
+    merged.avg_batch = if merged.batches > 0 {
+        merged.completed as f32 / merged.batches as f32
+    } else {
+        0.0
+    };
+    merged.batch_hist = batch_hist;
+    merged.p50_us = latency.percentile(0.50);
+    merged.p95_us = latency.percentile(0.95);
+    merged.p99_us = latency.percentile(0.99);
+    merged.latency_bounds_us = latency.bounds();
+    merged.latency_sum_us = latency.sum;
+    merged.latency_counts = latency.counts;
+    merged
+}
+
+/// Folds one replica's tenant slice into a rollup map (counters add,
+/// histograms merge, percentiles re-derive).
+fn merge_tenant_into(rollup: &mut BTreeMap<String, TenantStats>, tenant: &str, t: &TenantStats) {
+    let entry = rollup
+        .entry(tenant.to_string())
+        .or_insert_with(|| TenantStats {
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            latency: HistogramSnapshot::empty(t.latency.n_buckets()),
+        });
+    entry.submitted += t.submitted;
+    entry.completed += t.completed;
+    entry.shed += t.shed;
+    entry.rejected += t.rejected;
+    entry.expired += t.expired;
+    entry.failed += t.failed;
+    entry.latency.merge(&t.latency);
+    entry.p50_us = entry.latency.percentile(0.50);
+    entry.p95_us = entry.latency.percentile(0.95);
+    entry.p99_us = entry.latency.percentile(0.99);
+}
+
+impl FleetStats {
+    /// Snapshots the whole fleet: every live replica's stats, every
+    /// retired replica's final stats, and the router's own counters.
+    pub fn collect(router: &Router) -> FleetStats {
+        let mut models = BTreeMap::new();
+        let mut tenants: BTreeMap<String, TenantStats> = BTreeMap::new();
+        router.with_groups(|groups| {
+            for (id, group) in groups {
+                let mut all: Vec<EngineStats> = group
+                    .replicas
+                    .iter()
+                    .map(csq_serve::Engine::stats)
+                    .collect();
+                all.extend(group.retired.iter().cloned());
+                let merged = merge_engine_stats(&all);
+                for (tenant, t) in &merged.tenants {
+                    merge_tenant_into(&mut tenants, tenant, t);
+                }
+                models.insert(
+                    id.clone(),
+                    ModelStats {
+                        registry_version: group.deployed.version,
+                        live_replicas: group.replicas.len(),
+                        retired_replicas: group.retired.len(),
+                        merged,
+                    },
+                );
+            }
+        });
+        let (rejected, shed) = router.drop_totals();
+        FleetStats {
+            models,
+            tenants,
+            router: RouterStats {
+                rejected,
+                shed,
+                tenants: router.tenant_drops(),
+            },
+        }
+    }
+
+    /// Renders the rollup as one merged `csq-obs` snapshot:
+    /// `fleet.model.<id>.*` (full [`EngineStats`] exposition plus
+    /// `live_replicas` / `registry_version` gauges),
+    /// `fleet.tenant.<name>.*` cross-model rollups, and
+    /// `fleet.router.*` totals.
+    pub fn to_metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (id, m) in &self.models {
+            snap.merge(&m.merged.to_metrics_snapshot(&format!("fleet.model.{id}")));
+        }
+        let registry = MetricsRegistry::new();
+        for (id, m) in &self.models {
+            registry
+                .gauge(&format!("fleet.model.{id}.live_replicas"))
+                .set(m.live_replicas as i64);
+            registry
+                .gauge(&format!("fleet.model.{id}.registry_version"))
+                .set(i64::from(m.registry_version));
+        }
+        for (tenant, t) in &self.tenants {
+            for (name, value) in [
+                ("submitted", t.submitted),
+                ("completed", t.completed),
+                ("shed", t.shed),
+                ("rejected", t.rejected),
+                ("expired", t.expired),
+                ("failed", t.failed),
+            ] {
+                registry
+                    .counter(&format!("fleet.tenant.{tenant}.{name}"))
+                    .add(value);
+            }
+        }
+        registry
+            .counter("fleet.router.rejected")
+            .add(self.router.rejected);
+        registry.counter("fleet.router.shed").add(self.router.shed);
+        for (tenant, drops) in &self.router.tenants {
+            registry
+                .counter(&format!("fleet.router.tenant.{tenant}.rejected"))
+                .add(drops.rejected);
+            registry
+                .counter(&format!("fleet.router.tenant.{tenant}.shed"))
+                .add(drops.shed);
+        }
+        snap.merge(&registry.snapshot());
+        for (tenant, t) in &self.tenants {
+            snap.hists.insert(
+                format!("fleet.tenant.{tenant}.latency_us"),
+                t.latency.clone(),
+            );
+        }
+        snap
+    }
+
+    /// Pretty-printed JSON of the merged snapshot.
+    pub fn to_json(&self) -> String {
+        self.to_metrics_snapshot().to_json()
+    }
+
+    /// Prometheus text exposition of the merged snapshot.
+    pub fn to_prometheus(&self) -> String {
+        self.to_metrics_snapshot().to_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(completed: u64, bucket: usize, n: u64) -> EngineStats {
+        let mut latency = HistogramSnapshot::empty(8);
+        latency.counts[bucket] = n;
+        latency.sum = n * (1 << bucket);
+        EngineStats {
+            submitted: completed,
+            completed,
+            shed: 1,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            batches: completed.max(1),
+            queue_depth: 2,
+            worker_restarts: 0,
+            panics_contained: 0,
+            swaps: 0,
+            model_version: 1,
+            avg_batch: 1.0,
+            batch_hist: vec![0, completed],
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            latency_bounds_us: latency.bounds(),
+            latency_counts: latency.counts.clone(),
+            latency_sum_us: latency.sum,
+            tenants: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn merged_percentiles_come_from_the_pooled_histogram() {
+        // Replica A: 90 fast requests (bucket 1 ≤ 2µs). Replica B: 10
+        // slow ones (bucket 6 ≤ 64µs). Per-replica p99s are 2µs and
+        // 64µs; the fleet p99 must reflect the pooled tail, not an
+        // average.
+        let merged = merge_engine_stats(&[stats_with(90, 1, 90), stats_with(10, 6, 10)]);
+        assert_eq!(merged.completed, 100);
+        assert_eq!(merged.shed, 2);
+        assert_eq!(merged.p50_us, 2);
+        assert_eq!(merged.p99_us, 64);
+        assert_eq!(merged.batch_hist, vec![0, 100]);
+        assert_eq!(merged.queue_depth, 4);
+    }
+
+    #[test]
+    fn merging_nothing_is_all_zeros() {
+        let merged = merge_engine_stats(&[]);
+        assert_eq!(merged.submitted, 0);
+        assert_eq!(merged.p99_us, 0);
+        assert!(merged.tenants.is_empty());
+    }
+}

@@ -76,10 +76,7 @@ impl GeoHistogram {
 
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum()
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// An immutable copy of the current bucket counts.
@@ -142,7 +139,11 @@ impl HistogramSnapshot {
         }
         let last = self.counts.len() - 1;
         for (i, &c) in other.counts.iter().enumerate() {
-            let slot = if i >= other.counts.len() - 1 { last } else { i.min(last) };
+            let slot = if i >= other.counts.len() - 1 {
+                last
+            } else {
+                i.min(last)
+            };
             self.counts[slot] += c;
         }
         self.sum = self.sum.saturating_add(other.sum);

@@ -279,6 +279,25 @@ impl MetricsSnapshot {
         }
     }
 
+    /// A copy of the snapshot with every metric renamed to
+    /// `prefix.<name>` — the fleet-rollup primitive: per-replica
+    /// snapshots get re-homed under `fleet.model.<id>` (or any other
+    /// scope) and then [`merge`](Self::merge)d into one registry view
+    /// without name collisions.
+    pub fn prefixed(&self, prefix: &str) -> MetricsSnapshot {
+        let re = |k: &String| format!("{prefix}.{k}");
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (re(k), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (re(k), *v)).collect(),
+            hists: self.hists.iter().map(|(k, v)| (re(k), v.clone())).collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(k, v)| (re(k), v.clone()))
+                .collect(),
+        }
+    }
+
     /// Pretty-printed JSON document of the whole snapshot.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
@@ -334,7 +353,8 @@ impl MetricsSnapshot {
 pub fn sanitize_metric_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 1);
     for (i, ch) in name.chars().enumerate() {
-        let ok = ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
         if i == 0 && ch.is_ascii_digit() {
             out.push('_');
             out.push(ch);
@@ -417,6 +437,27 @@ mod tests {
     }
 
     #[test]
+    fn prefixed_rehomes_every_metric_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("completed").add(3);
+        reg.gauge("depth").set(2);
+        reg.histogram("lat").record(7);
+        reg.series("loss").push(0, 1.0);
+        let snap = reg.snapshot().prefixed("fleet.model.alpha");
+        assert_eq!(snap.counters["fleet.model.alpha.completed"], 3);
+        assert_eq!(snap.gauges["fleet.model.alpha.depth"], 2);
+        assert_eq!(snap.hists["fleet.model.alpha.lat"].total(), 1);
+        assert_eq!(snap.series["fleet.model.alpha.loss"].len(), 1);
+        // Two replicas re-homed under different prefixes merge without
+        // collisions; same prefix folds by addition.
+        let mut merged = snap.clone();
+        merged.merge(&reg.snapshot().prefixed("fleet.model.beta"));
+        merged.merge(&reg.snapshot().prefixed("fleet.model.alpha"));
+        assert_eq!(merged.counters["fleet.model.alpha.completed"], 6);
+        assert_eq!(merged.counters["fleet.model.beta.completed"], 3);
+    }
+
+    #[test]
     fn sanitize_covers_edge_cases() {
         assert_eq!(sanitize_metric_name("a.b-c"), "a_b_c");
         assert_eq!(sanitize_metric_name("9lives"), "_9lives");
@@ -429,8 +470,7 @@ mod tests {
         reg.counter("c").inc();
         reg.histogram("h").record(5);
         let snap = reg.snapshot();
-        let parsed: MetricsSnapshot =
-            serde_json::from_str(&snap.to_json()).unwrap_or_default();
+        let parsed: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap_or_default();
         assert_eq!(parsed, snap);
     }
 }

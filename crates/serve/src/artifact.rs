@@ -13,8 +13,8 @@
 //! The payload is versioned JSON ([`ModelArtifact`] with
 //! [`CSQM_FORMAT_VERSION`]) wrapped in the workspace's checksummed
 //! container (`csq_nn::persist`): a magic header, a CRC-32 of the
-//! payload, and the payload length, written atomically via a temp file
-//! + rename. Truncated or bit-flipped files are rejected on load with a
+//! payload, and the payload length, written atomically (temp file,
+//! then rename). Truncated or bit-flipped files are rejected on load with a
 //! [`PersistError`] instead of being parsed into garbage, and files
 //! written by a future incompatible format version are rejected by the
 //! explicit version check.
@@ -51,6 +51,9 @@ pub enum ArtifactError {
     Json(String),
     /// The file was written by an incompatible format version.
     UnsupportedVersion {
+        /// File the version came from (`None` for an in-memory
+        /// artifact rejected by [`ModelArtifact::compile`]).
+        path: Option<std::path::PathBuf>,
         /// Version recorded in the file.
         found: u32,
         /// Version this build understands.
@@ -80,10 +83,22 @@ impl std::fmt::Display for ArtifactError {
         match self {
             ArtifactError::Persist(e) => write!(f, "artifact container error: {e}"),
             ArtifactError::Json(e) => write!(f, "artifact payload is not valid JSON: {e}"),
-            ArtifactError::UnsupportedVersion { found, supported } => write!(
-                f,
-                "artifact format version {found} is not supported (this build reads {supported})"
-            ),
+            ArtifactError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => match path {
+                Some(p) => write!(
+                    f,
+                    "artifact {} was written with format version {found}, expected {supported} \
+                     (this build cannot read it)",
+                    p.display()
+                ),
+                None => write!(
+                    f,
+                    "artifact format version {found} is not supported (this build reads {supported})"
+                ),
+            },
             ArtifactError::Export(e) => write!(f, "model cannot be lowered for inference: {e}"),
             ArtifactError::Pack(e) => write!(f, "model cannot be packed: {e}"),
             ArtifactError::Bind(e) => write!(f, "artifact is internally inconsistent: {e}"),
@@ -219,6 +234,7 @@ impl ModelArtifact {
     pub fn compile(&self) -> Result<CompiledModel, ArtifactError> {
         if self.format_version != CSQM_FORMAT_VERSION {
             return Err(ArtifactError::UnsupportedVersion {
+                path: None,
                 found: self.format_version,
                 supported: CSQM_FORMAT_VERSION,
             });
@@ -244,17 +260,30 @@ impl ModelArtifact {
 
     /// Reads an artifact back from `path`, verifying the container
     /// checksum and the format version.
+    ///
+    /// The format version is checked on the parsed JSON tree *before*
+    /// the payload is decoded into typed fields: an artifact written by
+    /// a future format likely carries fields this build's schema cannot
+    /// parse, and the operator-facing error must say "wrong version,
+    /// written by a newer build" — not "malformed JSON".
     pub fn load(path: &Path) -> Result<ModelArtifact, ArtifactError> {
         let payload = read_checksummed(path)?;
-        let artifact: ModelArtifact =
+        let doc: serde_json::Value =
             serde_json::from_slice(&payload).map_err(|e| ArtifactError::Json(e.to_string()))?;
-        if artifact.format_version != CSQM_FORMAT_VERSION {
+        let found = doc
+            .get("format_version")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| {
+                ArtifactError::Json("payload has no numeric `format_version` field".to_string())
+            })?;
+        if found != u64::from(CSQM_FORMAT_VERSION) {
             return Err(ArtifactError::UnsupportedVersion {
-                found: artifact.format_version,
+                path: Some(path.to_path_buf()),
+                found: u32::try_from(found).unwrap_or(u32::MAX),
                 supported: CSQM_FORMAT_VERSION,
             });
         }
-        Ok(artifact)
+        decode::artifact(&doc).map_err(ArtifactError::Json)
     }
 
     /// Deployed weight payload in bytes (bit-packed codes plus scales).
@@ -292,5 +321,316 @@ impl ModelArtifact {
     /// mismatched artifact *before* paying for `compile`).
     pub fn is_compatible_with(&self, input_dims: &[usize], num_classes: usize) -> bool {
         self.input_dims == input_dims && self.num_classes == num_classes
+    }
+}
+
+/// Explicit schema walker from the parsed JSON tree to typed artifact
+/// fields.
+///
+/// Decoding is deliberately *not* derived: the `.csqm` schema is a
+/// compatibility contract, and an explicit walker (a) pins exactly what
+/// each format version accepts independent of how the Rust structs
+/// evolve, and (b) names the offending field path in every error
+/// (`weights[3].codes`), which derived decoding cannot. Errors are
+/// plain strings; `ModelArtifact::load` wraps them in
+/// [`ArtifactError::Json`].
+mod decode {
+    use super::{CalibrationEntry, InferOp, ModelArtifact, PackedWeight, QuantScheme};
+    use csq_core::scheme::LayerScheme;
+    use serde_json::Value;
+
+    type R<T> = Result<T, String>;
+
+    fn field<'v>(v: &'v Value, ctx: &str, name: &str) -> R<&'v Value> {
+        v.get(name)
+            .ok_or_else(|| format!("{ctx}: missing field `{name}`"))
+    }
+
+    fn string(v: &Value, ctx: &str) -> R<String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{ctx}: expected a string"))
+    }
+
+    fn unsigned(v: &Value, ctx: &str) -> R<usize> {
+        v.as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| format!("{ctx}: expected an unsigned integer"))
+    }
+
+    fn float(v: &Value, ctx: &str) -> R<f32> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| format!("{ctx}: expected a number"))
+    }
+
+    fn boolean(v: &Value, ctx: &str) -> R<bool> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("{ctx}: expected a boolean")),
+        }
+    }
+
+    /// Decodes an array, tagging each element error with its index.
+    fn list<T>(v: &Value, ctx: &str, item: impl Fn(&Value, &str) -> R<T>) -> R<Vec<T>> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: expected an array"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| item(e, &format!("{ctx}[{i}]")))
+            .collect()
+    }
+
+    fn usize_vec(v: &Value, ctx: &str) -> R<Vec<usize>> {
+        list(v, ctx, unsigned)
+    }
+
+    fn f32_vec(v: &Value, ctx: &str) -> R<Vec<f32>> {
+        list(v, ctx, float)
+    }
+
+    /// `Option<T>` fields serialize as `null` (and tolerate being
+    /// absent entirely, matching `#[serde(default)]` semantics).
+    fn opt<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+        v.get(name).filter(|f| !f.is_null())
+    }
+
+    fn opt_f32_vec(v: &Value, ctx: &str, name: &str) -> R<Option<Vec<f32>>> {
+        opt(v, name)
+            .map(|f| f32_vec(f, &format!("{ctx}.{name}")))
+            .transpose()
+    }
+
+    /// Missing-tolerant string field (pre-path artifacts omit `path`).
+    fn string_or_empty(v: &Value, ctx: &str, name: &str) -> R<String> {
+        opt(v, name)
+            .map(|f| string(f, &format!("{ctx}.{name}")))
+            .transpose()
+            .map(Option::unwrap_or_default)
+    }
+
+    fn op_list(v: &Value, ctx: &str) -> R<Vec<InferOp>> {
+        list(v, ctx, op)
+    }
+
+    /// One inference op in serde's externally-tagged form: unit
+    /// variants are bare strings, struct variants single-key objects.
+    fn op(v: &Value, ctx: &str) -> R<InferOp> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "Relu" => Ok(InferOp::Relu),
+                "GlobalAvgPool" => Ok(InferOp::GlobalAvgPool),
+                "Flatten" => Ok(InferOp::Flatten),
+                "Identity" => Ok(InferOp::Identity),
+                other => Err(format!("{ctx}: unknown op `{other}`")),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("{ctx}: expected an op string or object"))?;
+        let (tag, body) = match (obj.len(), obj.iter().next()) {
+            (1, Some(entry)) => entry,
+            _ => return Err(format!("{ctx}: expected a single-variant op object")),
+        };
+        let c = &format!("{ctx}.{tag}");
+        match tag.as_str() {
+            "Conv2d" => Ok(InferOp::Conv2d {
+                weight: string(field(body, c, "weight")?, &format!("{c}.weight"))?,
+                in_channels: unsigned(field(body, c, "in_channels")?, &format!("{c}.in_channels"))?,
+                out_channels: unsigned(
+                    field(body, c, "out_channels")?,
+                    &format!("{c}.out_channels"),
+                )?,
+                kernel: unsigned(field(body, c, "kernel")?, &format!("{c}.kernel"))?,
+                stride: unsigned(field(body, c, "stride")?, &format!("{c}.stride"))?,
+                padding: unsigned(field(body, c, "padding")?, &format!("{c}.padding"))?,
+                bias: opt_f32_vec(body, c, "bias")?,
+            }),
+            "DepthwiseConv2d" => Ok(InferOp::DepthwiseConv2d {
+                weight: string(field(body, c, "weight")?, &format!("{c}.weight"))?,
+                channels: unsigned(field(body, c, "channels")?, &format!("{c}.channels"))?,
+                kernel: unsigned(field(body, c, "kernel")?, &format!("{c}.kernel"))?,
+                stride: unsigned(field(body, c, "stride")?, &format!("{c}.stride"))?,
+                padding: unsigned(field(body, c, "padding")?, &format!("{c}.padding"))?,
+            }),
+            "Linear" => Ok(InferOp::Linear {
+                weight: string(field(body, c, "weight")?, &format!("{c}.weight"))?,
+                in_features: unsigned(field(body, c, "in_features")?, &format!("{c}.in_features"))?,
+                out_features: unsigned(
+                    field(body, c, "out_features")?,
+                    &format!("{c}.out_features"),
+                )?,
+                bias: opt_f32_vec(body, c, "bias")?,
+            }),
+            "ChannelAffine" => Ok(InferOp::ChannelAffine {
+                scale: f32_vec(field(body, c, "scale")?, &format!("{c}.scale"))?,
+                shift: f32_vec(field(body, c, "shift")?, &format!("{c}.shift"))?,
+            }),
+            "UniformActQuant" => Ok(InferOp::UniformActQuant {
+                range: float(field(body, c, "range")?, &format!("{c}.range"))?,
+                levels: float(field(body, c, "levels")?, &format!("{c}.levels"))?,
+            }),
+            "MaxPool" => Ok(InferOp::MaxPool {
+                window: unsigned(field(body, c, "window")?, &format!("{c}.window"))?,
+                stride: unsigned(field(body, c, "stride")?, &format!("{c}.stride"))?,
+            }),
+            "AvgPool" => Ok(InferOp::AvgPool {
+                window: unsigned(field(body, c, "window")?, &format!("{c}.window"))?,
+                stride: unsigned(field(body, c, "stride")?, &format!("{c}.stride"))?,
+            }),
+            "Residual" => Ok(InferOp::Residual {
+                main: op_list(field(body, c, "main")?, &format!("{c}.main"))?,
+                shortcut: op_list(field(body, c, "shortcut")?, &format!("{c}.shortcut"))?,
+                post: op_list(field(body, c, "post")?, &format!("{c}.post"))?,
+            }),
+            other => Err(format!("{ctx}: unknown op `{other}`")),
+        }
+    }
+
+    fn packed_weight(v: &Value, ctx: &str) -> R<PackedWeight> {
+        Ok(PackedWeight {
+            path: string_or_empty(v, ctx, "path")?,
+            codes: list(field(v, ctx, "codes")?, &format!("{ctx}.codes"), |c, cc| {
+                c.as_i64()
+                    .and_then(|n| i32::try_from(n).ok())
+                    .ok_or_else(|| format!("{cc}: expected a signed integer code"))
+            })?,
+            step: float(field(v, ctx, "step")?, &format!("{ctx}.step"))?,
+            dims: usize_vec(field(v, ctx, "dims")?, &format!("{ctx}.dims"))?,
+            bits: float(field(v, ctx, "bits")?, &format!("{ctx}.bits"))?,
+        })
+    }
+
+    fn calibration_entry(v: &Value, ctx: &str) -> R<CalibrationEntry> {
+        Ok(CalibrationEntry {
+            weight_path: string(field(v, ctx, "weight_path")?, &format!("{ctx}.weight_path"))?,
+            step: float(field(v, ctx, "step")?, &format!("{ctx}.step"))?,
+            observed_lo: float(field(v, ctx, "observed_lo")?, &format!("{ctx}.observed_lo"))?,
+            observed_hi: float(field(v, ctx, "observed_hi")?, &format!("{ctx}.observed_hi"))?,
+            integer: boolean(field(v, ctx, "integer")?, &format!("{ctx}.integer"))?,
+        })
+    }
+
+    fn layer_scheme(v: &Value, ctx: &str) -> R<LayerScheme> {
+        Ok(LayerScheme {
+            index: unsigned(field(v, ctx, "index")?, &format!("{ctx}.index"))?,
+            path: string_or_empty(v, ctx, "path")?,
+            numel: unsigned(field(v, ctx, "numel")?, &format!("{ctx}.numel"))?,
+            bits: float(field(v, ctx, "bits")?, &format!("{ctx}.bits"))?,
+            mask: opt(v, "mask")
+                .map(|m| list(m, &format!("{ctx}.mask"), boolean))
+                .transpose()?,
+        })
+    }
+
+    fn quant_scheme(v: &Value, ctx: &str) -> R<QuantScheme> {
+        Ok(QuantScheme {
+            layers: list(
+                field(v, ctx, "layers")?,
+                &format!("{ctx}.layers"),
+                layer_scheme,
+            )?,
+            avg_bits: float(field(v, ctx, "avg_bits")?, &format!("{ctx}.avg_bits"))?,
+            compression: float(field(v, ctx, "compression")?, &format!("{ctx}.compression"))?,
+        })
+    }
+
+    /// Decodes a full artifact from the parsed payload tree. The
+    /// caller has already verified `format_version`.
+    pub(super) fn artifact(v: &Value) -> R<ModelArtifact> {
+        let c = "artifact";
+        Ok(ModelArtifact {
+            format_version: unsigned(field(v, c, "format_version")?, "artifact.format_version")?
+                .try_into()
+                .map_err(|_| "artifact.format_version: out of range".to_string())?,
+            name: string(field(v, c, "name")?, "artifact.name")?,
+            input_dims: usize_vec(field(v, c, "input_dims")?, "artifact.input_dims")?,
+            num_classes: unsigned(field(v, c, "num_classes")?, "artifact.num_classes")?,
+            ops: op_list(field(v, c, "ops")?, "artifact.ops")?,
+            weights: list(field(v, c, "weights")?, "artifact.weights", packed_weight)?,
+            scheme: quant_scheme(field(v, c, "scheme")?, "artifact.scheme")?,
+            calibration: list(
+                field(v, c, "calibration")?,
+                "artifact.calibration",
+                calibration_entry,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csq_core::QuantScheme;
+
+    /// The smallest structurally valid artifact: no ops, no weights.
+    /// Enough to exercise the container + version gate without any
+    /// training-side machinery.
+    fn empty_artifact(format_version: u32) -> ModelArtifact {
+        ModelArtifact {
+            format_version,
+            name: "empty".to_string(),
+            input_dims: vec![3],
+            num_classes: 2,
+            ops: Vec::new(),
+            weights: Vec::new(),
+            scheme: QuantScheme {
+                layers: Vec::new(),
+                avg_bits: 0.0,
+                compression: 0.0,
+            },
+            calibration: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn load_version_mismatch_names_path_and_both_versions() {
+        let dir = std::env::temp_dir().join("csq-artifact-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-future.csqm", std::process::id()));
+        empty_artifact(CSQM_FORMAT_VERSION + 41)
+            .save(&path)
+            .unwrap();
+        let err = ModelArtifact::load(&path).unwrap_err();
+        match &err {
+            ArtifactError::UnsupportedVersion {
+                path: p,
+                found,
+                supported,
+            } => {
+                assert_eq!(p.as_deref(), Some(path.as_path()));
+                assert_eq!(*found, CSQM_FORMAT_VERSION + 41);
+                assert_eq!(*supported, CSQM_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // The rendered message must let an operator find the file and
+        // see expected-vs-found at a glance.
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "message must name the offending file: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("version {}", CSQM_FORMAT_VERSION + 41)),
+            "message must name the found version: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("expected {CSQM_FORMAT_VERSION}")),
+            "message must name the expected version: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compile_version_mismatch_has_no_path() {
+        let err = empty_artifact(CSQM_FORMAT_VERSION + 1)
+            .compile()
+            .unwrap_err();
+        match err {
+            ArtifactError::UnsupportedVersion { path, .. } => assert!(path.is_none()),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
     }
 }

@@ -477,6 +477,18 @@ impl Engine {
         self.shared.model_version()
     }
 
+    /// The per-sample input shape this engine's serving contract is
+    /// fixed to (swaps must match it).
+    pub fn input_dims(&self) -> &[usize] {
+        &self.shared.input_dims
+    }
+
+    /// Requests currently waiting in the bounded queue. A cheap load
+    /// signal for routers choosing between replicas.
+    pub fn queue_len(&self) -> usize {
+        lock_queue(&self.shared).len()
+    }
+
     /// Atomically replaces the served model under live traffic,
     /// returning the new version.
     ///
@@ -1075,6 +1087,81 @@ mod tests {
         assert_eq!(acme.submitted, 2);
         assert_eq!(acme.rejected, 1);
         assert_eq!(acme.completed, 2);
+    }
+
+    /// Satellite drill: hot-swap while several threads are submitting
+    /// flat out. No request may hang, none may observe `Closed` (the
+    /// engine never shut down), every answer must be bit-identical to
+    /// one of the two versions' single-request answers, and once the
+    /// swap has happened new submissions must serve the new model.
+    #[test]
+    fn swap_under_concurrent_submission_load_is_safe() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 50;
+        const SAMPLES: usize = 8;
+        let scratch: ScratchPool<u8> = ScratchPool::new();
+        let reference = |offset: i32| -> Vec<Vec<f32>> {
+            let model = tiny_model_with(offset);
+            (0..SAMPLES)
+                .map(|i| {
+                    model
+                        .forward_batch(&sample(i).reshape(&[1, 3]), &scratch)
+                        .unwrap()
+                        .data()
+                        .to_vec()
+                })
+                .collect()
+        };
+        let want_v1 = reference(0);
+        let want_v2 = reference(7);
+
+        let engine = Engine::start(
+            tiny_model_with(0),
+            EngineConfig {
+                workers: 2,
+                max_batch: 4,
+                batch_window: Duration::from_millis(1),
+                queue_capacity: 4096,
+                ..EngineConfig::default()
+            },
+        );
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let engine = &engine;
+                let want_v1 = &want_v1;
+                let want_v2 = &want_v2;
+                s.spawn(move || {
+                    for k in 0..PER_THREAD {
+                        let i = (t + k) % SAMPLES;
+                        let got = engine
+                            .infer(sample(i))
+                            .unwrap_or_else(|e| panic!("request {t}/{k} failed mid-swap: {e}"));
+                        assert!(
+                            got.data() == &want_v1[i][..] || got.data() == &want_v2[i][..],
+                            "thread {t} request {k}: answer matches neither version"
+                        );
+                    }
+                });
+            }
+            // Swap mid-stream, while the submitters above are running.
+            std::thread::sleep(Duration::from_millis(2));
+            assert_eq!(engine.swap_model(tiny_model_with(7)).unwrap(), 2);
+        });
+        // Post-swap, answers must match the new model's single-request
+        // path exactly.
+        for (i, want) in want_v2.iter().enumerate() {
+            let got = engine.infer(sample(i)).unwrap();
+            assert_eq!(got.data(), &want[..], "post-swap sample {i}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.model_version, 2);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(
+            stats.completed,
+            (THREADS * PER_THREAD + SAMPLES) as u64,
+            "every submitted request must have been answered"
+        );
     }
 
     #[test]

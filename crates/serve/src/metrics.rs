@@ -46,7 +46,7 @@ use csq_obs::registry::{MetricsRegistry, MetricsSnapshot};
 const LATENCY_BUCKETS: usize = 24;
 
 /// Per-tenant mutable counters (guarded by the tenants mutex).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 struct TenantCounters {
     submitted: u64,
     completed: u64,
@@ -54,6 +54,23 @@ struct TenantCounters {
     rejected: u64,
     expired: u64,
     failed: u64,
+    /// Completed-request latency for this tenant (microseconds), so
+    /// per-tenant percentiles survive fleet-level merging.
+    latency: GeoHistogram,
+}
+
+impl TenantCounters {
+    fn new() -> TenantCounters {
+        TenantCounters {
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            latency: GeoHistogram::new(LATENCY_BUCKETS),
+        }
+    }
 }
 
 /// The scalar counters, kept together so one lock acquisition reads or
@@ -114,7 +131,9 @@ impl StatsInner {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        f(table.entry(tenant.to_string()).or_default());
+        f(table
+            .entry(tenant.to_string())
+            .or_insert_with(TenantCounters::new));
     }
 
     pub(crate) fn record_submitted(&self, tenant: Option<&str>) {
@@ -160,7 +179,10 @@ impl StatsInner {
         self.with_scalars(|s| s.completed += 1);
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         self.latency.record(us);
-        self.with_tenant(tenant, |t| t.completed += 1);
+        self.with_tenant(tenant, |t| {
+            t.completed += 1;
+            t.latency.record(us);
+        });
     }
 
     pub(crate) fn record_failed(&self, tenant: Option<&str>) {
@@ -218,6 +240,7 @@ impl StatsInner {
             table
                 .iter()
                 .map(|(name, c)| {
+                    let latency = c.latency.snapshot();
                     (
                         name.clone(),
                         TenantStats {
@@ -227,6 +250,10 @@ impl StatsInner {
                             rejected: c.rejected,
                             expired: c.expired,
                             failed: c.failed,
+                            p50_us: latency.percentile(0.50),
+                            p95_us: latency.percentile(0.95),
+                            p99_us: latency.percentile(0.99),
+                            latency,
                         },
                     )
                 })
@@ -259,7 +286,7 @@ impl StatsInner {
 }
 
 /// Per-tenant slice of the serving metrics (see [`EngineStats::tenants`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TenantStats {
     /// Requests this tenant got into the queue.
     pub submitted: u64,
@@ -273,6 +300,15 @@ pub struct TenantStats {
     pub expired: u64,
     /// Requests answered with an error.
     pub failed: u64,
+    /// Median completed-request latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile completed-request latency upper bound, µs.
+    pub p95_us: u64,
+    /// 99th-percentile completed-request latency upper bound, µs.
+    pub p99_us: u64,
+    /// This tenant's full latency histogram, mergeable across replicas
+    /// for fleet-level per-tenant percentiles.
+    pub latency: HistogramSnapshot,
 }
 
 /// A point-in-time snapshot of the engine's serving metrics.
@@ -342,10 +378,14 @@ impl EngineStats {
         let registry = MetricsRegistry::new();
         self.publish_to(&registry, prefix);
         let mut snap = registry.snapshot();
-        snap.hists.insert(
-            format!("{prefix}.latency_us"),
-            self.latency_histogram(),
-        );
+        snap.hists
+            .insert(format!("{prefix}.latency_us"), self.latency_histogram());
+        for (tenant, t) in &self.tenants {
+            snap.hists.insert(
+                format!("{prefix}.tenant.{tenant}.latency_us"),
+                t.latency.clone(),
+            );
+        }
         snap
     }
 
@@ -459,7 +499,12 @@ mod tests {
         assert_eq!(s.submitted, 3);
         assert_eq!(s.tenants.len(), 2);
         let a = &s.tenants["a"];
-        assert_eq!((a.submitted, a.completed, a.expired, a.failed), (2, 1, 1, 1));
+        assert_eq!(
+            (a.submitted, a.completed, a.expired, a.failed),
+            (2, 1, 1, 1)
+        );
+        assert_eq!(a.latency.total(), 1, "tenant latency tracks completions");
+        assert_eq!(a.p50_us, 8, "5µs rounds up to the 8µs bucket bound");
         let b = &s.tenants["b"];
         assert_eq!((b.shed, b.rejected), (1, 1));
         assert_eq!(s.shed, 1);
@@ -499,6 +544,7 @@ mod tests {
         assert!(text.contains("serve_queue_depth 0"));
         assert!(text.contains("serve_model_version 2"));
         assert!(text.contains("serve_tenant_acme_completed 1"));
+        assert!(text.contains("serve_tenant_acme_latency_us_count 1"));
         assert!(text.contains("serve_latency_us_bucket{le=\"4\"} 1"));
         assert!(text.contains("serve_latency_us_count 1"));
         assert!(text.contains("serve_latency_us_sum 3"));

@@ -308,7 +308,12 @@ fn future_format_version_is_rejected() {
     let path = temp_path("future.csqm");
     future.save(&path).expect("save");
     match ModelArtifact::load(&path) {
-        Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+        Err(ArtifactError::UnsupportedVersion {
+            path: p,
+            found,
+            supported,
+        }) => {
+            assert_eq!(p.as_deref(), Some(path.as_path()));
             assert_eq!(found, CSQM_FORMAT_VERSION + 1);
             assert_eq!(supported, CSQM_FORMAT_VERSION);
         }

@@ -16,6 +16,9 @@ cargo clippy -p csq-obs --all-targets -- -D warnings
 echo "==> cargo clippy csq-tensor (-D warnings)"
 cargo clippy -p csq-tensor --all-targets -- -D warnings
 
+echo "==> cargo clippy csq-fleet (-D warnings)"
+cargo clippy -p csq-fleet --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -62,9 +65,21 @@ cargo test -q --release --test bitplane_equivalence
 cargo test -q --release --test serve_end_to_end \
   bitplane_kernels_are_bit_exact_against_integer_at_1_and_4_threads
 
-echo "==> serve smoke load (2s closed loop + overload sweep + bits sweep)"
+echo "==> fleet chaos drill (replica-group kill + corrupted registry artifact)"
+# Kills a whole replica group under two-tenant load (in-flight requests
+# must drain with answers, later submissions fail fast with typed
+# ModelDown, the sibling model stays bit-exact, redeploy recovers), and
+# corrupts the newest registry artifact on disk (the scan must record a
+# typed fault and fall back to the newest healthy version). Any hang,
+# panic, or cross-model contamination fails the gate.
+cargo test -q --release --test fleet_chaos
+cargo test -q --release --test fleet_end_to_end
+
+echo "==> serve smoke load (2s closed loop + overload/bits/fleet sweeps)"
 # The serve bench asserts bitplane/auto outputs are bit-identical to the
-# integer path at every swept width; a mismatch fails the whole gate.
+# integer path at every swept width, then drives the swept artifacts as
+# a multi-tenant fleet; a mismatch or untyped fleet error fails the
+# whole gate.
 CSQ_EPOCHS=1 CSQ_TRAIN_PER_CLASS=2 CSQ_TEST_PER_CLASS=2 CSQ_WIDTH=4 \
   CSQ_SERVE_SECONDS=2 CSQ_SERVE_OVERLOAD_SECONDS=0.5 ./target/release/serve
 

@@ -11,6 +11,9 @@
 //! * [`baselines`] — STE-Uniform, DoReFa, PACT, LQ-Nets-style, BSQ
 //! * [`serve`] — deployment: `.csqm` artifacts, activation calibration,
 //!   micro-batching integer inference engine
+//! * [`fleet`] — multi-model serving: versioned artifact registry,
+//!   replica routing with per-tenant admission, canaried rollouts,
+//!   fleet-wide stats rollups
 //! * [`obs`] — telemetry: metrics registry, span tracing, kernel
 //!   profiler, crash flight recorder
 //!
@@ -20,6 +23,7 @@
 pub use csq_baselines as baselines;
 pub use csq_core as csq;
 pub use csq_data as data;
+pub use csq_fleet as fleet;
 pub use csq_nn as nn;
 pub use csq_obs as obs;
 pub use csq_serve as serve;

@@ -127,3 +127,44 @@ fn counter_and_gauge_snapshots_are_race_free_under_concurrent_writers() {
     let expected: i64 = (1..=WRITERS as i64).sum();
     assert_eq!(snap.gauges["level"], expected, "gauge adds must not race");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fleet-rollup invariant: merging K per-replica histograms
+    /// (as `csq-fleet` does when rolling replica stats into one model
+    /// view) and then taking a percentile is within one geometric
+    /// bucket — a factor of 2 — of the exact percentile of pooling
+    /// every replica's raw samples. Replica counts, sizes, and value
+    /// ranges are all arbitrary; the bound must hold regardless of how
+    /// traffic was sharded across replicas.
+    #[test]
+    fn k_replica_merge_percentiles_stay_within_one_bucket(
+        replicas in proptest::collection::vec(
+            proptest::collection::vec(0u64..8_000_000, 1..120),
+            1..9,
+        ),
+    ) {
+        let mut merged = GeoHistogram::new(24).snapshot();
+        let mut pooled: Vec<u64> = Vec::new();
+        for samples in &replicas {
+            let h = GeoHistogram::new(24);
+            for &v in samples {
+                h.record(v);
+                pooled.push(v);
+            }
+            merged.merge(&h.snapshot());
+        }
+        prop_assert_eq!(merged.total(), pooled.len() as u64);
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_percentile(&mut pooled, q);
+            let est = merged.percentile(q);
+            prop_assert!(est >= exact,
+                "p{q} over {} replicas: estimate {est} below exact {exact}",
+                replicas.len());
+            prop_assert!(est <= (2 * exact).max(1),
+                "p{q} over {} replicas: estimate {est} beyond one geometric bucket of {exact}",
+                replicas.len());
+        }
+    }
+}
